@@ -1,0 +1,78 @@
+"""Figure 2 — stability of hourly median differential RTTs.
+
+Paper: one Cogent↔Cogent link observed by 95 probes over two weeks shows
+raw differential RTTs with σ ≈ 3µ (12.2 vs 4.8 ms), yet every hourly
+median falls in a 0.2 ms band and the smoothed normal reference overlaps
+all hourly confidence intervals — zero alarms on a healthy link.
+
+Here: the tracked Cogent link over the quiet prefix of the grand
+campaign (before the first injected event).  We assert the same shape —
+noisy raw samples, tight median band, no alarms — and print the series.
+"""
+
+import numpy as np
+
+from repro.reporting import format_table, sparkline
+
+from conftest import OUTAGE_H
+
+
+def _quiet_points(campaign):
+    points = campaign.analysis.pipeline.tracked[campaign.cogent_link]
+    return [
+        p
+        for p in points
+        if p.observed is not None and p.timestamp < OUTAGE_H[0] * 3600
+    ]
+
+
+def test_fig02_median_stability(grand_campaign, benchmark):
+    campaign = grand_campaign
+    points = benchmark.pedantic(
+        _quiet_points, args=(campaign,), rounds=1, iterations=1
+    )
+    assert len(points) > 48, "need a quiet window of at least two days"
+
+    medians = np.array([p.observed.median for p in points])
+    widths = np.array([p.observed.width for p in points])
+    stds = np.array([p.sample_std for p in points if p.sample_std])
+    median_band = medians.max() - medians.min()
+    mean_raw_std = float(stds.mean())
+
+    print("\n=== Figure 2: median differential RTT stability ===")
+    print(f"link: {campaign.cogent_link[0]} -> {campaign.cogent_link[1]}")
+    print(f"hourly medians: [{sparkline(medians, width=64)}]")
+    print(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                ["median band (ms)", "~0.2", f"{median_band:.3f}"],
+                ["raw sample std (ms)", "12.2", f"{mean_raw_std:.2f}"],
+                ["mean CI width (ms)", "~0.4", f"{widths.mean():.3f}"],
+                ["alarms on healthy link", "0",
+                 str(sum(p.alarmed for p in points))],
+            ],
+        )
+    )
+
+    # Shape assertions: medians are far more stable than raw samples and
+    # no alarms are raised on the healthy link.  With thousands of
+    # samples per bin the Wilson CIs are so thin (≈0.05 ms) that strict
+    # CI overlap can fail on sub-0.1 ms sampling wiggle; the paper-level
+    # invariant is that any such gap stays far below the 1 ms reporting
+    # rule — hence zero alarms.
+    assert median_band < mean_raw_std / 3
+    assert not any(p.alarmed for p in points)
+    overlapping = 0
+    for point in points:
+        if point.reference is None:
+            continue
+        if point.reference.overlaps(point.observed):
+            overlapping += 1
+        else:
+            gap = max(
+                point.reference.lower - point.observed.upper,
+                point.observed.lower - point.reference.upper,
+            )
+            assert gap < 0.5, f"non-overlap gap too large: {gap:.3f} ms"
+    assert overlapping / len(points) > 0.5

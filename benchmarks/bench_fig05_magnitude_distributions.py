@@ -1,0 +1,90 @@
+"""Figure 5 — distributions of hourly magnitude over all ASes.
+
+Paper: (a) the delay-change magnitude CCDF has 97 % of its mass below 1
+with a heavy right tail containing the DDoS case study; (b) the
+forwarding-anomaly magnitude CDF has a heavy *left* tail (magnitude
+< −10 for only 0.001 % of AS-hours) containing the route leak and the
+AMS-IX outage.
+
+Here: pooled per-AS hourly magnitudes from the grand campaign; the three
+injected events must sit in the respective tails (the paper's arrows).
+"""
+
+import numpy as np
+
+from repro.reporting import format_table, render_cdf
+from repro.stats import fraction_below
+
+from conftest import DDOS1_H, LEAK_H, OUTAGE_H
+
+
+def _pooled(campaign, window):
+    aggregator = campaign.analysis.aggregator
+    return (
+        aggregator.all_magnitude_values("delay", window),
+        aggregator.all_magnitude_values("forwarding", window),
+    )
+
+
+def test_fig05_magnitude_distributions(
+    grand_campaign, magnitude_window, benchmark
+):
+    delay, forwarding = benchmark.pedantic(
+        _pooled,
+        args=(grand_campaign, magnitude_window),
+        rounds=1,
+        iterations=1,
+    )
+    assert delay.size > 1000
+
+    below_one = fraction_below(delay, 1.0)
+    print("\n=== Figure 5a: delay-change magnitude CCDF ===")
+    print(render_cdf(delay, title="delay magnitude quantiles"))
+    print(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                ["P(magnitude < 1)", "0.97", f"{below_one:.4f}"],
+                ["max magnitude", "heavy tail", f"{delay.max():.0f}"],
+            ],
+        )
+    )
+    print("\n=== Figure 5b: forwarding magnitude CDF ===")
+    print(render_cdf(forwarding, title="forwarding magnitude quantiles"))
+    frac_below_m10 = fraction_below(forwarding, -10.0)
+    print(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                ["P(magnitude < -10)", "1e-5", f"{frac_below_m10:.5f}"],
+                ["min magnitude", "heavy left tail", f"{forwarding.min():.0f}"],
+            ],
+        )
+    )
+
+    # Shape assertions.
+    assert below_one > 0.95, "delay magnitudes should usually be < 1"
+    assert delay.max() > 50, "the DDoS harms the right tail"
+    assert forwarding.min() < -5, "outage/leak harm the left tail"
+    assert frac_below_m10 < 0.01, "deep negative magnitudes are rare"
+
+    # The paper's arrows: the injected events are among the extremes.
+    aggregator = grand_campaign.analysis.aggregator
+    delay_events = aggregator.detect_events(
+        "delay", threshold=5.0, window_bins=magnitude_window
+    )
+    top_delay_hours = {e.timestamp // 3600 for e in delay_events[:10]}
+    assert top_delay_hours & set(range(DDOS1_H[0], DDOS1_H[1])), (
+        f"DDoS missing from top delay events: {sorted(top_delay_hours)}"
+    )
+    fwd_events = aggregator.detect_events(
+        "forwarding", threshold=2.0, window_bins=magnitude_window
+    )
+    top_fwd_hours = {e.timestamp // 3600 for e in fwd_events[:10]}
+    expected = set(range(OUTAGE_H[0], OUTAGE_H[1])) | set(
+        range(LEAK_H[0], LEAK_H[1])
+    )
+    assert top_fwd_hours & expected, (
+        f"outage/leak missing from top forwarding events: "
+        f"{sorted(top_fwd_hours)}"
+    )

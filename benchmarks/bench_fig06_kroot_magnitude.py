@@ -1,0 +1,72 @@
+"""Figure 6 — delay-change magnitude of AS25152 during the DDoS waves.
+
+Paper: the K-root operators' AS shows two unprecedented positive peaks,
+aligned with the two documented attack windows, and the highest
+forwarding magnitude stays small and negative (anycast absorbed the
+attack; little packet loss at the servers).
+
+Here: the same series from the grand campaign with its two injected
+attack waves.
+"""
+
+import numpy as np
+
+from repro.reporting import format_table, render_series
+
+from conftest import DDOS1_H, DDOS2_H, LEAK_H, OUTAGE_H
+
+
+def _kroot_magnitude(campaign, window):
+    aggregator = campaign.analysis.aggregator
+    magnitudes = aggregator.delay_magnitudes(window)[25152]
+    timestamps = aggregator.delay_series[25152].timestamps()
+    return timestamps, magnitudes
+
+
+def test_fig06_kroot_magnitude(grand_campaign, magnitude_window, benchmark):
+    timestamps, magnitudes = benchmark.pedantic(
+        _kroot_magnitude,
+        args=(grand_campaign, magnitude_window),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== Figure 6: delay-change magnitude AS25152 (K-root) ===")
+    print(render_series(timestamps, magnitudes, title="AS25152", t0=0))
+    peak_hours = [int(i) for i in np.nonzero(magnitudes > 5)[0]]
+    wave1 = set(range(*DDOS1_H))
+    wave2 = set(range(*DDOS2_H))
+    print(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                ["peaks", "two, at the attack windows", str(peak_hours)],
+                ["wave 1 hours", str(sorted(wave1)), "-"],
+                ["wave 2 hours", str(sorted(wave2)), "-"],
+            ],
+        )
+    )
+
+    # Shape: both waves detected; any other peak coincides with another
+    # injected event (the grand campaign packs all three case studies
+    # into one window, so e.g. the route leak's Level(3) congestion also
+    # touches paths towards root instances — real collateral, not noise).
+    assert set(peak_hours) & wave1, "wave 1 not detected"
+    assert set(peak_hours) & wave2, "wave 2 not detected"
+    all_event_hours = (
+        wave1
+        | wave2
+        | set(range(*LEAK_H))
+        | set(range(*OUTAGE_H))
+    )
+    assert set(peak_hours) <= all_event_hours, (
+        f"peaks outside any injected event: {peak_hours}"
+    )
+
+    # Forwarding magnitude stays comparatively small for AS25152: anycast
+    # mitigated the attack, packet loss at the roots was negligible.
+    fwd = grand_campaign.analysis.aggregator.forwarding_magnitudes(
+        magnitude_window
+    ).get(25152)
+    if fwd is not None and fwd.size:
+        assert float(np.min(fwd)) > -10

@@ -1,0 +1,73 @@
+"""Figures 9 and 10 — Level(3) magnitudes during the route leak.
+
+Paper: both Level(3) ASes (3356, 3549) show positive delay-change
+magnitude peaks on June 12 09:00-11:00 UTC (Fig. 9) and, simultaneously,
+their most significant *negative* forwarding magnitudes of the entire
+8-month dataset (Fig. 10) — routers disappearing and dropping packets.
+
+Here: the same two series from the grand campaign's leak window.
+"""
+
+import numpy as np
+
+from repro.reporting import format_table, render_series
+
+from conftest import LEAK_H
+
+
+def _level3_series(campaign, window):
+    aggregator = campaign.analysis.aggregator
+    delay = aggregator.delay_magnitudes(window)
+    forwarding = aggregator.forwarding_magnitudes(window)
+    return delay, forwarding
+
+
+def test_fig09_10_level3_magnitudes(
+    grand_campaign, magnitude_window, benchmark
+):
+    delay, forwarding = benchmark.pedantic(
+        _level3_series,
+        args=(grand_campaign, magnitude_window),
+        rounds=1,
+        iterations=1,
+    )
+    leak_hours = set(range(*LEAK_H))
+    level3_asns = [asn for asn in (3356, 3549) if asn in delay]
+    assert level3_asns, f"no Level3 AS has delay alarms: {sorted(delay)}"
+
+    print("\n=== Figures 9/10: Level(3) during the route leak ===")
+    rows = []
+    delay_peaked = []
+    fwd_dipped = []
+    aggregator = grand_campaign.analysis.aggregator
+    for asn in (3356, 3549):
+        if asn in delay:
+            series = delay[asn]
+            timestamps = aggregator.delay_series[asn].timestamps()
+            print(render_series(
+                timestamps, series, title=f"Fig. 9 — delay magnitude AS{asn}",
+                t0=0,
+            ))
+            peak = int(np.argmax(series))
+            rows.append([f"AS{asn} delay", peak, f"{series[peak]:.1f}"])
+            if peak in leak_hours and series[peak] > 5:
+                delay_peaked.append(asn)
+        if asn in forwarding:
+            series = forwarding[asn]
+            timestamps = aggregator.forwarding_series[asn].timestamps()
+            print(render_series(
+                timestamps, series,
+                title=f"Fig. 10 — forwarding magnitude AS{asn}",
+                t0=0,
+            ))
+            trough = int(np.argmin(series))
+            rows.append([f"AS{asn} forwarding", trough, f"{series[trough]:.1f}"])
+            if trough in leak_hours and series[trough] < -1:
+                fwd_dipped.append(asn)
+    print(format_table(["series", "extreme hour", "magnitude"], rows))
+    print(f"leak window: hours {sorted(leak_hours)}")
+
+    # Shape: at least one Level(3) AS shows the positive delay peak AND
+    # at least one shows the negative forwarding peak in the leak window.
+    assert delay_peaked, "no Level3 delay peak in the leak window"
+    assert fwd_dipped, "no Level3 forwarding trough in the leak window"

@@ -1,0 +1,85 @@
+"""Figure 13 — AMS-IX outage seen only by the forwarding model.
+
+Paper: the May 13 2015 AMS-IX technical fault shows as one deep negative
+forwarding-magnitude peak for AS1200 (the peering LAN's AS); the delay
+method is inconclusive because dropped packets leave no RTT samples; 770
+peering-LAN IP pairs went unresponsive.
+
+Here: the grand campaign's outage window.
+"""
+
+import numpy as np
+
+from repro.core import UNRESPONSIVE
+from repro.reporting import format_table, render_series
+
+from conftest import OUTAGE_H
+
+
+def _amsix_series(campaign, window):
+    aggregator = campaign.analysis.aggregator
+    forwarding = aggregator.forwarding_magnitudes(window)
+    series = forwarding.get(1200)
+    timestamps = (
+        aggregator.forwarding_series[1200].timestamps()
+        if 1200 in aggregator.forwarding_series
+        else []
+    )
+    return timestamps, series
+
+
+def test_fig13_amsix_outage(grand_campaign, magnitude_window, benchmark):
+    timestamps, series = benchmark.pedantic(
+        _amsix_series,
+        args=(grand_campaign, magnitude_window),
+        rounds=1,
+        iterations=1,
+    )
+    assert series is not None, "AS1200 has no forwarding series"
+    outage_hours = set(range(*OUTAGE_H))
+
+    print("\n=== Figure 13: AMS-IX (AS1200) forwarding magnitude ===")
+    print(render_series(timestamps, series, title="AS1200", t0=0))
+    trough = int(np.argmin(series))
+
+    analysis = grand_campaign.analysis
+    delay_in_outage = [
+        a
+        for a in analysis.delay_alarms
+        if a.timestamp // 3600 in outage_hours
+        and any(ip.startswith("172.16.") for ip in a.link)
+    ]
+    fwd_in_outage = [
+        a
+        for a in analysis.forwarding_alarms
+        if a.timestamp // 3600 in outage_hours
+    ]
+    lan_prefix = grand_campaign.topology.ases[1200].prefix.rsplit(".", 1)[0]
+    silent_pairs = {
+        (alarm.router_ip, hop)
+        for alarm in fwd_in_outage
+        for hop, score in alarm.devalued_hops.items()
+        if hop != UNRESPONSIVE and hop.startswith(lan_prefix)
+    }
+    print(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                ["trough hour", f"{sorted(outage_hours)}", str(trough)],
+                ["trough magnitude", "deep negative", f"{series[trough]:.1f}"],
+                ["unresponsive LAN pairs", "770", str(len(silent_pairs))],
+                ["LAN delay alarms in outage", "~0 (no samples)",
+                 str(len(delay_in_outage))],
+                ["forwarding alarms in outage", "many",
+                 str(len(fwd_in_outage))],
+            ],
+        )
+    )
+
+    # Shape assertions.
+    assert trough in outage_hours, f"trough at hour {trough}"
+    assert series[trough] < -2
+    assert len(fwd_in_outage) > 10
+    assert len(fwd_in_outage) > 5 * max(1, len(delay_in_outage))
+    # Topology-scaled analogue of the paper's 770 unresponsive pairs.
+    assert len(silent_pairs) >= 3

@@ -1,0 +1,72 @@
+"""§7 dual-stack statistics — IPv4 vs IPv6 monitoring coverage.
+
+Paper: the same pipeline processes both families — 262k IPv4 links vs
+42k IPv6 links monitored, 147 vs 133 probes per link on average, 170k
+IPv4 vs 87k IPv6 router IPs modelled.  IPv6 coverage is smaller (fewer
+v6-capable probes and targets) but the methods are identical.
+
+Here: one quiet day measured over each address plane of the same
+dual-stack topology.  Both planes must be analyzable, yield the same
+router-level paths, and produce comparable (same order of magnitude)
+coverage.
+"""
+
+from repro.core import analyze_campaign
+from repro.reporting import format_table
+from repro.simulation import (
+    AtlasPlatform,
+    CampaignConfig,
+    TopologyParams,
+    build_topology,
+)
+
+
+def _run_family(platform, mapper, af):
+    config = CampaignConfig(duration_s=24 * 3600, address_family=af)
+    analysis = analyze_campaign(platform.run_campaign(config), mapper)
+    return analysis.stats()
+
+
+def test_dual_stack_coverage(benchmark):
+    topology = build_topology(TopologyParams.case_study(), seed=1)
+    platform = AtlasPlatform(topology, seed=2)
+    mapper = platform.as_mapper()
+    stats4, stats6 = benchmark.pedantic(
+        lambda: (
+            _run_family(platform, mapper, 4),
+            _run_family(platform, mapper, 6),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== §7: IPv4 vs IPv6 monitoring coverage ===")
+    print(
+        format_table(
+            ["statistic", "paper v4", "paper v6", "measured v4",
+             "measured v6"],
+            [
+                ["links monitored", "262k", "42k",
+                 stats4.links_analyzed, stats6.links_analyzed],
+                ["mean probes per link", "147", "133",
+                 f"{stats4.mean_probes_per_link:.1f}",
+                 f"{stats6.mean_probes_per_link:.1f}"],
+                ["router IPs modelled", "170k", "87k",
+                 stats4.forwarding_routers, stats6.forwarding_routers],
+                ["mean next hops/model", "4", "-",
+                 f"{stats4.mean_next_hops:.2f}",
+                 f"{stats6.mean_next_hops:.2f}"],
+            ],
+        )
+    )
+
+    # Both planes are fully analyzable with the same machinery.
+    assert stats4.links_analyzed > 0
+    assert stats6.links_analyzed > 0
+    assert stats4.forwarding_routers > 0
+    assert stats6.forwarding_routers > 0
+    # Congruent dual-stack topology: same order of coverage.  (The real
+    # Internet's v6 plane is thinner; our substitution keeps them equal,
+    # which DESIGN.md documents.)
+    ratio = stats6.links_analyzed / stats4.links_analyzed
+    assert 0.5 < ratio < 2.0

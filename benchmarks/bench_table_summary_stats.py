@@ -1,0 +1,55 @@
+"""§7 headline statistics — the text numbers of the Results section.
+
+Paper (8 months, 11,538 probes): 262k IPv4 links monitored, links
+observed by 147 probes on average, 33 % of links with at least one delay
+alarm; 170k router IPs with forwarding models averaging 4 next hops.
+
+Here: the same statistics from the grand campaign.  Absolute counts are
+topology-bound; the asserted shape is their *relationships* — a
+meaningful fraction of observed links passes the diversity filter, tens
+of probes per link, a minority-but-nonzero fraction of links alarmed,
+several next hops per forwarding model.
+"""
+
+from repro.reporting import format_table
+
+
+def _stats(campaign):
+    return campaign.analysis.stats()
+
+
+def test_summary_statistics(grand_campaign, benchmark):
+    stats = benchmark.pedantic(
+        _stats, args=(grand_campaign,), rounds=1, iterations=1
+    )
+
+    print("\n=== §7 summary statistics ===")
+    print(
+        format_table(
+            ["statistic", "paper", "measured"],
+            [
+                ["links observed", "-", stats.links_observed],
+                ["links monitored (diverse)", "262k",
+                 stats.links_analyzed],
+                ["mean probes per link", "147",
+                 f"{stats.mean_probes_per_link:.1f}"],
+                ["links with >=1 delay alarm", "33 %",
+                 f"{stats.fraction_links_alarmed:.1%}"],
+                ["forwarding models", "-", stats.forwarding_models],
+                ["router IPs modelled", "170k", stats.forwarding_routers],
+                ["mean next hops per model", "4",
+                 f"{stats.mean_next_hops:.2f}"],
+                ["traceroutes processed", "2.8B",
+                 stats.traceroutes_processed],
+                ["bins processed", "-", stats.bins_processed],
+            ],
+        )
+    )
+
+    assert stats.links_analyzed >= 30
+    assert stats.links_analyzed <= stats.links_observed
+    assert stats.mean_probes_per_link >= 10
+    assert 0.0 < stats.fraction_links_alarmed < 0.6
+    assert stats.forwarding_routers >= 50
+    assert stats.mean_next_hops >= 1.0
+    assert stats.traceroutes_processed > 100_000

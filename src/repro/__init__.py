@@ -1,0 +1,74 @@
+"""repro — reproduction of Fontugne et al., "Pinpointing Delay and
+Forwarding Anomalies Using Large-Scale Traceroute Measurements" (IMC 2017).
+
+Public API layout:
+
+* :mod:`repro.core` — the paper's detection methods (differential RTT
+  delay-change detection, packet-forwarding anomaly detection, AS-level
+  event aggregation) and the end-to-end :class:`~repro.core.Pipeline`.
+* :mod:`repro.atlas` — RIPE-Atlas-style traceroute data model and IO.
+* :mod:`repro.simulation` — the synthetic Internet and measurement
+  platform used as an offline substitute for the Atlas platform.
+* :mod:`repro.stats` — the robust statistics substrate (Wilson scores,
+  exponential smoothing, entropy, sliding median/MAD, ...).
+* :mod:`repro.net` — IP/prefix utilities and longest-prefix IP→AS mapping.
+* :mod:`repro.reporting` — Internet-Health-Report-style summaries.
+
+Quickstart::
+
+    from repro import quick_campaign
+
+    analysis, topology, mapper = quick_campaign(duration_hours=24, seed=1)
+    print(analysis.stats())
+"""
+
+from repro.core import (
+    AlarmAggregator,
+    CampaignAnalysis,
+    DelayAlarm,
+    DelayChangeDetector,
+    ForwardingAlarm,
+    ForwardingAnomalyDetector,
+    Pipeline,
+    PipelineConfig,
+    analyze_campaign,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlarmAggregator",
+    "CampaignAnalysis",
+    "DelayAlarm",
+    "DelayChangeDetector",
+    "ForwardingAlarm",
+    "ForwardingAnomalyDetector",
+    "Pipeline",
+    "PipelineConfig",
+    "analyze_campaign",
+    "quick_campaign",
+    "__version__",
+]
+
+
+def quick_campaign(
+    duration_hours: int = 24,
+    seed: int = 0,
+    scenario=None,
+    config: PipelineConfig = None,
+):
+    """Generate a campaign on the default topology and analyze it.
+
+    Returns ``(CampaignAnalysis, Topology, AsMapper)``.  Intended for
+    quickstarts and tests; real studies compose the pieces directly.
+    """
+    from repro.simulation import AtlasPlatform, CampaignConfig, build_topology
+
+    topology = build_topology(seed=seed)
+    platform = AtlasPlatform(topology, scenario=scenario, seed=seed)
+    mapper = platform.as_mapper()
+    campaign = CampaignConfig(duration_s=duration_hours * 3600)
+    analysis = analyze_campaign(
+        platform.run_campaign(campaign), mapper, config=config
+    )
+    return analysis, topology, mapper

@@ -1,0 +1,68 @@
+"""RIPE-Atlas-style traceroute data model, measurement specs, and IO.
+
+The paper's methods consume only public Atlas traceroute data; this
+subpackage defines the in-memory/on-disk representation of that data plus
+the builtin/anchoring measurement cadences (paper §2 and Appendix B).
+"""
+
+from repro.atlas.io import (
+    TracerouteDecodeError,
+    count_traceroutes,
+    read_traceroutes,
+    write_traceroutes,
+)
+from repro.atlas.measurements import (
+    ANCHORING,
+    BUILTIN,
+    PACKETS_PER_HOP,
+    MeasurementKind,
+    MeasurementSpec,
+    minimum_usable_bin_s,
+    shortest_detectable_event_s,
+)
+from repro.atlas.model import (
+    TIMEOUT,
+    Hop,
+    Reply,
+    Traceroute,
+    make_traceroute,
+)
+from repro.atlas.validate import (
+    MAX_SANE_RTT_MS,
+    SanitationReport,
+    sanitize,
+    sanitize_one,
+)
+from repro.atlas.stream import (
+    DEFAULT_BIN_S,
+    TimeBinner,
+    TracerouteStream,
+    bin_start,
+)
+
+__all__ = [
+    "ANCHORING",
+    "BUILTIN",
+    "DEFAULT_BIN_S",
+    "Hop",
+    "MAX_SANE_RTT_MS",
+    "MeasurementKind",
+    "MeasurementSpec",
+    "PACKETS_PER_HOP",
+    "Reply",
+    "SanitationReport",
+    "TIMEOUT",
+    "TimeBinner",
+    "Traceroute",
+    "TracerouteDecodeError",
+    "TracerouteStream",
+    "bin_start",
+    "count_traceroutes",
+    "make_traceroute",
+    "minimum_usable_bin_s",
+    "read_traceroutes",
+    "sanitize",
+    "sanitize_one",
+    "shortest_detectable_event_s",
+    "write_traceroutes",
+]

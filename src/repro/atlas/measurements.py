@@ -1,0 +1,113 @@
+"""Measurement specifications mirroring the Atlas builtin/anchoring setup.
+
+Section 2 of the paper uses two classes of repetitive measurements:
+
+* **builtin** — traceroutes from *all* probes to the 13 DNS root servers
+  every 30 minutes (r = 2 traceroutes/hour per probe and target),
+* **anchoring** — traceroutes from ~400 probes to 189 anchors every
+  15 minutes (r = 4/hour).
+
+These cadences drive the sensitivity analysis of Appendix B, so they are
+first-class objects here rather than magic numbers in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Tuple
+
+
+class MeasurementKind(Enum):
+    """The two repetitive Atlas measurement classes used by the paper."""
+
+    BUILTIN = "builtin"
+    ANCHORING = "anchoring"
+
+
+#: Paris traceroute sends three packets per hop (paper Appendix B).
+PACKETS_PER_HOP = 3
+
+
+@dataclass(frozen=True)
+class MeasurementSpec:
+    """Cadence and shape of one repetitive measurement class.
+
+    ``interval_s`` is the period between consecutive traceroutes from one
+    probe to one target.  ``rate_per_hour`` is the paper's *r*.
+    """
+
+    kind: MeasurementKind
+    interval_s: int
+    packets_per_hop: int = PACKETS_PER_HOP
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError(f"interval must be positive: {self.interval_s}")
+        if self.packets_per_hop < 1:
+            raise ValueError(
+                f"packets_per_hop must be >= 1: {self.packets_per_hop}"
+            )
+
+    @property
+    def rate_per_hour(self) -> float:
+        """Traceroutes per hour per (probe, target) pair — the paper's r."""
+        return 3600.0 / self.interval_s
+
+    def schedule(
+        self, start: int, end: int, offset: int = 0
+    ) -> Iterator[int]:
+        """Yield launch timestamps in ``[start, end)`` for one probe.
+
+        *offset* staggers probes so the platform load is spread inside the
+        interval, like the real Atlas scheduler does.
+        """
+        if end < start:
+            raise ValueError(f"end < start: {end} < {start}")
+        first = start + (offset % self.interval_s)
+        for ts in range(first, end, self.interval_s):
+            yield ts
+
+    def expected_packets_per_bin(self, n_probes: int, bin_s: int) -> float:
+        """Expected per-link packet count: ``3 · r · n · T`` (Appendix B)."""
+        return (
+            self.packets_per_hop
+            * self.rate_per_hour
+            * n_probes
+            * (bin_s / 3600.0)
+        )
+
+
+#: Builtin measurements: every 30 minutes (r = 2/h).
+BUILTIN = MeasurementSpec(MeasurementKind.BUILTIN, interval_s=1800)
+
+#: Anchoring measurements: every 15 minutes (r = 4/h).
+ANCHORING = MeasurementSpec(MeasurementKind.ANCHORING, interval_s=900)
+
+
+def minimum_usable_bin_s(spec: MeasurementSpec, min_packets: int = 9) -> float:
+    """Appendix B: ``T_min = m / (3·r·n)`` with n = 3 ASes, m = 9 packets.
+
+    Returns seconds.  For builtin (r=2): 1800 s; for anchoring (r=4): 900 s.
+    """
+    n_probes = 3
+    rate = spec.rate_per_hour
+    hours = min_packets / (spec.packets_per_hop * rate * n_probes)
+    return hours * 3600.0
+
+
+def shortest_detectable_event_s(
+    spec: MeasurementSpec, n_probes: int, bin_s: int
+) -> float:
+    """Appendix B Eq. 11: shortest detectable event, in seconds.
+
+    ``(1/(3·r·n) + T/2)`` hours; the median needs >50 % of a bin's packets
+    affected, plus one extra packet.
+    """
+    if n_probes < 1:
+        raise ValueError(f"need at least one probe: {n_probes}")
+    rate = spec.rate_per_hour
+    hours = 1.0 / (spec.packets_per_hop * rate * n_probes) + (
+        bin_s / 3600.0
+    ) / 2.0
+    return hours * 3600.0

@@ -1,0 +1,232 @@
+"""Data model for RIPE-Atlas-style traceroute results.
+
+The paper consumes Atlas builtin/anchoring Paris-traceroute measurements.
+This module defines the in-memory representation of one traceroute result
+and its hops/replies, mirroring the fields of the Atlas JSON schema that
+the detection pipeline actually uses:
+
+* ``prb_id`` — probe identifier,
+* ``src_addr``/``dst_addr`` — probe and target addresses,
+* ``timestamp`` — UNIX seconds when the traceroute started,
+* ``result`` — list of hops, each with up to three replies carrying
+  ``from`` (responding IP) and ``rtt`` milliseconds; lost packets appear
+  as ``{"x": "*"}`` entries exactly as Atlas encodes them.
+
+A ``Traceroute`` also knows the probe's origin AS (``from_asn``) because
+the probe-diversity filter (§4.3) groups probes per AS.  On the real
+platform this comes from probe metadata; our simulator fills it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Sentinel used for unresponsive hops, mirroring traceroute's ``*``.
+TIMEOUT = "*"
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One reply to one traceroute packet at a given TTL.
+
+    ``ip`` is ``None`` for a lost packet (rendered ``*`` by traceroute);
+    ``rtt_ms`` is ``None`` in the same case.
+    """
+
+    ip: Optional[str]
+    rtt_ms: Optional[float]
+
+    @property
+    def is_timeout(self) -> bool:
+        return self.ip is None
+
+    def to_json(self) -> Dict:
+        """Serialise to the Atlas result-item schema."""
+        if self.is_timeout:
+            return {"x": TIMEOUT}
+        return {"from": self.ip, "rtt": self.rtt_ms}
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "Reply":
+        if "x" in data or "from" not in data:
+            return cls(ip=None, rtt_ms=None)
+        rtt = data.get("rtt")
+        return cls(ip=data["from"], rtt_ms=float(rtt) if rtt is not None else None)
+
+
+@dataclass(frozen=True)
+class Hop:
+    """All replies received for one TTL value (up to three packets)."""
+
+    ttl: int
+    replies: Tuple[Reply, ...]
+
+    def __post_init__(self) -> None:
+        if self.ttl < 1:
+            raise ValueError(f"TTL must be >= 1: {self.ttl}")
+
+    @property
+    def responding_ips(self) -> List[str]:
+        """Distinct responding IPs at this TTL (Paris traceroute usually 1)."""
+        seen: List[str] = []
+        for reply in self.replies:
+            if reply.ip is not None and reply.ip not in seen:
+                seen.append(reply.ip)
+        return seen
+
+    @property
+    def primary_ip(self) -> Optional[str]:
+        """Most frequent responding IP at this TTL, or None if all lost."""
+        counts: Dict[str, int] = {}
+        for reply in self.replies:
+            if reply.ip is not None:
+                counts[reply.ip] = counts.get(reply.ip, 0) + 1
+        if not counts:
+            return None
+        return max(counts, key=lambda ip: (counts[ip], ip))
+
+    @property
+    def rtts(self) -> List[float]:
+        """RTT samples (ms) of successful replies at this TTL."""
+        return [r.rtt_ms for r in self.replies if r.rtt_ms is not None]
+
+    def rtts_for(self, ip: str) -> List[float]:
+        """RTT samples from the specific responder *ip*."""
+        return [
+            r.rtt_ms
+            for r in self.replies
+            if r.ip == ip and r.rtt_ms is not None
+        ]
+
+    @property
+    def is_unresponsive(self) -> bool:
+        """True when every packet at this TTL was lost."""
+        return all(reply.is_timeout for reply in self.replies)
+
+    def to_json(self) -> Dict:
+        return {"hop": self.ttl, "result": [r.to_json() for r in self.replies]}
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "Hop":
+        replies = tuple(Reply.from_json(item) for item in data.get("result", []))
+        return cls(ttl=int(data["hop"]), replies=replies)
+
+
+@dataclass(frozen=True)
+class Traceroute:
+    """One complete Paris-traceroute result from one probe to one target.
+
+    ``af`` is the address family (4 or 6), as in the Atlas schema; the
+    analysis pipeline is family-agnostic and processes both.
+    """
+
+    prb_id: int
+    src_addr: str
+    dst_addr: str
+    timestamp: int
+    hops: Tuple[Hop, ...]
+    from_asn: Optional[int] = None
+    msm_id: Optional[int] = None
+    paris_id: int = 0
+    af: int = 4
+
+    @property
+    def destination_reached(self) -> bool:
+        """True when the last responsive hop is the destination itself."""
+        for hop in reversed(self.hops):
+            primary = hop.primary_ip
+            if primary is not None:
+                return primary == self.dst_addr
+        return False
+
+    @property
+    def response_rate(self) -> float:
+        """Fraction of packets that got a reply (1.0 = no loss)."""
+        total = sum(len(hop.replies) for hop in self.hops)
+        if total == 0:
+            return 0.0
+        lost = sum(
+            1 for hop in self.hops for reply in hop.replies if reply.is_timeout
+        )
+        return 1.0 - lost / total
+
+    def adjacent_pairs(self) -> Iterator[Tuple[Hop, Hop]]:
+        """Yield consecutive-TTL hop pairs (the paper's link candidates).
+
+        Pairs whose TTLs are not consecutive (a gap of unresponsive or
+        missing TTLs collapsed by the platform) are *not* yielded: the two
+        routers would not be adjacent at the IP level.
+        """
+        for first, second in zip(self.hops, self.hops[1:]):
+            if second.ttl == first.ttl + 1:
+                yield first, second
+
+    def to_json(self) -> Dict:
+        data = {
+            "prb_id": self.prb_id,
+            "src_addr": self.src_addr,
+            "dst_addr": self.dst_addr,
+            "timestamp": self.timestamp,
+            "proto": "ICMP",
+            "af": self.af,
+            "paris_id": self.paris_id,
+            "result": [hop.to_json() for hop in self.hops],
+        }
+        if self.from_asn is not None:
+            data["from_asn"] = self.from_asn
+        if self.msm_id is not None:
+            data["msm_id"] = self.msm_id
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "Traceroute":
+        hops = tuple(Hop.from_json(item) for item in data.get("result", []))
+        return cls(
+            prb_id=int(data["prb_id"]),
+            src_addr=data["src_addr"],
+            dst_addr=data["dst_addr"],
+            timestamp=int(data["timestamp"]),
+            hops=hops,
+            from_asn=data.get("from_asn"),
+            msm_id=data.get("msm_id"),
+            paris_id=int(data.get("paris_id", 0)),
+            af=int(data.get("af", 4)),
+        )
+
+
+def make_traceroute(
+    prb_id: int,
+    src_addr: str,
+    dst_addr: str,
+    timestamp: int,
+    hop_replies: Sequence[Sequence[Tuple[Optional[str], Optional[float]]]],
+    from_asn: Optional[int] = None,
+    msm_id: Optional[int] = None,
+) -> Traceroute:
+    """Convenience constructor from nested ``(ip, rtt)`` tuples.
+
+    ``hop_replies[k]`` holds the replies for TTL ``k+1``; a ``(None, None)``
+    entry is a lost packet.
+
+    >>> tr = make_traceroute(1, "10.0.0.1", "10.9.9.9", 0,
+    ...     [[("10.0.0.254", 1.0)], [(None, None)]])
+    >>> tr.hops[1].is_unresponsive
+    True
+    """
+    hops = tuple(
+        Hop(
+            ttl=index + 1,
+            replies=tuple(Reply(ip=ip, rtt_ms=rtt) for ip, rtt in replies),
+        )
+        for index, replies in enumerate(hop_replies)
+    )
+    return Traceroute(
+        prb_id=prb_id,
+        src_addr=src_addr,
+        dst_addr=dst_addr,
+        timestamp=timestamp,
+        hops=hops,
+        from_asn=from_asn,
+        msm_id=msm_id,
+    )

@@ -1,0 +1,121 @@
+"""Traceroute sanitation.
+
+Real Atlas downloads contain malformed results: duplicate or
+non-monotonic TTLs, negative or absurd RTTs, empty results, private
+responders in public paths.  The paper's statistics are robust to noisy
+*values*, but structurally broken records should not reach the pipeline
+at all.  :func:`sanitize` filters/repairs a result stream and reports
+what it dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.atlas.model import Hop, Reply, Traceroute
+
+#: RTTs above this are physically implausible for one round trip (ms).
+MAX_SANE_RTT_MS = 10_000.0
+
+
+@dataclass
+class SanitationReport:
+    """Counts of what sanitation touched."""
+
+    kept: int = 0
+    dropped_empty: int = 0
+    dropped_duplicate_ttl: int = 0
+    repaired_rtts: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_empty + self.dropped_duplicate_ttl
+
+
+def _sane_reply(reply: Reply) -> Tuple[Reply, bool]:
+    """Clamp impossible RTTs to a timeout; returns (reply, repaired)."""
+    if reply.rtt_ms is None:
+        return reply, False
+    if reply.rtt_ms <= 0.0 or reply.rtt_ms > MAX_SANE_RTT_MS:
+        return Reply(ip=None, rtt_ms=None), True
+    return reply, False
+
+
+def sanitize_one(
+    traceroute: Traceroute,
+) -> Tuple[Optional[Traceroute], SanitationReport]:
+    """Sanitize a single result.
+
+    Returns ``(None, report)`` for unusable records (no hops, duplicate
+    TTLs); otherwise a repaired copy: hops sorted by TTL, impossible
+    RTTs (≤ 0 or > 10 s) converted to timeouts.
+    """
+    report = SanitationReport()
+    if not traceroute.hops:
+        report.dropped_empty = 1
+        return None, report
+    ttls = [hop.ttl for hop in traceroute.hops]
+    if len(set(ttls)) != len(ttls):
+        report.dropped_duplicate_ttl = 1
+        return None, report
+
+    changed = ttls != sorted(ttls)
+    hops: List[Hop] = []
+    for hop in sorted(traceroute.hops, key=lambda h: h.ttl):
+        replies = []
+        hop_changed = False
+        for reply in hop.replies:
+            sane, repaired = _sane_reply(reply)
+            replies.append(sane)
+            if repaired:
+                report.repaired_rtts += 1
+                hop_changed = True
+        if hop_changed:
+            hops.append(Hop(ttl=hop.ttl, replies=tuple(replies)))
+            changed = True
+        else:
+            hops.append(hop)
+    report.kept = 1
+    if not changed:
+        return traceroute, report
+    return (
+        Traceroute(
+            prb_id=traceroute.prb_id,
+            src_addr=traceroute.src_addr,
+            dst_addr=traceroute.dst_addr,
+            timestamp=traceroute.timestamp,
+            hops=tuple(hops),
+            from_asn=traceroute.from_asn,
+            msm_id=traceroute.msm_id,
+            paris_id=traceroute.paris_id,
+            af=traceroute.af,
+        ),
+        report,
+    )
+
+
+def sanitize(
+    traceroutes: Iterable[Traceroute],
+    report: Optional[SanitationReport] = None,
+) -> Iterator[Traceroute]:
+    """Stream-sanitize a result iterable.
+
+    Pass a :class:`SanitationReport` to accumulate statistics across the
+    stream (it is updated in place).
+
+    >>> from repro.atlas.model import make_traceroute
+    >>> bad = make_traceroute(1, "s", "d", 0, [[("A", -5.0)]])
+    >>> fixed = list(sanitize([bad]))
+    >>> fixed[0].hops[0].is_unresponsive
+    True
+    """
+    for traceroute in traceroutes:
+        sanitized, one_report = sanitize_one(traceroute)
+        if report is not None:
+            report.kept += one_report.kept
+            report.dropped_empty += one_report.dropped_empty
+            report.dropped_duplicate_ttl += one_report.dropped_duplicate_ttl
+            report.repaired_rtts += one_report.repaired_rtts
+        if sanitized is not None:
+            yield sanitized

@@ -1,0 +1,206 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows:
+
+* ``generate`` — run a measurement campaign on the synthetic Internet
+  and store the traceroutes as JSONL (Atlas download format),
+* ``analyze`` — run the detection pipeline over a stored campaign and
+  print alarms plus the per-AS health summary (optionally JSON),
+* ``replay``  — regenerate one of the paper's case studies end to end.
+
+Examples::
+
+    python -m repro generate --hours 24 --seed 42 --out campaign.jsonl
+    python -m repro analyze campaign.jsonl --json
+    python -m repro replay ddos
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.atlas import read_traceroutes, write_traceroutes
+from repro.core import PipelineConfig, analyze_campaign
+from repro.reporting import InternetHealthReport, format_table
+from repro.simulation import (
+    AtlasPlatform,
+    CampaignConfig,
+    DdosScenario,
+    IxpOutageScenario,
+    RouteLeakScenario,
+    TopologyParams,
+    build_topology,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Pinpointing Delay and Forwarding Anomalies "
+            "Using Large-Scale Traceroute Measurements' (IMC 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a traceroute campaign (JSONL output)"
+    )
+    generate.add_argument("--hours", type=int, default=24)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--probes", type=int, default=None,
+                          help="override the number of probes")
+    generate.add_argument("--no-anchoring", action="store_true")
+    generate.add_argument("--out", required=True, help="output .jsonl[.gz]")
+
+    analyze = sub.add_parser(
+        "analyze", help="run the detection pipeline over stored traceroutes"
+    )
+    analyze.add_argument("path", help="campaign .jsonl[.gz] file")
+    analyze.add_argument("--seed", type=int, default=0,
+                         help="topology seed used at generation time "
+                              "(needed for the IP-to-AS table)")
+    analyze.add_argument("--probes", type=int, default=None)
+    analyze.add_argument("--alpha", type=float, default=None)
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the IHR summary as JSON")
+    analyze.add_argument("--top", type=int, default=10,
+                         help="number of top events to list")
+
+    replay = sub.add_parser(
+        "replay", help="replay one of the paper's case studies"
+    )
+    replay.add_argument("case", choices=["ddos", "leak", "outage"])
+    replay.add_argument("--hours", type=int, default=48)
+    replay.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _topology(seed: int, probes: Optional[int]):
+    params = TopologyParams.case_study()
+    if probes is not None:
+        params.n_probes = probes
+    return build_topology(params, seed=seed)
+
+
+def _cmd_generate(args) -> int:
+    topology = _topology(args.seed, args.probes)
+    platform = AtlasPlatform(topology, seed=args.seed)
+    config = CampaignConfig(
+        duration_s=args.hours * 3600,
+        include_anchoring=not args.no_anchoring,
+    )
+    total = platform.campaign_size(config)
+    print(f"generating {total} traceroutes over {args.hours}h ...")
+    written = write_traceroutes(args.out, platform.run_campaign(config))
+    print(f"wrote {written} traceroutes to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    topology = _topology(args.seed, args.probes)
+    platform = AtlasPlatform(topology, seed=args.seed)
+    config = None
+    if args.alpha is not None:
+        config = PipelineConfig(alpha=args.alpha)
+    analysis = analyze_campaign(
+        read_traceroutes(args.path), platform.as_mapper(), config=config
+    )
+    report = InternetHealthReport(analysis)
+    if args.json:
+        print(report.to_json())
+        return 0
+    stats = analysis.stats()
+    print(
+        format_table(
+            ["statistic", "value"],
+            [
+                ["traceroutes", stats.traceroutes_processed],
+                ["bins", stats.bins_processed],
+                ["links analyzed", stats.links_analyzed],
+                ["delay alarms", len(analysis.delay_alarms)],
+                ["forwarding alarms", len(analysis.forwarding_alarms)],
+            ],
+        )
+    )
+    events = report.top_events("delay", threshold=2.0, limit=args.top)
+    events += report.top_events("forwarding", threshold=2.0, limit=args.top)
+    if events:
+        print("\ntop events:")
+        print(
+            format_table(
+                ["AS", "hour", "kind", "magnitude"],
+                [
+                    [f"AS{e.asn}", e.timestamp // 3600, e.kind,
+                     f"{e.magnitude:+.1f}"]
+                    for e in events[: args.top]
+                ],
+            )
+        )
+    else:
+        print("\nno significant events")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    topology = _topology(args.seed, None)
+    window = (args.hours * 3600 // 2, args.hours * 3600 // 2 + 2 * 3600)
+    if args.case == "ddos":
+        kroot = topology.services["K-root"]
+        scenario = DdosScenario(
+            topology,
+            "K-root",
+            [kroot.instances[0].node, kroot.instances[1].node],
+            windows=[window],
+            seed=3,
+        )
+    elif args.case == "leak":
+        scenario = RouteLeakScenario(
+            topology,
+            leak_waypoint=topology.routers_of_as(4788)[0],
+            leak_entry=topology.routers_of_as(3549)[0],
+            leaked_targets={a.name for a in topology.anchors},
+            window=window,
+            seed=3,
+        )
+    else:
+        scenario = IxpOutageScenario(topology, ixp_asn=1200, window=window)
+    platform = AtlasPlatform(topology, scenario=scenario, seed=2)
+    config = CampaignConfig(duration_s=args.hours * 3600)
+    print(
+        f"replaying '{args.case}' (event at hours "
+        f"{window[0]//3600}-{window[1]//3600}) over {args.hours}h ..."
+    )
+    analysis = analyze_campaign(
+        platform.run_campaign(config), platform.as_mapper()
+    )
+    report = InternetHealthReport(analysis, window_bins=args.hours // 2)
+    rows = []
+    for kind in ("delay", "forwarding"):
+        for event in report.top_events(kind, threshold=2.0, limit=5):
+            rows.append(
+                [f"AS{event.asn}", event.timestamp // 3600, kind,
+                 f"{event.magnitude:+.1f}"]
+            )
+    print(
+        format_table(["AS", "hour", "kind", "magnitude"], rows)
+        if rows
+        else "no events detected"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "analyze": _cmd_analyze,
+        "replay": _cmd_replay,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

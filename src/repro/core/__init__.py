@@ -1,0 +1,119 @@
+"""The paper's primary contribution: delay + forwarding anomaly detection.
+
+Modules map one-to-one onto the paper's sections:
+
+* :mod:`repro.core.diffrtt` — differential RTT computation (§4.2.1)
+* :mod:`repro.core.diversity` — probe-diversity filtering (§4.3)
+* :mod:`repro.core.delaydetector` — median/Wilson characterisation,
+  CI-overlap anomaly test, Eq. 6 deviation, smoothed references (§4.2)
+* :mod:`repro.core.forwarding` — packet-forwarding model, ρ < τ test,
+  Eq. 9 responsibilities (§5)
+* :mod:`repro.core.events` — per-AS aggregation and Eq. 10 magnitude (§6)
+* :mod:`repro.core.graphs` — alarm connected components (Figures 8/12)
+* :mod:`repro.core.sensitivity` — Eq. 11 detectability bounds (App. B)
+* :mod:`repro.core.pipeline` — the end-to-end per-bin engine
+"""
+
+from repro.core.alarms import (
+    UNRESPONSIVE,
+    DelayAlarm,
+    ForwardingAlarm,
+    Link,
+)
+from repro.core.alias import (
+    AliasResolution,
+    evaluate_resolution,
+    resolve_aliases,
+)
+from repro.core.correlate import CorrelatedEvent, correlate_events
+from repro.core.delaydetector import (
+    MIN_SHIFT_MS,
+    DelayChangeDetector,
+    LinkDelayState,
+    deviation_score,
+)
+from repro.core.diffrtt import LinkObservations, differential_rtts
+from repro.core.diversity import (
+    MIN_ASNS,
+    MIN_ENTROPY,
+    DiversityFilter,
+    DiversityVerdict,
+)
+from repro.core.events import (
+    AlarmAggregator,
+    AsTimeSeries,
+    DetectedEvent,
+)
+from repro.core.forwarding import (
+    DEFAULT_TAU,
+    ForwardingAnomalyDetector,
+    ForwardingModelState,
+    forwarding_patterns,
+    responsibility_scores,
+)
+from repro.core.graphs import (
+    ComponentSummary,
+    alarm_graph,
+    component_of,
+    components_by_size,
+    summarize_component,
+)
+from repro.core.pipeline import (
+    BinResult,
+    CampaignAnalysis,
+    CampaignStats,
+    Pipeline,
+    PipelineConfig,
+    TrackedLinkPoint,
+    analyze_campaign,
+)
+from repro.core.sensitivity import (
+    SensitivityPoint,
+    sensitivity_point,
+    sensitivity_table,
+)
+
+__all__ = [
+    "AlarmAggregator",
+    "AliasResolution",
+    "AsTimeSeries",
+    "BinResult",
+    "CampaignAnalysis",
+    "CampaignStats",
+    "ComponentSummary",
+    "CorrelatedEvent",
+    "DEFAULT_TAU",
+    "DelayAlarm",
+    "DelayChangeDetector",
+    "DetectedEvent",
+    "DiversityFilter",
+    "DiversityVerdict",
+    "ForwardingAlarm",
+    "ForwardingAnomalyDetector",
+    "ForwardingModelState",
+    "Link",
+    "LinkDelayState",
+    "LinkObservations",
+    "MIN_ASNS",
+    "MIN_ENTROPY",
+    "MIN_SHIFT_MS",
+    "Pipeline",
+    "PipelineConfig",
+    "SensitivityPoint",
+    "TrackedLinkPoint",
+    "UNRESPONSIVE",
+    "alarm_graph",
+    "analyze_campaign",
+    "component_of",
+    "correlate_events",
+    "components_by_size",
+    "deviation_score",
+    "differential_rtts",
+    "evaluate_resolution",
+    "forwarding_patterns",
+    "resolve_aliases",
+    "responsibility_scores",
+    "sensitivity_point",
+    "sensitivity_table",
+    "summarize_component",
+]

@@ -1,0 +1,177 @@
+"""IP alias resolution (paper §7, future-work pointer to MIDAR).
+
+The forwarding model counts *router IP addresses*, not routers: "to
+resolve these to routers IP alias resolution techniques should be
+deployed [26]".  This module implements a traceroute-native alias
+inference in the spirit of graph-based resolvers (APAR/kapar family):
+
+two addresses are alias candidates when they
+
+1. **never co-occur** in a single traceroute (a packet does not cross
+   the same router twice under converged routing), and
+2. share a large fraction of their **successor** addresses — different
+   ingress interfaces of one router forward onto the same set of
+   next-hop interfaces.
+
+Candidates are merged with union-find into alias sets.  The simulator
+knows the ground truth (which interfaces belong to which router node),
+so the inference is evaluated quantitatively in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.atlas.model import Traceroute
+
+
+@dataclass(frozen=True)
+class AliasResolution:
+    """Result of alias inference over a traceroute corpus."""
+
+    alias_sets: Tuple[FrozenSet[str], ...]
+
+    def router_of(self, ip: str) -> FrozenSet[str]:
+        """The alias set containing *ip* (singleton if never merged)."""
+        for alias_set in self.alias_sets:
+            if ip in alias_set:
+                return alias_set
+        return frozenset([ip])
+
+    @property
+    def n_routers(self) -> int:
+        return len(self.alias_sets)
+
+    def are_aliases(self, a: str, b: str) -> bool:
+        return b in self.router_of(a)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def find(self, item: str) -> str:
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            self._parent[item] = self.find(parent)
+        return self._parent[item]
+
+    def union(self, a: str, b: str) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+    def groups(self) -> List[Set[str]]:
+        grouped: Dict[str, Set[str]] = defaultdict(set)
+        for item in self._parent:
+            grouped[self.find(item)].add(item)
+        return list(grouped.values())
+
+
+def _successor_sets(
+    traceroutes: Iterable[Traceroute],
+) -> Tuple[Dict[str, Set[str]], Dict[str, Set[int]]]:
+    """Per-IP successor sets and per-IP traceroute-id occurrence sets."""
+    successors: Dict[str, Set[str]] = defaultdict(set)
+    seen_in: Dict[str, Set[int]] = defaultdict(set)
+    for index, traceroute in enumerate(traceroutes):
+        hop_ips = []
+        for hop in traceroute.hops:
+            primary = hop.primary_ip
+            hop_ips.append(primary)
+            if primary is not None:
+                seen_in[primary].add(index)
+        for near, far in zip(hop_ips, hop_ips[1:]):
+            if near is not None and far is not None:
+                successors[near].add(far)
+    return successors, seen_in
+
+
+def resolve_aliases(
+    traceroutes: Iterable[Traceroute],
+    min_common_successors: int = 2,
+    min_jaccard: float = 0.5,
+) -> AliasResolution:
+    """Infer alias sets from a traceroute corpus.
+
+    ``min_common_successors`` and ``min_jaccard`` trade precision for
+    recall: higher values merge fewer, surer pairs.  Destination
+    addresses (final hops) are not meaningful aliases and are excluded
+    by the successor criterion automatically (they have no successors).
+    """
+    if min_common_successors < 1:
+        raise ValueError(
+            f"min_common_successors must be >= 1: {min_common_successors}"
+        )
+    if not 0.0 < min_jaccard <= 1.0:
+        raise ValueError(f"min_jaccard must be in (0, 1]: {min_jaccard}")
+    corpus = list(traceroutes)
+    successors, seen_in = _successor_sets(corpus)
+
+    # Index candidate pairs by shared successor to avoid O(n^2) scans.
+    by_successor: Dict[str, List[str]] = defaultdict(list)
+    for ip, nexts in successors.items():
+        for next_ip in nexts:
+            by_successor[next_ip].append(ip)
+
+    union = _UnionFind()
+    checked: Set[Tuple[str, str]] = set()
+    for sharers in by_successor.values():
+        for i, a in enumerate(sharers):
+            for b in sharers[i + 1 :]:
+                pair = (a, b) if a < b else (b, a)
+                if pair in checked:
+                    continue
+                checked.add(pair)
+                if seen_in[a] & seen_in[b]:
+                    continue  # co-occur in one traceroute: not aliases
+                common = successors[a] & successors[b]
+                if len(common) < min_common_successors:
+                    continue
+                jaccard = len(common) / len(successors[a] | successors[b])
+                if jaccard >= min_jaccard:
+                    union.union(a, b)
+
+    alias_sets = tuple(
+        frozenset(group) for group in union.groups() if len(group) > 1
+    )
+    return AliasResolution(alias_sets=alias_sets)
+
+
+def evaluate_resolution(
+    resolution: AliasResolution, ground_truth: Dict[str, str]
+) -> Dict[str, float]:
+    """Pairwise precision/recall against an ip→router ground truth.
+
+    Returns ``{"precision": .., "recall": .., "pairs_inferred": ..,
+    "pairs_true": ..}`` where pairs are unordered alias pairs among the
+    addresses known to the ground truth.
+    """
+    inferred: Set[Tuple[str, str]] = set()
+    for alias_set in resolution.alias_sets:
+        members = sorted(ip for ip in alias_set if ip in ground_truth)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                inferred.add((a, b))
+
+    by_router: Dict[str, List[str]] = defaultdict(list)
+    for ip, router in ground_truth.items():
+        by_router[router].append(ip)
+    true_pairs: Set[Tuple[str, str]] = set()
+    for members in by_router.values():
+        members = sorted(members)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                true_pairs.add((a, b))
+
+    true_positive = len(inferred & true_pairs)
+    precision = true_positive / len(inferred) if inferred else 1.0
+    recall = true_positive / len(true_pairs) if true_pairs else 1.0
+    return {
+        "precision": precision,
+        "recall": recall,
+        "pairs_inferred": float(len(inferred)),
+        "pairs_true": float(len(true_pairs)),
+    }

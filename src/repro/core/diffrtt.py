@@ -1,0 +1,114 @@
+"""Differential RTT computation (paper §4.2.1).
+
+For two adjacent routers X and Y observed in a traceroute from probe P,
+traceroute yields one to three RTT samples each; the differential RTT
+samples Δ_PXY are **all combinations** ``RTT_PY − RTT_PX`` — one to nine
+samples per probe per traceroute.  Samples are grouped per link (ordered
+IP pair) and per probe, because the diversity filter (§4.3) and the
+median statistics both need the per-probe, per-AS structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.atlas.model import Traceroute
+from repro.core.alarms import Link
+
+
+@dataclass
+class LinkObservations:
+    """Differential RTT samples for one link within one time bin."""
+
+    link: Link
+    samples_by_probe: Dict[int, List[float]] = field(default_factory=dict)
+    probe_asn: Dict[int, Optional[int]] = field(default_factory=dict)
+
+    def add(
+        self, probe_id: int, asn: Optional[int], samples: Iterable[float]
+    ) -> None:
+        bucket = self.samples_by_probe.setdefault(probe_id, [])
+        bucket.extend(samples)
+        self.probe_asn[probe_id] = asn
+
+    @property
+    def n_probes(self) -> int:
+        return len(self.samples_by_probe)
+
+    @property
+    def n_samples(self) -> int:
+        return sum(len(v) for v in self.samples_by_probe.values())
+
+    def asns(self) -> Dict[int, int]:
+        """Probe counts per origin AS (unknown-AS probes are skipped)."""
+        counts: Dict[int, int] = {}
+        for probe_id in self.samples_by_probe:
+            asn = self.probe_asn.get(probe_id)
+            if asn is None:
+                continue
+            counts[asn] = counts.get(asn, 0) + 1
+        return counts
+
+    def all_samples(
+        self, probe_ids: Optional[Iterable[int]] = None
+    ) -> List[float]:
+        """Flatten samples, optionally restricted to *probe_ids*."""
+        if probe_ids is None:
+            selected = self.samples_by_probe.values()
+        else:
+            selected = (
+                self.samples_by_probe[p]
+                for p in probe_ids
+                if p in self.samples_by_probe
+            )
+        flat: List[float] = []
+        for chunk in selected:
+            flat.extend(chunk)
+        return flat
+
+
+def differential_rtts(
+    traceroutes: Iterable[Traceroute],
+) -> Dict[Link, LinkObservations]:
+    """Compute per-link differential RTT samples for one time bin.
+
+    Links are ordered pairs of adjacent responding IPs at consecutive
+    TTLs.  When a hop answers from several IPs (rare under Paris
+    traceroute) every observed (ip_x, ip_y) combination is attributed its
+    own samples, as the paper's link definition is purely IP-pair based.
+
+    >>> from repro.atlas.model import make_traceroute
+    >>> tr = make_traceroute(1, "s", "d", 0,
+    ...     [[("A", 10.0), ("A", 11.0)], [("B", 14.0)]], from_asn=65001)
+    >>> obs = differential_rtts([tr])
+    >>> obs[("A", "B")].all_samples()
+    [4.0, 3.0]
+    """
+    links: Dict[Link, LinkObservations] = {}
+    for traceroute in traceroutes:
+        for near_hop, far_hop in traceroute.adjacent_pairs():
+            if near_hop.is_unresponsive or far_hop.is_unresponsive:
+                continue
+            for near_ip in near_hop.responding_ips:
+                near_rtts = near_hop.rtts_for(near_ip)
+                if not near_rtts:
+                    continue
+                for far_ip in far_hop.responding_ips:
+                    if far_ip == near_ip:
+                        continue
+                    far_rtts = far_hop.rtts_for(far_ip)
+                    if not far_rtts:
+                        continue
+                    link = (near_ip, far_ip)
+                    samples = [
+                        far - near for far in far_rtts for near in near_rtts
+                    ]
+                    observations = links.get(link)
+                    if observations is None:
+                        observations = LinkObservations(link)
+                        links[link] = observations
+                    observations.add(
+                        traceroute.prb_id, traceroute.from_asn, samples
+                    )
+    return links

@@ -1,0 +1,120 @@
+"""Probe-diversity filtering (paper §4.3).
+
+Differential RTTs only reveal link delay changes when the error terms of
+the return paths are independent across probes.  Two criteria enforce
+this:
+
+1. links observed by probes from **fewer than 3 distinct ASes** are
+   discarded entirely;
+2. links whose per-AS probe distribution has normalized entropy
+   **H(A) ≤ 0.5** are rebalanced by randomly discarding probes from the
+   most-represented AS until H(A) > 0.5 (the link is *not* dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.core.diffrtt import LinkObservations
+from repro.stats.entropy import normalized_entropy
+
+#: Paper defaults.
+MIN_ASNS = 3
+MIN_ENTROPY = 0.5
+
+
+@dataclass
+class DiversityVerdict:
+    """Outcome of the diversity filter for one link."""
+
+    accepted: bool
+    reason: str
+    kept_probes: List[int]
+    n_asns: int
+    entropy: float
+    discarded_probes: List[int]
+
+
+class DiversityFilter:
+    """Apply the two §4.3 criteria to per-link observations.
+
+    The rebalancing discard is random per the paper; a seeded generator
+    keeps runs reproducible.
+    """
+
+    def __init__(
+        self,
+        min_asns: int = MIN_ASNS,
+        min_entropy: float = MIN_ENTROPY,
+        seed: int = 0,
+    ) -> None:
+        if min_asns < 1:
+            raise ValueError(f"min_asns must be >= 1: {min_asns}")
+        if not 0.0 <= min_entropy < 1.0:
+            raise ValueError(f"min_entropy must be in [0,1): {min_entropy}")
+        self.min_asns = min_asns
+        self.min_entropy = min_entropy
+        self._rng = np.random.default_rng(seed)
+
+    def evaluate(self, observations: LinkObservations) -> DiversityVerdict:
+        """Filter one link's observations; never mutates the input."""
+        by_asn: Dict[int, List[int]] = {}
+        for probe_id in observations.samples_by_probe:
+            asn = observations.probe_asn.get(probe_id)
+            if asn is None:
+                continue  # unmappable probes cannot attest diversity
+            by_asn.setdefault(asn, []).append(probe_id)
+
+        n_asns = len(by_asn)
+        if n_asns < self.min_asns:
+            return DiversityVerdict(
+                accepted=False,
+                reason=f"only {n_asns} ASes (< {self.min_asns})",
+                kept_probes=[],
+                n_asns=n_asns,
+                entropy=0.0,
+                discarded_probes=[],
+            )
+
+        # Criterion 2: rebalance until H(A) > min_entropy by discarding
+        # random probes from the most-represented AS.
+        working = {asn: list(probes) for asn, probes in by_asn.items()}
+        discarded: List[int] = []
+        while True:
+            counts = {asn: len(probes) for asn, probes in working.items()}
+            entropy = normalized_entropy(counts)
+            if entropy > self.min_entropy:
+                break
+            largest = max(counts, key=lambda a: counts[a])
+            candidates = working[largest]
+            index = int(self._rng.integers(0, len(candidates)))
+            discarded.append(candidates.pop(index))
+            if not candidates:
+                del working[largest]
+            if len(working) < self.min_asns:
+                # Rebalancing ate a whole AS: diversity can no longer be
+                # attested.  (Cannot happen with > min_asns classes but
+                # guards degenerate inputs.)
+                return DiversityVerdict(
+                    accepted=False,
+                    reason="rebalancing exhausted an AS",
+                    kept_probes=[],
+                    n_asns=len(working),
+                    entropy=entropy,
+                    discarded_probes=discarded,
+                )
+
+        kept = sorted(
+            probe_id for probes in working.values() for probe_id in probes
+        )
+        return DiversityVerdict(
+            accepted=True,
+            reason="ok",
+            kept_probes=kept,
+            n_asns=len(working),
+            entropy=entropy,
+            discarded_probes=discarded,
+        )

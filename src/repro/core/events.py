@@ -1,0 +1,233 @@
+"""AS-level alarm aggregation and major-event detection (paper §6).
+
+Alarms from both methods are grouped per AS (longest-prefix match on the
+reported IPs; a link whose two ends map to different ASes contributes to
+both groups).  Each AS gets two hourly time series:
+
+* **delay-change severity** — the sum of Eq. 6 deviations d(Δ),
+* **forwarding severity** — the sum of Eq. 9 responsibilities r_i of the
+  reported next hops (negative for devalued hops, positive for new ones;
+  intra-AS reroutes cancel out, as the paper notes).
+
+Each series is scored by the robust magnitude of Eq. 10 using a one-week
+sliding median/MAD; peaks are the major events of Figures 6, 9, 10, 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.alarms import UNRESPONSIVE, DelayAlarm, ForwardingAlarm
+from repro.net.asmap import AsMapper
+from repro.stats.robust import sliding_magnitude, weekly_window_bins
+
+#: Eq. 10 uses a one-week sliding window.
+MAGNITUDE_WINDOW_DAYS = 7
+
+
+@dataclass
+class AsTimeSeries:
+    """One AS's hourly severity series on a uniform bin clock."""
+
+    asn: int
+    bin_s: int
+    start: int
+    values: List[float] = field(default_factory=list)
+
+    def _index_for(self, timestamp: int) -> int:
+        index = (timestamp - self.start) // self.bin_s
+        if index < 0:
+            raise ValueError(
+                f"timestamp {timestamp} precedes series start {self.start}"
+            )
+        return int(index)
+
+    def add(self, timestamp: int, value: float) -> None:
+        """Accumulate *value* into the bin containing *timestamp*."""
+        index = self._index_for(timestamp)
+        while len(self.values) <= index:
+            self.values.append(0.0)
+        self.values[index] += value
+
+    def timestamps(self) -> List[int]:
+        return [self.start + i * self.bin_s for i in range(len(self.values))]
+
+    def pad_to(self, end_timestamp: int) -> None:
+        """Extend with zero bins so the series covers up to *end*."""
+        index = self._index_for(end_timestamp)
+        while len(self.values) <= index:
+            self.values.append(0.0)
+
+    def magnitudes(self, window_bins: Optional[int] = None) -> np.ndarray:
+        """Eq. 10 magnitude of every bin (one-week window by default)."""
+        if not self.values:
+            return np.array([])
+        if window_bins is None:
+            window_bins = weekly_window_bins(self.bin_s, MAGNITUDE_WINDOW_DAYS)
+        return sliding_magnitude(self.values, window=window_bins)
+
+
+@dataclass(frozen=True)
+class DetectedEvent:
+    """One significant peak in an AS severity series."""
+
+    asn: int
+    timestamp: int
+    magnitude: float
+    kind: str  # "delay" | "forwarding"
+
+
+class AlarmAggregator:
+    """Accumulates alarms into per-AS severity time series.
+
+    ``start`` anchors the shared bin clock — typically the campaign start
+    — so that all ASes share aligned series, which the sliding-window
+    magnitude requires.
+    """
+
+    def __init__(self, mapper: AsMapper, bin_s: int = 3600, start: int = 0):
+        if bin_s <= 0:
+            raise ValueError(f"bin size must be positive: {bin_s}")
+        self.mapper = mapper
+        self.bin_s = bin_s
+        self.start = start
+        self.delay_series: Dict[int, AsTimeSeries] = {}
+        self.forwarding_series: Dict[int, AsTimeSeries] = {}
+        self._last_timestamp = start
+
+    def _series(self, table: Dict[int, AsTimeSeries], asn: int) -> AsTimeSeries:
+        series = table.get(asn)
+        if series is None:
+            series = AsTimeSeries(asn=asn, bin_s=self.bin_s, start=self.start)
+            table[asn] = series
+        return series
+
+    # -- ingestion -------------------------------------------------------------
+
+    def add_delay_alarm(self, alarm: DelayAlarm) -> List[int]:
+        """Credit d(Δ) to the AS(es) of the link ends; returns the ASNs."""
+        self._last_timestamp = max(self._last_timestamp, alarm.timestamp)
+        asns = self.mapper.asns_of_link(*alarm.link)
+        for asn in asns:
+            self._series(self.delay_series, asn).add(
+                alarm.timestamp, alarm.deviation
+            )
+        return asns
+
+    def add_forwarding_alarm(self, alarm: ForwardingAlarm) -> List[int]:
+        """Credit each next hop's r_i to that hop's AS; returns the ASNs.
+
+        The unresponsive bucket has no address, hence no AS (§6 groups
+        forwarding anomalies by next-hop IP).
+        """
+        self._last_timestamp = max(self._last_timestamp, alarm.timestamp)
+        touched: List[int] = []
+        for hop_ip, responsibility in alarm.responsibilities.items():
+            if hop_ip == UNRESPONSIVE:
+                continue
+            if responsibility == 0.0:
+                continue
+            asn = self.mapper.asn_of(hop_ip)
+            if asn is None:
+                continue
+            self._series(self.forwarding_series, asn).add(
+                alarm.timestamp, responsibility
+            )
+            if asn not in touched:
+                touched.append(asn)
+        return touched
+
+    def add_alarms(
+        self,
+        delay_alarms: Iterable[DelayAlarm] = (),
+        forwarding_alarms: Iterable[ForwardingAlarm] = (),
+    ) -> None:
+        for alarm in delay_alarms:
+            self.add_delay_alarm(alarm)
+        for alarm in forwarding_alarms:
+            self.add_forwarding_alarm(alarm)
+
+    def close(self, end_timestamp: int) -> None:
+        """Declare the campaign's final bin so quiet trailing hours are
+        padded with zeros (alarm-free hours still advance the clock)."""
+        self._last_timestamp = max(self._last_timestamp, end_timestamp)
+
+    # -- analysis ---------------------------------------------------------------
+
+    def _aligned(self, table: Dict[int, AsTimeSeries]) -> Dict[int, AsTimeSeries]:
+        for series in table.values():
+            series.pad_to(self._last_timestamp)
+        return table
+
+    def delay_magnitudes(
+        self, window_bins: Optional[int] = None
+    ) -> Dict[int, np.ndarray]:
+        """Per-AS delay-change magnitude series (Figure 6/9 material)."""
+        return {
+            asn: series.magnitudes(window_bins)
+            for asn, series in self._aligned(self.delay_series).items()
+        }
+
+    def forwarding_magnitudes(
+        self, window_bins: Optional[int] = None
+    ) -> Dict[int, np.ndarray]:
+        """Per-AS forwarding magnitude series (Figure 10/13 material)."""
+        return {
+            asn: series.magnitudes(window_bins)
+            for asn, series in self._aligned(self.forwarding_series).items()
+        }
+
+    def all_magnitude_values(
+        self, kind: str, window_bins: Optional[int] = None
+    ) -> np.ndarray:
+        """Pooled hourly magnitudes over all ASes (Figure 5 samples)."""
+        if kind == "delay":
+            table = self.delay_magnitudes(window_bins)
+        elif kind == "forwarding":
+            table = self.forwarding_magnitudes(window_bins)
+        else:
+            raise ValueError(f"kind must be 'delay' or 'forwarding': {kind}")
+        if not table:
+            return np.array([])
+        return np.concatenate(list(table.values()))
+
+    def detect_events(
+        self,
+        kind: str,
+        threshold: float,
+        window_bins: Optional[int] = None,
+    ) -> List[DetectedEvent]:
+        """Bins whose |magnitude| exceeds *threshold*, sorted by severity.
+
+        Delay events are positive peaks; forwarding events are usually
+        negative (devalued hops), so the absolute value is thresholded
+        and the signed magnitude reported.
+        """
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive: {threshold}")
+        if kind == "delay":
+            magnitudes = self.delay_magnitudes(window_bins)
+            table = self.delay_series
+        elif kind == "forwarding":
+            magnitudes = self.forwarding_magnitudes(window_bins)
+            table = self.forwarding_series
+        else:
+            raise ValueError(f"kind must be 'delay' or 'forwarding': {kind}")
+        events = []
+        for asn, series_magnitudes in magnitudes.items():
+            series = table[asn]
+            for index, magnitude in enumerate(series_magnitudes):
+                if abs(magnitude) > threshold:
+                    events.append(
+                        DetectedEvent(
+                            asn=asn,
+                            timestamp=series.start + index * series.bin_s,
+                            magnitude=float(magnitude),
+                            kind=kind,
+                        )
+                    )
+        events.sort(key=lambda e: -abs(e.magnitude))
+        return events

@@ -1,0 +1,338 @@
+"""End-to-end analysis pipeline (paper §4.2 steps 1-5 plus §5 and §6).
+
+:class:`Pipeline` consumes time-binned traceroutes and drives both
+detection methods per bin:
+
+1. compute differential RTTs per link (§4.2.1),
+2. discard links lacking probe diversity (§4.3),
+3. characterise the surviving links' distributions (median + Wilson CI),
+4. compare against the smoothed normal references and raise delay alarms
+   (§4.2.3), then update the references (§4.2.4),
+5. extract per-(router, destination) forwarding patterns and raise
+   forwarding alarms (§5),
+
+and finally aggregates all alarms into per-AS severity series (§6) when
+an IP→AS mapper is provided.
+
+``track_links`` requests the full per-bin median/CI/reference series for
+chosen links — the material of Figures 2, 7 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.atlas.model import Traceroute
+from repro.atlas.stream import DEFAULT_BIN_S, TimeBinner
+from repro.core.alarms import DelayAlarm, ForwardingAlarm, Link
+from repro.core.delaydetector import (
+    MIN_SHIFT_MS,
+    DelayChangeDetector,
+)
+from repro.core.diffrtt import differential_rtts
+from repro.core.diversity import MIN_ASNS, MIN_ENTROPY, DiversityFilter
+from repro.core.events import AlarmAggregator
+from repro.core.forwarding import (
+    DEFAULT_TAU,
+    DEFAULT_WARMUP_BINS,
+    ForwardingAnomalyDetector,
+    forwarding_patterns,
+)
+from repro.net.asmap import AsMapper
+from repro.stats.smoothing import DEFAULT_ALPHA
+from repro.stats.wilson import DEFAULT_Z, WilsonInterval
+
+
+@dataclass
+class PipelineConfig:
+    """All tunables of the analysis, with the paper's defaults."""
+
+    bin_s: int = DEFAULT_BIN_S
+    alpha: float = DEFAULT_ALPHA
+    z: float = DEFAULT_Z
+    min_shift_ms: float = MIN_SHIFT_MS
+    min_asns: int = MIN_ASNS
+    min_entropy: float = MIN_ENTROPY
+    tau: float = DEFAULT_TAU
+    forwarding_warmup: int = DEFAULT_WARMUP_BINS
+    winsorize: bool = True
+    seed: int = 0
+    track_links: Set[Link] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.bin_s <= 0:
+            raise ValueError(f"bin size must be positive: {self.bin_s}")
+
+
+@dataclass(frozen=True)
+class TrackedLinkPoint:
+    """One bin of a tracked link's differential-RTT series.
+
+    ``mean`` and ``sample_std`` describe the raw sample distribution —
+    kept alongside the median statistics so the Figure 3 median-vs-mean
+    normality comparison can be reproduced.
+    """
+
+    timestamp: int
+    observed: Optional[WilsonInterval]  # None: no samples this bin
+    reference: Optional[WilsonInterval]  # None: warming up
+    alarmed: bool
+    accepted: bool  # passed the diversity filter
+    n_probes: int
+    mean: Optional[float] = None
+    sample_std: Optional[float] = None
+
+
+@dataclass
+class BinResult:
+    """Everything the pipeline produced for one time bin."""
+
+    timestamp: int
+    n_traceroutes: int
+    n_links_observed: int
+    n_links_analyzed: int
+    delay_alarms: List[DelayAlarm]
+    forwarding_alarms: List[ForwardingAlarm]
+
+
+@dataclass
+class CampaignStats:
+    """Cumulative statistics matching the §7 headline numbers."""
+
+    links_observed: int = 0
+    links_analyzed: int = 0
+    links_alarmed: int = 0
+    max_probes_per_link_sum: int = 0
+    forwarding_models: int = 0
+    forwarding_routers: int = 0
+    mean_next_hops: float = 0.0
+    bins_processed: int = 0
+    traceroutes_processed: int = 0
+
+    @property
+    def fraction_links_alarmed(self) -> float:
+        """Share of analyzed links with ≥1 delay alarm (paper: 33 %)."""
+        if self.links_analyzed == 0:
+            return 0.0
+        return self.links_alarmed / self.links_analyzed
+
+    @property
+    def mean_probes_per_link(self) -> float:
+        if self.links_analyzed == 0:
+            return 0.0
+        return self.max_probes_per_link_sum / self.links_analyzed
+
+
+class Pipeline:
+    """Stateful per-bin analysis engine."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.config = config or PipelineConfig()
+        cfg = self.config
+        self.diversity = DiversityFilter(
+            min_asns=cfg.min_asns, min_entropy=cfg.min_entropy, seed=cfg.seed
+        )
+        self.delay_detector = DelayChangeDetector(
+            alpha=cfg.alpha,
+            z=cfg.z,
+            min_shift_ms=cfg.min_shift_ms,
+            winsorize=cfg.winsorize,
+        )
+        self.forwarding_detector = ForwardingAnomalyDetector(
+            tau=cfg.tau, alpha=cfg.alpha, warmup_bins=cfg.forwarding_warmup
+        )
+        self.tracked: Dict[Link, List[TrackedLinkPoint]] = {
+            link: [] for link in cfg.track_links
+        }
+        self._links_seen: Set[Link] = set()
+        self._links_analyzed: Set[Link] = set()
+        self._links_alarmed: Set[Link] = set()
+        self._probes_per_link: Dict[Link, int] = {}
+        self._bins = 0
+        self._traceroutes = 0
+
+    # -- per-bin processing ------------------------------------------------
+
+    def process_bin(
+        self, timestamp: int, traceroutes: Sequence[Traceroute]
+    ) -> BinResult:
+        """Run both methods over one closed time bin."""
+        observations = differential_rtts(traceroutes)
+        self._links_seen.update(observations)
+        delay_alarms: List[DelayAlarm] = []
+        analyzed = 0
+        for link in sorted(observations):
+            link_obs = observations[link]
+            verdict = self.diversity.evaluate(link_obs)
+            tracked = link in self.tracked
+            reference_before = (
+                self.delay_detector.reference_of(link) if tracked else None
+            )
+            alarm = None
+            if verdict.accepted:
+                analyzed += 1
+                self._links_analyzed.add(link)
+                count = self._probes_per_link.get(link, 0)
+                self._probes_per_link[link] = max(
+                    count, len(verdict.kept_probes)
+                )
+                samples = link_obs.all_samples(verdict.kept_probes)
+                alarm = self.delay_detector.observe(
+                    timestamp,
+                    link,
+                    samples,
+                    n_probes=len(verdict.kept_probes),
+                    n_asns=verdict.n_asns,
+                )
+                if alarm is not None:
+                    delay_alarms.append(alarm)
+                    self._links_alarmed.add(link)
+            if tracked:
+                self._record_tracked(
+                    link, timestamp, link_obs, verdict, alarm, reference_before
+                )
+        # Tracked links with no samples at all this bin still get a point
+        # (the Figure 11b "missing samples" gap).
+        for link in self.tracked:
+            if link not in observations:
+                self.tracked[link].append(
+                    TrackedLinkPoint(
+                        timestamp=timestamp,
+                        observed=None,
+                        reference=self.delay_detector.reference_of(link),
+                        alarmed=False,
+                        accepted=False,
+                        n_probes=0,
+                    )
+                )
+
+        patterns = forwarding_patterns(traceroutes)
+        forwarding_alarms = self.forwarding_detector.observe_bin(
+            timestamp, patterns
+        )
+
+        self._bins += 1
+        self._traceroutes += len(traceroutes)
+        return BinResult(
+            timestamp=timestamp,
+            n_traceroutes=len(traceroutes),
+            n_links_observed=len(observations),
+            n_links_analyzed=analyzed,
+            delay_alarms=delay_alarms,
+            forwarding_alarms=forwarding_alarms,
+        )
+
+    def _record_tracked(
+        self, link, timestamp, link_obs, verdict, alarm, reference_before
+    ) -> None:
+        if verdict.accepted:
+            samples = link_obs.all_samples(verdict.kept_probes)
+            n_probes = len(verdict.kept_probes)
+        else:
+            samples = link_obs.all_samples()
+            n_probes = link_obs.n_probes
+        from repro.stats.wilson import median_confidence_interval
+
+        observed = (
+            median_confidence_interval(samples, z=self.config.z)
+            if samples
+            else None
+        )
+        mean = sample_std = None
+        if samples:
+            import numpy as np
+
+            array = np.asarray(samples, dtype=float)
+            mean = float(array.mean())
+            sample_std = float(array.std())
+        self.tracked[link].append(
+            TrackedLinkPoint(
+                timestamp=timestamp,
+                observed=observed,
+                reference=reference_before
+                if reference_before is not None
+                else self.delay_detector.reference_of(link),
+                alarmed=alarm is not None,
+                accepted=verdict.accepted,
+                n_probes=n_probes,
+                mean=mean,
+                sample_std=sample_std,
+            )
+        )
+
+    # -- whole-campaign driving ----------------------------------------------
+
+    def run(
+        self, traceroutes: Iterable[Traceroute]
+    ) -> List[BinResult]:
+        """Bin an unbounded traceroute iterable and process every bin."""
+        binner = TimeBinner(bin_s=self.config.bin_s, dense=True)
+        return [
+            self.process_bin(start, list(bin_traceroutes))
+            for start, bin_traceroutes in binner.bins(traceroutes)
+        ]
+
+    # -- statistics -------------------------------------------------------------
+
+    def stats(self) -> CampaignStats:
+        """Cumulative campaign statistics (§7 headline numbers)."""
+        return CampaignStats(
+            links_observed=len(self._links_seen),
+            links_analyzed=len(self._links_analyzed),
+            links_alarmed=len(self._links_alarmed),
+            max_probes_per_link_sum=sum(self._probes_per_link.values()),
+            forwarding_models=self.forwarding_detector.n_models,
+            forwarding_routers=self.forwarding_detector.n_routers,
+            mean_next_hops=self.forwarding_detector.mean_next_hops(),
+            bins_processed=self._bins,
+            traceroutes_processed=self._traceroutes,
+        )
+
+
+@dataclass
+class CampaignAnalysis:
+    """Pipeline results plus the §6 AS-level aggregation."""
+
+    bin_results: List[BinResult]
+    aggregator: AlarmAggregator
+    pipeline: Pipeline
+
+    @property
+    def delay_alarms(self) -> List[DelayAlarm]:
+        return [a for r in self.bin_results for a in r.delay_alarms]
+
+    @property
+    def forwarding_alarms(self) -> List[ForwardingAlarm]:
+        return [a for r in self.bin_results for a in r.forwarding_alarms]
+
+    def stats(self) -> CampaignStats:
+        return self.pipeline.stats()
+
+
+def analyze_campaign(
+    traceroutes: Iterable[Traceroute],
+    mapper: AsMapper,
+    config: Optional[PipelineConfig] = None,
+    start: Optional[int] = None,
+) -> CampaignAnalysis:
+    """Convenience driver: pipeline + AS aggregation in one call.
+
+    ``start`` anchors the aggregation bin clock; by default the first
+    processed bin's timestamp is used.
+    """
+    pipeline = Pipeline(config)
+    bin_results = pipeline.run(traceroutes)
+    anchor = start
+    if anchor is None:
+        anchor = bin_results[0].timestamp if bin_results else 0
+    aggregator = AlarmAggregator(
+        mapper, bin_s=pipeline.config.bin_s, start=anchor
+    )
+    for result in bin_results:
+        aggregator.add_alarms(result.delay_alarms, result.forwarding_alarms)
+    if bin_results:
+        aggregator.close(bin_results[-1].timestamp)
+    return CampaignAnalysis(
+        bin_results=bin_results, aggregator=aggregator, pipeline=pipeline
+    )

@@ -1,0 +1,46 @@
+"""IP-layer utilities: addresses, prefixes, longest-prefix matching.
+
+This subpackage is the substrate used by the alarm-aggregation stage of the
+paper (Section 6): alarms carry IP addresses and must be assigned to
+autonomous systems with a longest-prefix match, exactly as the authors do
+with RIB-derived prefix tables.
+"""
+
+from repro.net.addr import (
+    MAX_IPV4,
+    int_to_ip,
+    ip_in_prefix,
+    ip_to_int,
+    is_valid_ipv4,
+    prefix_netmask,
+    prefix_size,
+)
+from repro.net.addr6 import (
+    MAX_IPV6,
+    int_to_ip6,
+    ip6_in_prefix,
+    ip6_to_int,
+    is_valid_ipv6,
+    prefix6_netmask,
+)
+from repro.net.asmap import AsMapper, AsMappingError
+from repro.net.prefixtrie import PrefixTrie
+
+__all__ = [
+    "MAX_IPV4",
+    "MAX_IPV6",
+    "AsMapper",
+    "AsMappingError",
+    "PrefixTrie",
+    "int_to_ip",
+    "int_to_ip6",
+    "ip6_in_prefix",
+    "ip6_to_int",
+    "ip_in_prefix",
+    "ip_to_int",
+    "is_valid_ipv4",
+    "is_valid_ipv6",
+    "prefix6_netmask",
+    "prefix_netmask",
+    "prefix_size",
+]

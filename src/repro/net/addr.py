@@ -1,0 +1,104 @@
+"""IPv4 address primitives.
+
+The paper's analysis is constrained to the IP layer: a *link* is a pair of
+IP addresses, an alarm names IP addresses, and AS aggregation maps addresses
+to prefixes.  These helpers convert between dotted-quad strings and 32-bit
+integers, and reason about CIDR prefixes, without pulling in the (much
+slower) :mod:`ipaddress` objects in hot loops.
+"""
+
+from __future__ import annotations
+
+MAX_IPV4 = 2**32 - 1
+
+_OCTET_MAX = 255
+
+
+def is_valid_ipv4(text: str) -> bool:
+    """Return True if *text* is a well-formed dotted-quad IPv4 address.
+
+    >>> is_valid_ipv4("193.0.14.129")
+    True
+    >>> is_valid_ipv4("256.0.0.1")
+    False
+    >>> is_valid_ipv4("1.2.3")
+    False
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        return False
+    for part in parts:
+        if not part.isdigit():
+            return False
+        # Reject empty strings and leading zeros like "01" which are
+        # ambiguous (some parsers read them as octal).
+        if len(part) > 1 and part[0] == "0":
+            return False
+        if int(part) > _OCTET_MAX:
+            return False
+    return True
+
+
+def ip_to_int(text: str) -> int:
+    """Convert a dotted-quad IPv4 string to its 32-bit integer value.
+
+    Raises ``ValueError`` for malformed input.
+
+    >>> ip_to_int("0.0.0.1")
+    1
+    >>> ip_to_int("193.0.14.129")
+    3238006401
+    """
+    if not is_valid_ipv4(text):
+        raise ValueError(f"invalid IPv4 address: {text!r}")
+    a, b, c, d = (int(part) for part in text.split("."))
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to a dotted-quad IPv4 string.
+
+    >>> int_to_ip(3238006401)
+    '193.0.14.129'
+    """
+    if not 0 <= value <= MAX_IPV4:
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def prefix_netmask(length: int) -> int:
+    """Return the integer netmask for a prefix *length* (0-32).
+
+    >>> hex(prefix_netmask(24))
+    '0xffffff00'
+    """
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length out of range: {length}")
+    if length == 0:
+        return 0
+    return (MAX_IPV4 << (32 - length)) & MAX_IPV4
+
+
+def prefix_size(length: int) -> int:
+    """Number of addresses covered by a prefix of the given *length*.
+
+    >>> prefix_size(24)
+    256
+    """
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length out of range: {length}")
+    return 1 << (32 - length)
+
+
+def ip_in_prefix(ip: str, network: str, length: int) -> bool:
+    """Return True if dotted-quad *ip* falls inside ``network/length``.
+
+    >>> ip_in_prefix("10.1.2.3", "10.1.2.0", 24)
+    True
+    >>> ip_in_prefix("10.1.3.3", "10.1.2.0", 24)
+    False
+    """
+    mask = prefix_netmask(length)
+    return (ip_to_int(ip) & mask) == (ip_to_int(network) & mask)

@@ -1,0 +1,153 @@
+"""Binary trie for longest-prefix matching of IPv4/IPv6 addresses.
+
+Section 6 of the paper maps alarm IP addresses to autonomous systems with a
+longest-prefix match against a routing-table-derived prefix list.  This
+module provides that lookup structure: insertion of ``network/length``
+prefixes carrying arbitrary payloads (we use AS numbers) and exact
+longest-match queries, for either address family.
+
+The implementation is a classic uncompressed binary trie.  Lookups walk at
+most 32 (IPv4) or 128 (IPv6) nodes, which is plenty fast for the alarm
+volumes produced by the pipeline (a few thousand lookups per time bin).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+
+class _Node:
+    """One bit of the trie.  ``value`` is set when a prefix ends here."""
+
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional[_Node]] = [None, None]
+        self.value: Any = None
+        self.has_value = False
+
+
+class PrefixTrie:
+    """Longest-prefix-match table mapping CIDR prefixes to payloads.
+
+    ``bits`` selects the address width: 32 (IPv4, the default) or 128
+    (IPv6).  Address parsing/formatting follows the width.
+
+    >>> trie = PrefixTrie()
+    >>> trie.insert("193.0.0.0", 16, 25152)
+    >>> trie.insert("193.0.14.0", 24, 197000)
+    >>> trie.lookup("193.0.14.129")
+    (('193.0.14.0', 24), 197000)
+    >>> trie.lookup("193.0.99.1")
+    (('193.0.0.0', 16), 25152)
+    >>> trie.lookup("8.8.8.8") is None
+    True
+    >>> trie6 = PrefixTrie(bits=128)
+    >>> trie6.insert("2001:7fd::", 32, 25152)
+    >>> trie6.lookup_value("2001:7fd::1")
+    25152
+    """
+
+    def __init__(self, bits: int = 32) -> None:
+        if bits not in (32, 128):
+            raise ValueError(f"bits must be 32 or 128: {bits}")
+        self.bits = bits
+        if bits == 32:
+            from repro.net.addr import int_to_ip as _fmt
+            from repro.net.addr import ip_to_int as _parse
+            from repro.net.addr import prefix_netmask as _mask
+        else:
+            from repro.net.addr6 import int_to_ip6 as _fmt
+            from repro.net.addr6 import ip6_to_int as _parse
+            from repro.net.addr6 import prefix6_netmask as _mask
+        self._fmt = _fmt
+        self._parse = _parse
+        self._mask = _mask
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, network: str, length: int, value: Any) -> None:
+        """Insert ``network/length`` with the given payload.
+
+        Re-inserting an existing prefix replaces its payload; host bits of
+        *network* beyond *length* are ignored (masked off), mirroring how
+        routing tables canonicalise prefixes.
+        """
+        if not 0 <= length <= self.bits:
+            raise ValueError(f"prefix length out of range: {length}")
+        bits = self._parse(network) & self._mask(length)
+        node = self._root
+        top = self.bits - 1
+        for depth in range(length):
+            bit = (bits >> (top - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup(self, ip: str) -> Optional[Tuple[Tuple[str, int], Any]]:
+        """Return ``((network, length), payload)`` of the longest match.
+
+        Returns ``None`` when no inserted prefix covers *ip*.
+        """
+        return self.lookup_int(self._parse(ip))
+
+    def lookup_int(self, value: int) -> Optional[Tuple[Tuple[str, int], Any]]:
+        """Longest-prefix match on an integer address (hot-loop variant)."""
+        node = self._root
+        best: Optional[Tuple[int, Any]] = None
+        if node.has_value:
+            best = (0, node.value)
+        top = self.bits - 1
+        for depth in range(self.bits):
+            bit = (value >> (top - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (depth + 1, node.value)
+        if best is None:
+            return None
+        length, payload = best
+        network = self._fmt(value & self._mask(length))
+        return (network, length), payload
+
+    def lookup_value(self, ip: str) -> Any:
+        """Return only the payload of the longest match, or ``None``."""
+        match = self.lookup(ip)
+        return None if match is None else match[1]
+
+    def __contains__(self, prefix: Tuple[str, int]) -> bool:
+        network, length = prefix
+        bits = self._parse(network) & self._mask(length)
+        node = self._root
+        top = self.bits - 1
+        for depth in range(length):
+            bit = (bits >> (top - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return False
+            node = child
+        return node.has_value
+
+    def items(self) -> Iterator[Tuple[Tuple[str, int], Any]]:
+        """Yield every ``((network, length), payload)`` in the trie."""
+        stack: list[Tuple[_Node, int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, bits, depth = stack.pop()
+            if node.has_value:
+                shifted = bits << (self.bits - depth) if depth else 0
+                yield (self._fmt(shifted), depth), node.value
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, (bits << 1) | bit, depth + 1))

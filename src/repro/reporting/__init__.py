@@ -1,0 +1,32 @@
+"""Reporting layer: IHR-style summaries and text figure rendering."""
+
+from repro.reporting.export import (
+    write_alarm_graph,
+    write_distribution,
+    write_magnitude_series,
+    write_tracked_link,
+)
+from repro.reporting.ihr import AsCondition, InternetHealthReport
+from repro.reporting.render import (
+    format_table,
+    hours_axis,
+    render_cdf,
+    render_qq,
+    render_series,
+    sparkline,
+)
+
+__all__ = [
+    "AsCondition",
+    "InternetHealthReport",
+    "format_table",
+    "hours_axis",
+    "render_cdf",
+    "render_qq",
+    "render_series",
+    "sparkline",
+    "write_alarm_graph",
+    "write_distribution",
+    "write_magnitude_series",
+    "write_tracked_link",
+]

@@ -1,0 +1,167 @@
+"""Internet-Health-Report-style query API (paper §8).
+
+The authors expose their results through the IHR website and API so that
+operators can monitor ASes they care about.  :class:`InternetHealthReport`
+provides the equivalent offline: per-AS condition summaries, event lists,
+link-level drill-down, and JSON export — all computed from a
+:class:`~repro.core.pipeline.CampaignAnalysis`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.alarms import DelayAlarm, ForwardingAlarm, Link
+from repro.core.events import DetectedEvent
+from repro.core.pipeline import CampaignAnalysis
+
+
+@dataclass(frozen=True)
+class AsCondition:
+    """One AS's health summary over the analyzed period."""
+
+    asn: int
+    delay_alarm_count: int
+    forwarding_alarm_count: int
+    peak_delay_magnitude: float
+    peak_delay_hour: Optional[int]
+    trough_forwarding_magnitude: float
+    trough_forwarding_hour: Optional[int]
+
+    @property
+    def healthy(self) -> bool:
+        """No pronounced magnitude excursions either way."""
+        return (
+            self.peak_delay_magnitude < 1.0
+            and self.trough_forwarding_magnitude > -1.0
+        )
+
+
+class InternetHealthReport:
+    """Query layer over a completed campaign analysis."""
+
+    def __init__(
+        self,
+        analysis: CampaignAnalysis,
+        window_bins: Optional[int] = None,
+    ) -> None:
+        self.analysis = analysis
+        self.window_bins = window_bins
+        self._delay_magnitudes = analysis.aggregator.delay_magnitudes(
+            window_bins
+        )
+        self._forwarding_magnitudes = (
+            analysis.aggregator.forwarding_magnitudes(window_bins)
+        )
+        self._start = analysis.aggregator.start
+        self._bin_s = analysis.aggregator.bin_s
+
+    # -- per-AS queries -----------------------------------------------------
+
+    def monitored_asns(self) -> List[int]:
+        """Every AS with at least one alarm in either series."""
+        return sorted(
+            set(self._delay_magnitudes) | set(self._forwarding_magnitudes)
+        )
+
+    def _hour_of(self, index: int) -> int:
+        return (index * self._bin_s) // 3600
+
+    def as_condition(self, asn: int) -> AsCondition:
+        """Summarise one AS (zeros if the AS never raised alarms)."""
+        delay = self._delay_magnitudes.get(asn)
+        forwarding = self._forwarding_magnitudes.get(asn)
+        peak_value, peak_hour = 0.0, None
+        if delay is not None and delay.size:
+            index = int(np.argmax(delay))
+            peak_value, peak_hour = float(delay[index]), self._hour_of(index)
+        trough_value, trough_hour = 0.0, None
+        if forwarding is not None and forwarding.size:
+            index = int(np.argmin(forwarding))
+            trough_value = float(forwarding[index])
+            trough_hour = self._hour_of(index)
+        delay_count = sum(
+            1
+            for alarm in self.analysis.delay_alarms
+            if asn in self.analysis.aggregator.mapper.asns_of_link(*alarm.link)
+        )
+        forwarding_count = sum(
+            1
+            for alarm in self.analysis.forwarding_alarms
+            if self.analysis.aggregator.mapper.asn_of(alarm.router_ip) == asn
+        )
+        return AsCondition(
+            asn=asn,
+            delay_alarm_count=delay_count,
+            forwarding_alarm_count=forwarding_count,
+            peak_delay_magnitude=peak_value,
+            peak_delay_hour=peak_hour,
+            trough_forwarding_magnitude=trough_value,
+            trough_forwarding_hour=trough_hour,
+        )
+
+    def magnitude_series(
+        self, asn: int, kind: str = "delay"
+    ) -> Tuple[List[int], np.ndarray]:
+        """(timestamps, magnitudes) for one AS; empty when unknown."""
+        if kind == "delay":
+            table = self._delay_magnitudes
+            series_table = self.analysis.aggregator.delay_series
+        elif kind == "forwarding":
+            table = self._forwarding_magnitudes
+            series_table = self.analysis.aggregator.forwarding_series
+        else:
+            raise ValueError(f"kind must be 'delay' or 'forwarding': {kind}")
+        if asn not in table:
+            return [], np.array([])
+        return series_table[asn].timestamps(), table[asn]
+
+    # -- event queries ----------------------------------------------------------
+
+    def top_events(
+        self, kind: str = "delay", threshold: float = 5.0, limit: int = 10
+    ) -> List[DetectedEvent]:
+        """Most severe magnitude excursions, like the IHR front page."""
+        events = self.analysis.aggregator.detect_events(
+            kind, threshold, self.window_bins
+        )
+        return events[:limit]
+
+    def alarms_at(
+        self, timestamp: int
+    ) -> Tuple[List[DelayAlarm], List[ForwardingAlarm]]:
+        """Both alarm lists for the bin containing *timestamp*."""
+        bin_start = (timestamp // self._bin_s) * self._bin_s
+        delay = [
+            a
+            for a in self.analysis.delay_alarms
+            if (a.timestamp // self._bin_s) * self._bin_s == bin_start
+        ]
+        forwarding = [
+            a
+            for a in self.analysis.forwarding_alarms
+            if (a.timestamp // self._bin_s) * self._bin_s == bin_start
+        ]
+        return delay, forwarding
+
+    def alarms_involving(self, ip: str) -> List[DelayAlarm]:
+        """Delay alarms naming *ip* (e.g. all K-root pairs, §7.1)."""
+        return [a for a in self.analysis.delay_alarms if a.involves(ip)]
+
+    # -- export -------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise the per-AS summary as the IHR API would."""
+        payload = {
+            "monitored_asns": self.monitored_asns(),
+            "stats": asdict(self.analysis.stats()),
+            "conditions": [
+                asdict(self.as_condition(asn))
+                for asn in self.monitored_asns()
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,146 @@
+"""Plain-text rendering of time series, tables and distributions.
+
+The paper's figures are line plots and CDFs; offline and dependency-free
+we render them as aligned text: sparklines for magnitude series, column
+tables for experiment output, and binned CDF/CCDF listings.  Benchmarks
+use these to print the "same rows/series the paper reports".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Eight-level block characters for sparklines.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Values are min-max scaled; a constant series renders as a flat line.
+    If *width* is given the series is block-averaged down to it.
+
+    >>> sparkline([0, 1, 2, 3])
+    ' ▃▅█'
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return ""
+    if width is not None and width > 0 and array.size > width:
+        # Block-average down to the requested width.
+        edges = np.linspace(0, array.size, width + 1).astype(int)
+        array = np.array(
+            [array[a:b].mean() if b > a else array[min(a, array.size - 1)]
+             for a, b in zip(edges, edges[1:])]
+        )
+    low, high = float(array.min()), float(array.max())
+    if high == low:
+        return _SPARK_LEVELS[1] * array.size
+    scaled = (array - low) / (high - low)
+    indexes = np.minimum(
+        (scaled * (len(_SPARK_LEVELS) - 1)).astype(int),
+        len(_SPARK_LEVELS) - 1,
+    )
+    return "".join(_SPARK_LEVELS[i] for i in indexes)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned text table with a header separator.
+
+    >>> print(format_table(["a", "b"], [[1, "x"]]))
+    a  b
+    -  -
+    1  x
+    """
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))).rstrip(),
+    ]
+    for row in materialized:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(row)
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    timestamps: Sequence[int],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 72,
+    t0: Optional[int] = None,
+) -> str:
+    """Sparkline plus min/max/last annotations for one time series."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return f"{title}: (empty)"
+    spark = sparkline(array, width=width)
+    start = timestamps[0] if timestamps else 0
+    reference = t0 if t0 is not None else start
+    start_h = (start - reference) // 3600
+    end_h = (timestamps[-1] - reference) // 3600 if timestamps else 0
+    return (
+        f"{title}\n"
+        f"  [{spark}]\n"
+        f"  hours {start_h}..{end_h}  min={array.min():.2f} "
+        f"max={array.max():.2f} last={array[-1]:.2f}"
+    )
+
+
+def render_cdf(
+    values: Sequence[float],
+    quantiles: Sequence[float] = (0.001, 0.01, 0.1, 0.5, 0.9, 0.97, 0.99, 0.999),
+    title: str = "CDF",
+) -> str:
+    """Tabulate chosen quantiles of an empirical distribution."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return f"{title}: (empty)"
+    rows = [
+        [f"{q:.3f}", f"{float(np.quantile(array, q)):.3f}"]
+        for q in quantiles
+    ]
+    return f"{title} (n={array.size})\n" + format_table(
+        ["quantile", "value"], rows
+    )
+
+
+def render_qq(
+    theoretical: Sequence[float],
+    observed: Sequence[float],
+    n_points: int = 9,
+    title: str = "Q-Q",
+) -> str:
+    """Tabulate a Q-Q comparison at evenly spaced ranks."""
+    theo = np.asarray(theoretical, dtype=float)
+    obs = np.asarray(observed, dtype=float)
+    if theo.size != obs.size or theo.size == 0:
+        raise ValueError("Q-Q series must be equal-length and non-empty")
+    indexes = np.linspace(0, theo.size - 1, min(n_points, theo.size)).astype(int)
+    rows = [
+        [f"{theo[i]:+.2f}", f"{obs[i]:+.2f}", f"{obs[i] - theo[i]:+.2f}"]
+        for i in indexes
+    ]
+    return f"{title}\n" + format_table(
+        ["theoretical", "observed", "residual"], rows
+    )
+
+
+def hours_axis(timestamps: Sequence[int], t0: int) -> List[int]:
+    """Convert absolute timestamps to campaign-relative hours."""
+    return [(ts - t0) // 3600 for ts in timestamps]

@@ -1,0 +1,79 @@
+"""Synthetic Internet + measurement platform (the paper's data substrate).
+
+The real system consumes 2.8 billion traceroutes from RIPE Atlas; offline
+we generate statistically equivalent traceroute campaigns: an AS-level
+topology with asymmetric routing, a per-packet delay/loss model with
+heavy-tailed noise, anycast root services, Atlas-like builtin/anchoring
+schedules, and scenario injection reproducing the paper's three case
+studies (DDoS on DNS roots, BGP route leak, IXP outage).
+"""
+
+from repro.simulation.delays import DelaySampler, NoiseParams, combined_loss
+from repro.simulation.platform import (
+    ANCHORING_MSM_BASE,
+    BUILTIN_MSM_BASE,
+    AtlasPlatform,
+    CampaignConfig,
+)
+from repro.simulation.routing import NoRouteError, RoutingEngine
+from repro.simulation.scenarios import (
+    CompositeScenario,
+    DdosScenario,
+    IxpOutageScenario,
+    LinkPerturbation,
+    RouteLeakScenario,
+    Scenario,
+    WindowedLinkScenario,
+)
+from repro.simulation.topology import (
+    IXP_ASES,
+    LEAKER_AS,
+    ROOT_SERVICES,
+    TIER1_ASES,
+    Anchor,
+    AnycastInstance,
+    AnycastService,
+    AsInfo,
+    Probe,
+    RouterInfo,
+    Topology,
+    TopologyBuilder,
+    TopologyParams,
+    build_topology,
+)
+from repro.simulation.tracer import TargetSpec, TracerouteEngine
+
+__all__ = [
+    "ANCHORING_MSM_BASE",
+    "BUILTIN_MSM_BASE",
+    "Anchor",
+    "AnycastInstance",
+    "AnycastService",
+    "AsInfo",
+    "AtlasPlatform",
+    "CampaignConfig",
+    "CompositeScenario",
+    "DdosScenario",
+    "DelaySampler",
+    "IXP_ASES",
+    "IxpOutageScenario",
+    "LEAKER_AS",
+    "LinkPerturbation",
+    "NoRouteError",
+    "NoiseParams",
+    "Probe",
+    "ROOT_SERVICES",
+    "RouteLeakScenario",
+    "RouterInfo",
+    "RoutingEngine",
+    "Scenario",
+    "TIER1_ASES",
+    "TargetSpec",
+    "Topology",
+    "TopologyBuilder",
+    "TopologyParams",
+    "TracerouteEngine",
+    "WindowedLinkScenario",
+    "build_topology",
+    "combined_loss",
+]

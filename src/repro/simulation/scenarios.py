@@ -1,0 +1,358 @@
+"""Event scenarios replaying the paper's three case studies.
+
+The paper validates its methods on three 2015 events.  Each scenario here
+injects the same *signal type* into the simulated network:
+
+* :class:`DdosScenario` (§7.1) — congestion (large delay shifts, mild
+  loss) on the last-hop and upstream links of a subset of anycast root
+  instances, over one or more attack windows.  Some instances are hit by
+  both attacks, some by one, some spared — matching Figure 7.
+* :class:`RouteLeakScenario` (§7.2) — traffic to a set of destinations is
+  rerouted through a leaker AS (waypoint routing) while links inside the
+  affected tier-1 carry heavy extra delay and packet loss, producing
+  simultaneous delay *and* forwarding anomalies (Figures 9-12).
+* :class:`IxpOutageScenario` (§7.3) — the IXP peering LAN blackholes all
+  traffic: pure packet loss, **no** RTT samples, detectable only by the
+  forwarding model (Figure 13).
+
+Scenarios expose a small time-dependent interface consumed by the
+traceroute engine; :class:`CompositeScenario` layers several events on one
+campaign (used for the Figure 5 magnitude distributions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.simulation.topology import Topology
+
+Edge = Tuple[str, str]
+Window = Tuple[int, int]
+
+
+def _in_any_window(t: int, windows: Sequence[Window]) -> bool:
+    return any(start <= t < end for start, end in windows)
+
+
+class Scenario:
+    """Neutral scenario: nothing ever happens.
+
+    Subclasses override the queries they affect.  All methods must be
+    cheap; the traceroute engine calls them in its packet loop.
+    """
+
+    name = "neutral"
+
+    def active(self, t: int) -> bool:
+        """Fast gate: False lets the engine skip all other queries."""
+        return False
+
+    def extra_delay_ms(self, u: str, v: str, t: int) -> float:
+        """Additional one-way delay on directed edge (u, v) at time t."""
+        return 0.0
+
+    def extra_loss(self, u: str, v: str, t: int) -> float:
+        """Additional loss probability on directed edge (u, v) at time t."""
+        return 0.0
+
+    def waypoint(
+        self, probe_id: int, target_name: str, t: int
+    ) -> Optional[Tuple[str, ...]]:
+        """Reroute: ordered router nodes traffic must transit, or None."""
+        return None
+
+    def windows(self) -> List[Window]:
+        """Event windows, for benchmarks/reporting."""
+        return []
+
+
+@dataclass
+class LinkPerturbation:
+    """Delay/loss perturbation applied to a set of directed edges."""
+
+    edges: Set[Edge]
+    delay_shift_ms: Dict[Edge, float]
+    loss: Dict[Edge, float]
+
+
+class WindowedLinkScenario(Scenario):
+    """Base for scenarios that perturb fixed link sets in fixed windows."""
+
+    def __init__(
+        self,
+        name: str,
+        perturbation: LinkPerturbation,
+        windows: Sequence[Window],
+    ) -> None:
+        self.name = name
+        self._perturbation = perturbation
+        self._windows = list(windows)
+
+    def active(self, t: int) -> bool:
+        return _in_any_window(t, self._windows)
+
+    def extra_delay_ms(self, u: str, v: str, t: int) -> float:
+        if not self.active(t):
+            return 0.0
+        return self._perturbation.delay_shift_ms.get((u, v), 0.0)
+
+    def extra_loss(self, u: str, v: str, t: int) -> float:
+        if not self.active(t):
+            return 0.0
+        return self._perturbation.loss.get((u, v), 0.0)
+
+    def windows(self) -> List[Window]:
+        return list(self._windows)
+
+    @property
+    def perturbed_edges(self) -> Set[Edge]:
+        return set(self._perturbation.edges)
+
+
+def _both_directions(edges: Iterable[Edge]) -> Set[Edge]:
+    result: Set[Edge] = set()
+    for u, v in edges:
+        result.add((u, v))
+        result.add((v, u))
+    return result
+
+
+class DdosScenario(WindowedLinkScenario):
+    """DDoS against an anycast service (§7.1, K-root case study).
+
+    Congests the last-hop edges of the *attacked* instances plus one ring
+    of upstream edges.  Delay shifts are drawn per link from
+    ``[min_shift, max_shift]``; a mild loss rate models saturated queues
+    (root operators reported negligible loss at the servers themselves,
+    but their upstreams dropped some packets).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        service_name: str,
+        attacked_instances: Sequence[str],
+        windows: Sequence[Window],
+        min_shift_ms: float = 8.0,
+        max_shift_ms: float = 30.0,
+        loss: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        service = topology.services[service_name]
+        known = {instance.node for instance in service.instances}
+        unknown = set(attacked_instances) - known
+        if unknown:
+            raise ValueError(f"unknown instances: {sorted(unknown)}")
+        rng = np.random.default_rng(seed)
+        graph = topology.graph
+        # Instance routers of *any* service must not enter the upstream
+        # ring: at an IXP, instances of several roots share the peering
+        # LAN and we would otherwise congest a spared instance's last hop.
+        all_instances = {
+            instance.node
+            for svc in topology.services.values()
+            for instance in svc.instances
+        }
+        edges: Set[Edge] = set()
+        for instance_node in attacked_instances:
+            # Last-hop edges into the attacked instance...
+            for upstream in graph.predecessors(instance_node):
+                if graph.nodes[upstream].get("virtual"):
+                    continue
+                edges |= _both_directions([(upstream, instance_node)])
+                # ...and one ring of upstream edges feeding that router.
+                for far in graph.predecessors(upstream):
+                    if graph.nodes[far].get("virtual"):
+                        continue
+                    if far in all_instances:
+                        continue
+                    edges |= _both_directions([(far, upstream)])
+        delay_shift = {}
+        loss_map = {}
+        for u, v in edges:
+            delay_shift[(u, v)] = float(rng.uniform(min_shift_ms, max_shift_ms))
+            loss_map[(u, v)] = loss
+        super().__init__(
+            name=f"ddos:{service_name}",
+            perturbation=LinkPerturbation(edges, delay_shift, loss_map),
+            windows=windows,
+        )
+        self.service_name = service_name
+        self.attacked_instances = list(attacked_instances)
+
+
+class RouteLeakScenario(Scenario):
+    """BGP route leak pulling traffic through a leaker AS (§7.2).
+
+    During the leak window, traceroutes towards the *leaked targets* are
+    attracted into the victim tier-1 at ``leak_entry`` (the border that
+    accepted the leaked announcements — Level(3) Global Crossing in the
+    2015 event) and forwarded on to ``leak_waypoint`` (a router of the
+    leaker AS) before resuming towards the destination.  Simultaneously
+    the ``congested_edges`` — by default the links around the entry
+    router plus the entry→leaker corridor — suffer a large delay shift
+    and packet loss, reproducing the Level(3) congestion of Figs. 9-12.
+
+    The default loss (0.2 per edge) compounds along multi-edge paths
+    through the victim: hops a few congested edges deep lose the
+    majority of their packets — enough for the forwarding model to
+    devalue the victim's next hops (Fig. 10) — while links near the
+    edge of the congested region keep enough diverse RTT samples for
+    the delay method to fire too (Fig. 11a).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        leak_waypoint: str,
+        leaked_targets: Sequence[str],
+        window: Window,
+        leak_entry: Optional[str] = None,
+        congested_edges: Optional[Iterable[Edge]] = None,
+        delay_shift_range_ms: Tuple[float, float] = (80.0, 250.0),
+        loss: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if leak_waypoint not in topology.graph:
+            raise ValueError(f"unknown waypoint node: {leak_waypoint}")
+        if leak_entry is not None and leak_entry not in topology.graph:
+            raise ValueError(f"unknown entry node: {leak_entry}")
+        self.name = "route-leak"
+        self.leak_waypoint = leak_waypoint
+        self.leak_entry = leak_entry
+        self.leaked_targets = set(leaked_targets)
+        self._window = window
+        if congested_edges is None:
+            congested_edges = self._default_congested_edges(topology)
+        rng = np.random.default_rng(seed)
+        edges = _both_directions(congested_edges)
+        self._delay_shift = {
+            edge: float(rng.uniform(*delay_shift_range_ms)) for edge in edges
+        }
+        self._loss = {edge: loss for edge in edges}
+        self._edges = edges
+
+    def _default_congested_edges(self, topology: Topology) -> List[Edge]:
+        """Victim-AS links plus the corridor into the leaker.
+
+        The 2015 event congested links *inside* both Level(3) ASes — even
+        traffic not rerouted through Malaysia suffered (paper §7.2) — so
+        the default congests every link whose reported interface belongs
+        to the entry router's AS (and its sibling tier-1, Level(3)
+        Communications, when the entry is Level(3) Global Crossing),
+        plus the links feeding the leaker.
+        """
+        graph = topology.graph
+        edges: List[Edge] = []
+        victim_asns = set()
+        if self.leak_entry is not None:
+            entry_asn = graph.nodes[self.leak_entry].get("asn")
+            if entry_asn is not None:
+                victim_asns.add(entry_asn)
+            if entry_asn == 3549:  # the 2015 pair of Level(3) ASes
+                victim_asns.add(3356)
+        for asn in victim_asns:
+            edges.extend(topology.edges_of_as(asn))
+        for neighbour in graph.predecessors(self.leak_waypoint):
+            if not graph.nodes[neighbour].get("virtual"):
+                edges.append((neighbour, self.leak_waypoint))
+        if not edges:
+            raise ValueError("no congested edges could be derived")
+        return edges
+
+    def active(self, t: int) -> bool:
+        start, end = self._window
+        return start <= t < end
+
+    def extra_delay_ms(self, u: str, v: str, t: int) -> float:
+        if not self.active(t):
+            return 0.0
+        return self._delay_shift.get((u, v), 0.0)
+
+    def extra_loss(self, u: str, v: str, t: int) -> float:
+        if not self.active(t):
+            return 0.0
+        return self._loss.get((u, v), 0.0)
+
+    def waypoint(
+        self, probe_id: int, target_name: str, t: int
+    ) -> Optional[Tuple[str, ...]]:
+        if self.active(t) and target_name in self.leaked_targets:
+            if self.leak_entry is not None:
+                return (self.leak_entry, self.leak_waypoint)
+            return (self.leak_waypoint,)
+        return None
+
+    def windows(self) -> List[Window]:
+        return [self._window]
+
+    @property
+    def perturbed_edges(self) -> Set[Edge]:
+        return set(self._edges)
+
+
+class IxpOutageScenario(WindowedLinkScenario):
+    """IXP peering-LAN blackhole (§7.3, AMS-IX case study).
+
+    Every directed edge whose ingress interface sits in the IXP prefix
+    drops all packets during the outage window: hops behind the LAN stop
+    responding entirely, so the delay method starves while the forwarding
+    model sees the LAN next hops vanish (negative responsibility).
+    """
+
+    def __init__(
+        self, topology: Topology, ixp_asn: int, window: Window
+    ) -> None:
+        lan_edges = set(topology.ixp_lan_edges(ixp_asn))
+        if not lan_edges:
+            raise ValueError(f"AS{ixp_asn} has no peering-LAN edges")
+        super().__init__(
+            name=f"ixp-outage:AS{ixp_asn}",
+            perturbation=LinkPerturbation(
+                edges=lan_edges,
+                delay_shift_ms={},
+                loss={edge: 1.0 for edge in lan_edges},
+            ),
+            windows=[window],
+        )
+        self.ixp_asn = ixp_asn
+
+
+class CompositeScenario(Scenario):
+    """Several scenarios layered on one campaign.
+
+    Delay shifts add; losses combine as independent drop processes; the
+    first member claiming a waypoint wins (route leaks rarely overlap).
+    """
+
+    def __init__(self, scenarios: Sequence[Scenario]) -> None:
+        self.name = "+".join(s.name for s in scenarios) or "neutral"
+        self._scenarios = list(scenarios)
+
+    def active(self, t: int) -> bool:
+        return any(s.active(t) for s in self._scenarios)
+
+    def extra_delay_ms(self, u: str, v: str, t: int) -> float:
+        return sum(s.extra_delay_ms(u, v, t) for s in self._scenarios)
+
+    def extra_loss(self, u: str, v: str, t: int) -> float:
+        survival = 1.0
+        for scenario in self._scenarios:
+            survival *= 1.0 - min(1.0, scenario.extra_loss(u, v, t))
+        return 1.0 - survival
+
+    def waypoint(self, probe_id: int, target_name: str, t: int) -> Optional[str]:
+        for scenario in self._scenarios:
+            via = scenario.waypoint(probe_id, target_name, t)
+            if via is not None:
+                return via
+        return None
+
+    def windows(self) -> List[Window]:
+        merged: List[Window] = []
+        for scenario in self._scenarios:
+            merged.extend(scenario.windows())
+        return sorted(merged)

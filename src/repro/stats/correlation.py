@@ -1,0 +1,76 @@
+"""Pearson correlation for forwarding-pattern comparison (paper §5.2.1).
+
+A router's current forwarding pattern F and its smoothed reference F̄ are
+compared with the Pearson product-moment correlation coefficient ρ(F, F̄).
+Compatible patterns give ρ near +1; opposite patterns (traffic moved to
+different next hops) give negative ρ, flagged when ρ < τ = -0.25.
+
+Degenerate inputs need care: a constant vector has zero variance and an
+undefined Pearson coefficient.  For forwarding patterns this happens when
+a router has a single next hop; we define the coefficient as +1 when both
+vectors are constant *and* proportional (nothing changed) and 0 otherwise
+(no evidence either way), so single-next-hop routers never raise spurious
+alarms — matching the intent of the paper's detector.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Vector = Union[Sequence[float], Mapping[object, float]]
+
+
+def align_patterns(
+    current: Mapping[object, float], reference: Mapping[object, float]
+) -> Tuple[np.ndarray, np.ndarray, list]:
+    """Align two sparse key→count patterns onto a common key order.
+
+    Keys missing from one side contribute 0 there, as in §5.1: "If the hop
+    i is unseen at time t then p_i = 0".  Returns (current_array,
+    reference_array, keys).
+    """
+    keys = sorted(set(current) | set(reference), key=str)
+    cur = np.array([float(current.get(k, 0.0)) for k in keys])
+    ref = np.array([float(reference.get(k, 0.0)) for k in keys])
+    return cur, ref, keys
+
+
+def pearson_correlation(x: Vector, y: Vector) -> float:
+    """Pearson ρ with forwarding-pattern-friendly degenerate handling.
+
+    Accepts parallel sequences or two sparse mappings (aligned by key).
+
+    >>> pearson_correlation([1.0, 2.0, 3.0], [2.0, 4.0, 6.0])
+    1.0
+    >>> pearson_correlation({"a": 10.0}, {"a": 12.0})
+    1.0
+    """
+    if isinstance(x, Mapping) != isinstance(y, Mapping):
+        raise TypeError("x and y must both be mappings or both sequences")
+    if isinstance(x, Mapping):
+        xs, ys, _ = align_patterns(x, y)
+    else:
+        xs = np.asarray(x, dtype=float)
+        ys = np.asarray(y, dtype=float)
+    if xs.size != ys.size:
+        raise ValueError(f"length mismatch: {xs.size} != {ys.size}")
+    if xs.size == 0:
+        raise ValueError("correlation of empty vectors")
+
+    x_centred = xs - xs.mean()
+    y_centred = ys - ys.mean()
+    x_norm = float(np.sqrt((x_centred**2).sum()))
+    y_norm = float(np.sqrt((y_centred**2).sum()))
+
+    if x_norm == 0.0 and y_norm == 0.0:
+        # Both constant: identical shape. Proportional constant vectors
+        # mean "same pattern" -> +1.
+        return 1.0
+    if x_norm == 0.0 or y_norm == 0.0:
+        # One constant, one varying: no linear relationship measurable.
+        return 0.0
+    rho = float((x_centred * y_centred).sum() / (x_norm * y_norm))
+    # Clamp numerical noise.
+    return max(-1.0, min(1.0, rho))

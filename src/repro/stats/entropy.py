@@ -1,0 +1,72 @@
+"""Normalized Shannon entropy for probe-diversity control (paper §4.3).
+
+The second diversity criterion checks how evenly the probes observing a
+link are spread across origin ASes:
+
+    H(A) = -(1/ln n) Σ P(a_i) ln P(a_i)
+
+with ``A`` the per-AS probe counts and n the number of ASes.  H ≈ 0 means
+one AS dominates; H ≈ 1 means an even spread.  Links must reach H > 0.5,
+enforced by iteratively discarding probes from the dominant AS.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence, Union
+
+Counts = Union[Sequence[float], Mapping[object, float]]
+
+
+def _as_values(counts: Counts) -> list:
+    if isinstance(counts, Mapping):
+        return [float(v) for v in counts.values()]
+    return [float(v) for v in counts]
+
+
+def normalized_entropy(counts: Counts) -> float:
+    """Normalized entropy of a count vector, in [0, 1].
+
+    Accepts either a sequence of counts or a mapping (e.g. ASN→probes).
+    Zero counts are ignored.  By convention the entropy of a single
+    non-empty class is 0 (fully concentrated) and the entropy of an empty
+    vector raises.
+
+    >>> normalized_entropy([10, 10, 10])
+    1.0
+    >>> normalized_entropy({"AS1": 100, "AS2": 0})
+    0.0
+    """
+    values = [v for v in _as_values(counts) if v > 0]
+    if not values:
+        raise ValueError("entropy of an empty count vector")
+    if any(v < 0 for v in _as_values(counts)):
+        raise ValueError("counts must be non-negative")
+    n = len(values)
+    if n == 1:
+        return 0.0
+    total = sum(values)
+    entropy = 0.0
+    for value in values:
+        p = value / total
+        entropy -= p * math.log(p)
+    return entropy / math.log(n)
+
+
+def entropy_after_discard(counts: Mapping[object, int]) -> dict:
+    """Return per-class counts after removing one item from the largest class.
+
+    Helper for the §4.3 rebalancing loop: "a probe from the most
+    represented AS is randomly selected and discarded".  The choice of
+    *which* probe is random; the count bookkeeping is deterministic.
+    """
+    if not counts:
+        raise ValueError("cannot discard from empty counts")
+    updated = {k: int(v) for k, v in counts.items()}
+    largest = max(updated, key=lambda k: updated[k])
+    if updated[largest] <= 0:
+        raise ValueError("largest class has no members to discard")
+    updated[largest] -= 1
+    if updated[largest] == 0:
+        del updated[largest]
+    return updated

@@ -1,0 +1,173 @@
+"""Tests for measurement specs, time binning, streaming and JSONL IO."""
+
+import pytest
+
+from repro.atlas import (
+    ANCHORING,
+    BUILTIN,
+    MeasurementKind,
+    MeasurementSpec,
+    TimeBinner,
+    TracerouteDecodeError,
+    TracerouteStream,
+    bin_start,
+    count_traceroutes,
+    make_traceroute,
+    minimum_usable_bin_s,
+    read_traceroutes,
+    shortest_detectable_event_s,
+    write_traceroutes,
+)
+
+
+class TestMeasurementSpecs:
+    def test_builtin_rate_matches_paper(self):
+        assert BUILTIN.interval_s == 1800
+        assert BUILTIN.rate_per_hour == 2.0
+
+    def test_anchoring_rate_matches_paper(self):
+        assert ANCHORING.interval_s == 900
+        assert ANCHORING.rate_per_hour == 4.0
+
+    def test_schedule(self):
+        times = list(BUILTIN.schedule(0, 7200))
+        assert times == [0, 1800, 3600, 5400]
+
+    def test_schedule_with_offset(self):
+        times = list(BUILTIN.schedule(0, 3600, offset=600))
+        assert times == [600, 2400]
+
+    def test_schedule_validates(self):
+        with pytest.raises(ValueError):
+            list(BUILTIN.schedule(100, 0))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementSpec(MeasurementKind.BUILTIN, interval_s=0)
+        with pytest.raises(ValueError):
+            MeasurementSpec(MeasurementKind.BUILTIN, interval_s=60, packets_per_hop=0)
+
+    def test_expected_packets_appendix_b(self):
+        """3 probes on builtin for one hour: 3*2*3 = 18 packets."""
+        assert BUILTIN.expected_packets_per_bin(3, 3600) == 18.0
+
+    def test_minimum_usable_bin(self):
+        """Appendix B: builtin Tmin = 0.5h, anchoring Tmin = 0.25h."""
+        assert minimum_usable_bin_s(BUILTIN) == pytest.approx(1800.0)
+        assert minimum_usable_bin_s(ANCHORING) == pytest.approx(900.0)
+
+    def test_shortest_detectable_event_eq11(self):
+        """Paper: builtin, n=3, T=1h -> 33 min; anchoring at Tmin -> 9 min."""
+        builtin_s = shortest_detectable_event_s(BUILTIN, n_probes=3, bin_s=3600)
+        assert builtin_s / 60 == pytest.approx(33.33, abs=0.1)
+        anchoring_s = shortest_detectable_event_s(ANCHORING, n_probes=3, bin_s=900)
+        assert anchoring_s / 60 == pytest.approx(9.17, abs=0.2)
+
+    def test_shortest_detectable_event_validates(self):
+        with pytest.raises(ValueError):
+            shortest_detectable_event_s(BUILTIN, n_probes=0, bin_s=3600)
+
+
+def _tr(ts, prb=1):
+    return make_traceroute(prb, "10.0.0.1", "10.9.9.9", ts, [[("10.0.0.2", 1.0)]])
+
+
+class TestBinning:
+    def test_bin_start(self):
+        assert bin_start(3725, 3600) == 3600
+        assert bin_start(0, 3600) == 0
+        with pytest.raises(ValueError):
+            bin_start(0, 0)
+
+    def test_binner_groups_and_sorts(self):
+        binner = TimeBinner(bin_s=3600)
+        bins = list(binner.bins([_tr(7300), _tr(100), _tr(200)]))
+        assert [start for start, _ in bins] == [0, 3600, 7200]
+        assert len(bins[0][1]) == 2
+        assert bins[1][1] == []  # dense: empty middle bin kept
+        assert len(bins[2][1]) == 1
+
+    def test_binner_sparse_mode(self):
+        binner = TimeBinner(bin_s=3600, dense=False)
+        bins = list(binner.bins([_tr(7300), _tr(100)]))
+        assert [start for start, _ in bins] == [0, 7200]
+
+    def test_binner_empty_input(self):
+        assert list(TimeBinner().bins([])) == []
+
+    def test_binner_validation(self):
+        with pytest.raises(ValueError):
+            TimeBinner(bin_s=0)
+
+
+class TestTracerouteStream:
+    def test_bins_close_in_order(self):
+        stream = TracerouteStream(bin_s=3600, lateness_bins=1)
+        assert stream.push(_tr(100)) == []
+        assert stream.push(_tr(3700)) == []  # previous bin still in lateness
+        closed = stream.push(_tr(7300))
+        assert [start for start, _ in closed] == [0]
+        remaining = stream.drain()
+        assert [start for start, _ in remaining] == [3600, 7200]
+
+    def test_late_results_tolerated_within_window(self):
+        stream = TracerouteStream(bin_s=3600, lateness_bins=1)
+        stream.push(_tr(3700))
+        stream.push(_tr(100))  # late but within tolerance
+        closed = stream.drain()
+        assert [start for start, _ in closed] == [0, 3600]
+        assert stream.dropped_late == 0
+
+    def test_very_late_results_dropped(self):
+        stream = TracerouteStream(bin_s=3600, lateness_bins=0)
+        stream.push(_tr(100))
+        stream.push(_tr(3700))  # closes bin 0
+        stream.push(_tr(200))  # bin 0 already closed -> dropped
+        assert stream.dropped_late == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TracerouteStream(bin_s=0)
+        with pytest.raises(ValueError):
+            TracerouteStream(lateness_bins=-1)
+
+
+class TestJsonlIO:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        originals = [_tr(100, prb=1), _tr(200, prb=2)]
+        assert write_traceroutes(path, originals) == 2
+        restored = list(read_traceroutes(path))
+        assert restored == originals
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "results.jsonl.gz"
+        originals = [_tr(100)]
+        write_traceroutes(path, originals)
+        assert list(read_traceroutes(path)) == originals
+
+    def test_corrupt_line_strict(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"prb_id": 1}\n')
+        with pytest.raises(TracerouteDecodeError):
+            list(read_traceroutes(path))
+
+    def test_corrupt_line_lenient(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        write_traceroutes(path, [_tr(100)])
+        with open(path, "a") as handle:
+            handle.write("this is not json\n")
+        results = list(read_traceroutes(path, strict=False))
+        assert len(results) == 1
+
+    def test_count(self, tmp_path):
+        path = tmp_path / "count.jsonl"
+        write_traceroutes(path, [_tr(i * 100) for i in range(5)])
+        assert count_traceroutes(path) == 5
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        write_traceroutes(path, [_tr(100)])
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(list(read_traceroutes(path))) == 1

@@ -1,0 +1,157 @@
+"""Tests for the Atlas traceroute data model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atlas import Hop, Reply, Traceroute, make_traceroute
+
+
+@pytest.fixture
+def sample_traceroute():
+    return make_traceroute(
+        prb_id=101,
+        src_addr="192.0.2.1",
+        dst_addr="193.0.14.129",
+        timestamp=1_433_116_800,
+        hop_replies=[
+            [("10.0.0.1", 1.2), ("10.0.0.1", 1.1), ("10.0.0.1", 1.3)],
+            [("80.81.192.154", 8.0), ("80.81.192.154", 8.4), (None, None)],
+            [("193.0.14.129", 12.0), ("193.0.14.129", 11.8), ("193.0.14.129", 12.2)],
+        ],
+        from_asn=64500,
+        msm_id=5001,
+    )
+
+
+class TestReply:
+    def test_timeout_roundtrip(self):
+        reply = Reply(ip=None, rtt_ms=None)
+        assert reply.is_timeout
+        assert reply.to_json() == {"x": "*"}
+        assert Reply.from_json({"x": "*"}).is_timeout
+
+    def test_success_roundtrip(self):
+        reply = Reply(ip="10.0.0.1", rtt_ms=3.25)
+        data = reply.to_json()
+        assert data == {"from": "10.0.0.1", "rtt": 3.25}
+        assert Reply.from_json(data) == reply
+
+    def test_from_json_without_rtt(self):
+        reply = Reply.from_json({"from": "10.0.0.1"})
+        assert reply.ip == "10.0.0.1"
+        assert reply.rtt_ms is None
+
+
+class TestHop:
+    def test_primary_ip_majority(self):
+        hop = Hop(
+            ttl=2,
+            replies=(
+                Reply("10.0.0.1", 1.0),
+                Reply("10.0.0.1", 1.1),
+                Reply("10.0.0.2", 1.2),
+            ),
+        )
+        assert hop.primary_ip == "10.0.0.1"
+        assert hop.responding_ips == ["10.0.0.1", "10.0.0.2"]
+
+    def test_primary_ip_all_lost(self):
+        hop = Hop(ttl=3, replies=(Reply(None, None),) * 3)
+        assert hop.primary_ip is None
+        assert hop.is_unresponsive
+
+    def test_rtts_filters_timeouts(self):
+        hop = Hop(
+            ttl=1,
+            replies=(Reply("a", 1.0), Reply(None, None), Reply("a", 2.0)),
+        )
+        assert hop.rtts == [1.0, 2.0]
+        assert hop.rtts_for("a") == [1.0, 2.0]
+        assert hop.rtts_for("b") == []
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            Hop(ttl=0, replies=())
+
+    def test_json_roundtrip(self):
+        hop = Hop(ttl=4, replies=(Reply("10.0.0.9", 5.5), Reply(None, None)))
+        assert Hop.from_json(hop.to_json()) == hop
+
+
+class TestTraceroute:
+    def test_destination_reached(self, sample_traceroute):
+        assert sample_traceroute.destination_reached
+
+    def test_destination_not_reached(self):
+        tr = make_traceroute(
+            1, "10.0.0.1", "10.99.99.99", 0, [[("10.0.0.254", 1.0)]]
+        )
+        assert not tr.destination_reached
+
+    def test_destination_unreached_with_trailing_loss(self):
+        tr = make_traceroute(
+            1,
+            "10.0.0.1",
+            "10.99.99.99",
+            0,
+            [[("10.0.0.254", 1.0)], [(None, None)], [(None, None)]],
+        )
+        assert not tr.destination_reached
+
+    def test_response_rate(self, sample_traceroute):
+        assert sample_traceroute.response_rate == pytest.approx(8 / 9)
+
+    def test_response_rate_empty(self):
+        tr = make_traceroute(1, "a", "b", 0, [])
+        # make_traceroute with no hops -> no packets
+        assert tr.response_rate == 0.0
+
+    def test_adjacent_pairs_consecutive_ttls(self, sample_traceroute):
+        pairs = list(sample_traceroute.adjacent_pairs())
+        assert len(pairs) == 2
+        assert pairs[0][0].ttl == 1 and pairs[0][1].ttl == 2
+
+    def test_adjacent_pairs_skips_gaps(self):
+        hops = (
+            Hop(ttl=1, replies=(Reply("a", 1.0),)),
+            Hop(ttl=3, replies=(Reply("c", 3.0),)),
+        )
+        tr = Traceroute(1, "s", "d", 0, hops)
+        assert list(tr.adjacent_pairs()) == []
+
+    def test_json_roundtrip(self, sample_traceroute):
+        data = sample_traceroute.to_json()
+        assert data["from_asn"] == 64500
+        restored = Traceroute.from_json(data)
+        assert restored == sample_traceroute
+
+    def test_json_roundtrip_without_optional_fields(self):
+        tr = make_traceroute(7, "s", "d", 123, [[("x", 1.0)]])
+        restored = Traceroute.from_json(tr.to_json())
+        assert restored.from_asn is None
+        assert restored.msm_id is None
+        assert restored == tr
+
+
+reply_strategy = st.one_of(
+    st.just((None, None)),
+    st.tuples(
+        st.from_regex(r"10\.[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}", fullmatch=True),
+        st.floats(min_value=0.01, max_value=500.0, allow_nan=False),
+    ),
+)
+
+
+class TestRoundtripProperty:
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.lists(reply_strategy, min_size=1, max_size=3),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_traceroute_json_roundtrip(self, hop_replies):
+        tr = make_traceroute(5, "192.0.2.7", "198.51.100.9", 1000, hop_replies)
+        assert Traceroute.from_json(tr.to_json()) == tr

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerateAnalyze:
+    @pytest.fixture(scope="class")
+    def campaign_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "campaign.jsonl"
+        code = main(
+            [
+                "generate",
+                "--hours", "2",
+                "--seed", "3",
+                "--probes", "12",
+                "--no-anchoring",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_generate_writes_jsonl(self, campaign_path):
+        lines = campaign_path.read_text().strip().splitlines()
+        assert len(lines) > 0
+        record = json.loads(lines[0])
+        assert "prb_id" in record and "result" in record
+
+    def test_analyze_table_output(self, campaign_path, capsys):
+        code = main(
+            ["analyze", str(campaign_path), "--seed", "3", "--probes", "12"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "links analyzed" in out
+        assert "delay alarms" in out
+
+    def test_analyze_json_output(self, campaign_path, capsys):
+        code = main(
+            [
+                "analyze", str(campaign_path),
+                "--seed", "3", "--probes", "12", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "stats" in payload
+        assert payload["stats"]["traceroutes_processed"] > 0
+
+    def test_analyze_with_alpha_override(self, campaign_path, capsys):
+        code = main(
+            [
+                "analyze", str(campaign_path),
+                "--seed", "3", "--probes", "12", "--alpha", "0.05",
+            ]
+        )
+        assert code == 0
+
+
+class TestReplay:
+    def test_replay_outage_detects_event(self, capsys):
+        code = main(["replay", "outage", "--hours", "24", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replaying 'outage'" in out
+        assert "AS1200" in out
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "nonsense"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,142 @@
+"""Tests for alarm graphs (Fig. 8/12) and sensitivity analysis (App. B)."""
+
+import pytest
+
+from repro.core import (
+    DelayAlarm,
+    ForwardingAlarm,
+    alarm_graph,
+    component_of,
+    components_by_size,
+    sensitivity_point,
+    sensitivity_table,
+    summarize_component,
+)
+from repro.atlas import ANCHORING, BUILTIN
+from repro.stats import WilsonInterval
+
+
+def _delay_alarm(near, far, deviation=5.0, shift=10.0):
+    return DelayAlarm(
+        timestamp=0,
+        link=(near, far),
+        observed=WilsonInterval(5.0 + shift, 4.5 + shift, 5.5 + shift, 50),
+        reference=WilsonInterval(5.0, 4.5, 5.5, 50),
+        deviation=deviation,
+        direction=1,
+        n_probes=10,
+        n_asns=3,
+    )
+
+
+def _fwd_alarm(router, responsibilities):
+    return ForwardingAlarm(
+        timestamp=0,
+        router_ip=router,
+        destination="d",
+        correlation=-0.5,
+        responsibilities=responsibilities,
+        pattern={},
+        reference={},
+    )
+
+
+class TestAlarmGraph:
+    def test_edges_from_delay_alarms(self):
+        graph = alarm_graph([_delay_alarm("A", "B"), _delay_alarm("B", "C")])
+        assert set(graph.nodes) == {"A", "B", "C"}
+        assert graph.number_of_edges() == 2
+        assert graph["A"]["B"]["median_shift_ms"] == pytest.approx(10.0)
+
+    def test_duplicate_link_keeps_max_deviation(self):
+        graph = alarm_graph(
+            [_delay_alarm("A", "B", deviation=2.0), _delay_alarm("A", "B", deviation=9.0)]
+        )
+        assert graph["A"]["B"]["deviation"] == 9.0
+
+    def test_forwarding_flags(self):
+        graph = alarm_graph(
+            [_delay_alarm("A", "B")],
+            [_fwd_alarm("A", {"X": -0.5, "*": 0.2})],
+        )
+        assert graph.nodes["A"]["in_forwarding_alarm"]
+        assert not graph.nodes["B"]["in_forwarding_alarm"]
+
+    def test_component_extraction(self):
+        graph = alarm_graph(
+            [
+                _delay_alarm("A", "B"),
+                _delay_alarm("B", "C"),
+                _delay_alarm("X", "Y"),  # disjoint component
+            ]
+        )
+        component = component_of(graph, "A")
+        assert set(component.nodes) == {"A", "B", "C"}
+        assert component_of(graph, "missing").number_of_nodes() == 0
+
+    def test_components_by_size(self):
+        graph = alarm_graph(
+            [
+                _delay_alarm("A", "B"),
+                _delay_alarm("B", "C"),
+                _delay_alarm("X", "Y"),
+            ]
+        )
+        components = components_by_size(graph)
+        assert [c.number_of_nodes() for c in components] == [3, 2]
+
+    def test_summary(self):
+        graph = alarm_graph(
+            [_delay_alarm("A", "B", shift=15.0), _delay_alarm("B", "193.0.14.129")],
+            [_fwd_alarm("B", {"A": -0.3})],
+        )
+        component = component_of(graph, "193.0.14.129")
+        summary = summarize_component(component, anycast_ips=["193.0.14.129"])
+        assert summary.n_nodes == 3
+        assert summary.n_edges == 2
+        assert summary.anycast_ips == ("193.0.14.129",)
+        assert summary.max_median_shift_ms == pytest.approx(15.0)
+        assert summary.n_forwarding_flagged >= 2  # B flagged + A flagged
+        assert not summary.is_empty
+
+    def test_empty_summary(self):
+        import networkx as nx
+
+        summary = summarize_component(nx.Graph())
+        assert summary.is_empty
+        assert summary.max_median_shift_ms == 0.0
+
+
+class TestSensitivity:
+    def test_paper_headline_builtin(self):
+        """Builtin, 3 probes, 1h bin -> 33 minutes (paper §4.4)."""
+        point = sensitivity_point(BUILTIN, n_probes=3, bin_s=3600)
+        assert point.shortest_event_min == pytest.approx(33.33, abs=0.1)
+
+    def test_paper_headline_anchoring(self):
+        """Anchoring at its minimum bin -> ~9 minutes (paper §4.4)."""
+        point = sensitivity_point(ANCHORING, n_probes=3, bin_s=900)
+        assert point.shortest_event_min == pytest.approx(9.17, abs=0.2)
+
+    def test_more_probes_smaller_events(self):
+        few = sensitivity_point(BUILTIN, n_probes=3, bin_s=3600)
+        many = sensitivity_point(BUILTIN, n_probes=30, bin_s=3600)
+        assert many.shortest_event_s < few.shortest_event_s
+        # The T/2 term dominates: detection can't go below half a bin.
+        assert many.shortest_event_s > 1800
+
+    def test_bin_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity_point(BUILTIN, n_probes=3, bin_s=600)
+
+    def test_table_contains_both_specs(self):
+        table = sensitivity_table()
+        specs = {point.spec_name for point in table}
+        assert specs == {"builtin", "anchoring"}
+        assert any(
+            point.spec_name == "anchoring" and point.bin_s == 900
+            for point in table
+        )
+        for point in table:
+            assert point.shortest_event_s > 0
+            assert point.min_usable_bin_s <= point.bin_s

@@ -1,0 +1,212 @@
+"""Integration tests: the three case studies end-to-end at test scale.
+
+Each test generates a campaign on the synthetic Internet with one of the
+paper's scenarios injected and asserts the qualitative signature of the
+corresponding section: delay alarms and magnitude peaks for the DDoS
+(§7.1), simultaneous delay + forwarding anomalies with rerouting for the
+route leak (§7.2), and forwarding-only detection for the IXP outage
+(§7.3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_campaign
+from repro.simulation import (
+    AtlasPlatform,
+    CampaignConfig,
+    DdosScenario,
+    IxpOutageScenario,
+    RouteLeakScenario,
+    TopologyParams,
+    build_topology,
+)
+
+#: Smaller-than-default campaign so the whole module stays fast.
+PARAMS = TopologyParams.case_study()
+DURATION_H = 30
+EVENT = (24 * 3600, 26 * 3600)  # two-hour event near the end
+WINDOW_BINS = 20  # sliding window for the magnitude (short campaign)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(PARAMS, seed=5)
+
+
+def _analyze(topo, scenario, include_anchoring=True):
+    platform = AtlasPlatform(topo, scenario=scenario, seed=7)
+    config = CampaignConfig(
+        duration_s=DURATION_H * 3600, include_anchoring=include_anchoring
+    )
+    return analyze_campaign(
+        platform.run_campaign(config), platform.as_mapper()
+    )
+
+
+@pytest.fixture(scope="module")
+def ddos_analysis(topo):
+    kroot = topo.services["K-root"]
+    attacked = [kroot.instances[0].node, kroot.instances[1].node]
+    scenario = DdosScenario(topo, "K-root", attacked, windows=[EVENT], seed=3)
+    return _analyze(topo, scenario)
+
+
+@pytest.fixture(scope="module")
+def leak_analysis(topo):
+    waypoint = topo.routers_of_as(4788)[0]
+    entry = topo.routers_of_as(3549)[0]
+    scenario = RouteLeakScenario(
+        topo,
+        leak_waypoint=waypoint,
+        leak_entry=entry,
+        leaked_targets={a.name for a in topo.anchors},
+        window=EVENT,
+        seed=3,
+    )
+    return _analyze(topo, scenario)
+
+
+@pytest.fixture(scope="module")
+def outage_analysis(topo):
+    scenario = IxpOutageScenario(topo, ixp_asn=1200, window=EVENT)
+    return _analyze(topo, scenario)
+
+
+class TestDdosCase:
+    def test_delay_alarms_inside_attack_window(self, ddos_analysis):
+        hours = {a.timestamp // 3600 for a in ddos_analysis.delay_alarms}
+        event_hours = {EVENT[0] // 3600, EVENT[0] // 3600 + 1}
+        assert hours & event_hours
+        # No alarm storm outside the attack (positives allowed but rare).
+        outside = hours - event_hours
+        assert len(outside) <= 2
+
+    def test_kroot_as_magnitude_peaks_at_attack(self, ddos_analysis):
+        magnitudes = ddos_analysis.aggregator.delay_magnitudes(
+            window_bins=WINDOW_BINS
+        )
+        assert 25152 in magnitudes
+        series = magnitudes[25152]
+        peak_hour = int(np.argmax(series))
+        assert peak_hour in (EVENT[0] // 3600, EVENT[0] // 3600 + 1)
+        assert series[peak_hour] > 5
+
+    def test_some_kroot_links_alarmed(self, ddos_analysis):
+        kroot_alarms = [
+            a
+            for a in ddos_analysis.delay_alarms
+            if a.involves("193.0.14.129")
+        ]
+        assert kroot_alarms
+        assert all(a.direction == 1 for a in kroot_alarms)
+
+    def test_stats_accumulated(self, ddos_analysis):
+        stats = ddos_analysis.stats()
+        assert stats.links_analyzed >= 20
+        assert stats.forwarding_models > 50
+        assert 0 < stats.fraction_links_alarmed < 1
+
+
+class TestRouteLeakCase:
+    def test_both_methods_fire(self, leak_analysis):
+        """§7.2: rerouting + congestion = delay AND forwarding alarms."""
+        event_hours = {EVENT[0] // 3600, EVENT[0] // 3600 + 1}
+        delay_hours = {a.timestamp // 3600 for a in leak_analysis.delay_alarms}
+        fwd_hours = {
+            a.timestamp // 3600 for a in leak_analysis.forwarding_alarms
+        }
+        assert delay_hours & event_hours
+        assert fwd_hours & event_hours
+
+    def test_level3_delay_magnitude_positive_peak(self, leak_analysis):
+        magnitudes = leak_analysis.aggregator.delay_magnitudes(
+            window_bins=WINDOW_BINS
+        )
+        peaked = [
+            asn
+            for asn in (3549, 3356)
+            if asn in magnitudes
+            and np.argmax(magnitudes[asn]) in (24, 25)
+            and magnitudes[asn].max() > 5
+        ]
+        assert peaked, f"no Level3 AS peaked: {sorted(magnitudes)}"
+
+    def test_level3_forwarding_magnitude_negative(self, leak_analysis):
+        """Fig. 10: routers vanish -> negative forwarding magnitude."""
+        magnitudes = leak_analysis.aggregator.forwarding_magnitudes(
+            window_bins=WINDOW_BINS
+        )
+        level3 = [m for asn, m in magnitudes.items() if asn in (3549, 3356)]
+        assert level3
+        assert min(float(series.min()) for series in level3) < -1
+
+    def test_rerouting_and_level3_devaluation(self, leak_analysis):
+        """Rerouting surfaces new next hops somewhere upstream, while
+        Level(3) next hops are devalued (the Fig. 10 signature)."""
+        event_hours = {EVENT[0] // 3600, EVENT[0] // 3600 + 1}
+        mapper = leak_analysis.aggregator.mapper
+        new_hop_asns = set()
+        devalued_asns = set()
+        for alarm in leak_analysis.forwarding_alarms:
+            if alarm.timestamp // 3600 not in event_hours:
+                continue
+            for hop in alarm.new_hops:
+                if hop != "*":
+                    asn = mapper.asn_of(hop)
+                    if asn is not None:
+                        new_hop_asns.add(asn)
+            for hop in alarm.devalued_hops:
+                if hop != "*":
+                    asn = mapper.asn_of(hop)
+                    if asn is not None:
+                        devalued_asns.add(asn)
+        assert new_hop_asns, "rerouting produced no new next hops"
+        assert devalued_asns & {3549, 3356}, (
+            f"no Level3 hop devalued: {sorted(devalued_asns)}"
+        )
+
+
+class TestIxpOutageCase:
+    def test_forwarding_detects_outage(self, outage_analysis):
+        event_hours = {EVENT[0] // 3600, EVENT[0] // 3600 + 1}
+        fwd_hours = {
+            a.timestamp // 3600 for a in outage_analysis.forwarding_alarms
+        }
+        assert fwd_hours & event_hours
+
+    def test_amsix_forwarding_magnitude_negative_peak(self, outage_analysis):
+        magnitudes = outage_analysis.aggregator.forwarding_magnitudes(
+            window_bins=WINDOW_BINS
+        )
+        assert 1200 in magnitudes, f"AMS-IX missing: {sorted(magnitudes)}"
+        series = magnitudes[1200]
+        trough = int(np.argmin(series))
+        assert trough in (24, 25)
+        assert series[trough] < -1
+
+    def test_loss_not_reroute_signature(self, outage_analysis):
+        """§7.3: unresponsive bucket grows — packets dropped, not moved."""
+        event_alarms = [
+            a
+            for a in outage_analysis.forwarding_alarms
+            if a.timestamp // 3600 in (24, 25)
+        ]
+        assert event_alarms
+        suspected = [a for a in event_alarms if a.packet_loss_suspected]
+        assert len(suspected) / len(event_alarms) > 0.5
+
+    def test_delay_method_mostly_silent(self, outage_analysis):
+        """The outage produces no RTT samples: the delay method cannot
+        see it (the motivation for having both methods)."""
+        event_delay_alarms = [
+            a
+            for a in outage_analysis.delay_alarms
+            if a.timestamp // 3600 in (24, 25)
+        ]
+        event_fwd_alarms = [
+            a
+            for a in outage_analysis.forwarding_alarms
+            if a.timestamp // 3600 in (24, 25)
+        ]
+        assert len(event_fwd_alarms) > len(event_delay_alarms)

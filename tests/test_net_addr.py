@@ -1,0 +1,121 @@
+"""Unit and property tests for repro.net.addr."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import (
+    MAX_IPV4,
+    int_to_ip,
+    ip_in_prefix,
+    ip_to_int,
+    is_valid_ipv4,
+    prefix_netmask,
+    prefix_size,
+)
+
+
+class TestIsValidIpv4:
+    def test_accepts_standard_addresses(self):
+        assert is_valid_ipv4("0.0.0.0")
+        assert is_valid_ipv4("255.255.255.255")
+        assert is_valid_ipv4("193.0.14.129")
+
+    def test_rejects_out_of_range_octet(self):
+        assert not is_valid_ipv4("256.0.0.1")
+        assert not is_valid_ipv4("1.2.3.300")
+
+    def test_rejects_wrong_arity(self):
+        assert not is_valid_ipv4("1.2.3")
+        assert not is_valid_ipv4("1.2.3.4.5")
+        assert not is_valid_ipv4("")
+
+    def test_rejects_non_numeric(self):
+        assert not is_valid_ipv4("a.b.c.d")
+        assert not is_valid_ipv4("1.2.3.x")
+        assert not is_valid_ipv4("1.2.-3.4")
+
+    def test_rejects_leading_zeros(self):
+        assert not is_valid_ipv4("01.2.3.4")
+        assert not is_valid_ipv4("1.2.3.04")
+
+    def test_accepts_single_zero_octets(self):
+        assert is_valid_ipv4("0.0.0.0")
+        assert is_valid_ipv4("10.0.0.1")
+
+
+class TestConversions:
+    def test_known_values(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("0.0.0.1") == 1
+        assert ip_to_int("1.0.0.0") == 1 << 24
+        assert ip_to_int("255.255.255.255") == MAX_IPV4
+
+    def test_int_to_ip_known_values(self):
+        assert int_to_ip(0) == "0.0.0.0"
+        assert int_to_ip(MAX_IPV4) == "255.255.255.255"
+        assert int_to_ip(3238006401) == "193.0.14.129"
+
+    def test_ip_to_int_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            ip_to_int("999.0.0.1")
+
+    def test_int_to_ip_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+        with pytest.raises(ValueError):
+            int_to_ip(MAX_IPV4 + 1)
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV4))
+    def test_roundtrip_int_ip_int(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV4))
+    def test_int_to_ip_always_valid(self, value):
+        assert is_valid_ipv4(int_to_ip(value))
+
+
+class TestPrefixHelpers:
+    def test_netmask_boundaries(self):
+        assert prefix_netmask(0) == 0
+        assert prefix_netmask(32) == MAX_IPV4
+        assert prefix_netmask(24) == 0xFFFFFF00
+
+    def test_netmask_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            prefix_netmask(33)
+        with pytest.raises(ValueError):
+            prefix_netmask(-1)
+
+    def test_prefix_size(self):
+        assert prefix_size(32) == 1
+        assert prefix_size(24) == 256
+        assert prefix_size(0) == 2**32
+
+    def test_prefix_size_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            prefix_size(40)
+
+    @given(st.integers(min_value=0, max_value=32))
+    def test_netmask_has_length_leading_ones(self, length):
+        mask = prefix_netmask(length)
+        assert bin(mask).count("1") == length
+        # All set bits must be contiguous from the top.
+        assert (mask | (mask >> 1)) & MAX_IPV4 in (mask, mask | (mask >> 1))
+
+    def test_ip_in_prefix(self):
+        assert ip_in_prefix("10.1.2.3", "10.1.2.0", 24)
+        assert not ip_in_prefix("10.1.3.3", "10.1.2.0", 24)
+        assert ip_in_prefix("8.8.8.8", "0.0.0.0", 0)
+
+    def test_ip_in_prefix_masks_host_bits(self):
+        # Network given with host bits set still matches its covered range.
+        assert ip_in_prefix("10.1.2.3", "10.1.2.99", 24)
+
+    @given(
+        st.integers(min_value=0, max_value=MAX_IPV4),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_every_ip_is_in_its_own_prefix(self, value, length):
+        ip = int_to_ip(value)
+        assert ip_in_prefix(ip, ip, length)

@@ -1,0 +1,136 @@
+"""Tests for IPv6 address utilities and the dual-stack mapper/trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    MAX_IPV6,
+    AsMapper,
+    PrefixTrie,
+    int_to_ip6,
+    ip6_in_prefix,
+    ip6_to_int,
+    is_valid_ipv6,
+    prefix6_netmask,
+)
+
+
+class TestParsing:
+    def test_full_form(self):
+        assert ip6_to_int("0:0:0:0:0:0:0:1") == 1
+
+    def test_compressed_forms(self):
+        assert ip6_to_int("::1") == 1
+        assert ip6_to_int("::") == 0
+        assert ip6_to_int("1::") == 1 << 112
+        assert ip6_to_int("2001:db8::ff") == (0x2001 << 112) | (
+            0x0DB8 << 96
+        ) | 0xFF
+
+    def test_real_root_server_addresses(self):
+        # K, F, I root server v6 addresses parse fine.
+        for address in ("2001:7fd::1", "2001:500:2f::f", "2001:7fe::53"):
+            assert is_valid_ipv6(address)
+
+    def test_rejects_malformed(self):
+        for bad in (
+            "", "1.2.3.4", ":::", "2001::db8::1", "12345::", "g::1",
+            "1:2:3:4:5:6:7", "1:2:3:4:5:6:7:8:9", "1::2::3",
+        ):
+            assert not is_valid_ipv6(bad), bad
+
+    def test_rejects_expansion_to_nothing(self):
+        assert not is_valid_ipv6("1:2:3:4:5:6:7::8")
+
+
+class TestFormatting:
+    def test_loopback(self):
+        assert int_to_ip6(1) == "::1"
+        assert int_to_ip6(0) == "::"
+
+    def test_rfc5952_compression(self):
+        assert int_to_ip6(ip6_to_int("2001:db8:0:0:0:0:0:ff")) == "2001:db8::ff"
+        # RFC 5952 §4.2.3: the *longest* zero run is compressed.
+        assert int_to_ip6(ip6_to_int("2001:0:0:1:0:0:0:1")) == "2001:0:0:1::1"
+
+    def test_no_compression_for_single_zero(self):
+        value = ip6_to_int("1:0:2:3:4:5:6:7")
+        assert int_to_ip6(value) == "1:0:2:3:4:5:6:7"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip6(-1)
+        with pytest.raises(ValueError):
+            int_to_ip6(MAX_IPV6 + 1)
+
+    @settings(max_examples=200)
+    @given(st.integers(min_value=0, max_value=MAX_IPV6))
+    def test_roundtrip(self, value):
+        assert ip6_to_int(int_to_ip6(value)) == value
+
+
+class TestPrefixes:
+    def test_netmask(self):
+        assert prefix6_netmask(0) == 0
+        assert prefix6_netmask(128) == MAX_IPV6
+        assert prefix6_netmask(32) == (2**32 - 1) << 96
+        with pytest.raises(ValueError):
+            prefix6_netmask(129)
+
+    def test_in_prefix(self):
+        assert ip6_in_prefix("2001:db8::1", "2001:db8::", 32)
+        assert not ip6_in_prefix("2001:db9::1", "2001:db8::", 32)
+        assert ip6_in_prefix("::1", "::", 0)
+
+    @settings(max_examples=100)
+    @given(
+        st.integers(min_value=0, max_value=MAX_IPV6),
+        st.integers(min_value=0, max_value=128),
+    )
+    def test_every_address_in_own_prefix(self, value, length):
+        ip = int_to_ip6(value)
+        assert ip6_in_prefix(ip, ip, length)
+
+
+class TestTrie128:
+    def test_longest_match(self):
+        trie = PrefixTrie(bits=128)
+        trie.insert("2001:db8::", 32, "short")
+        trie.insert("2001:db8:5::", 48, "long")
+        assert trie.lookup_value("2001:db8:5::1") == "long"
+        assert trie.lookup_value("2001:db8:9::1") == "short"
+        assert trie.lookup_value("fe80::1") is None
+
+    def test_items_canonical(self):
+        trie = PrefixTrie(bits=128)
+        trie.insert("2001:7fd::", 32, 25152)
+        assert dict(trie.items()) == {("2001:7fd::", 32): 25152}
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            PrefixTrie(bits=64)
+
+
+class TestDualStackMapper:
+    def test_both_families(self):
+        mapper = AsMapper(
+            [("193.0.0.0", 16, 25152), ("2001:7fd::", 32, 25152)]
+        )
+        assert mapper.asn_of("193.0.14.129") == 25152
+        assert mapper.asn_of("2001:7fd::1") == 25152
+        assert len(mapper) == 2
+
+    def test_cross_family_isolation(self):
+        mapper = AsMapper([("2001:7fd::", 32, 25152)])
+        assert mapper.asn_of("193.0.14.129") is None
+
+    def test_v6_link_mapping(self):
+        mapper = AsMapper(
+            [("2001:db8:1::", 48, 1), ("2001:db8:2::", 48, 2)]
+        )
+        assert mapper.asns_of_link("2001:db8:1::a", "2001:db8:2::b") == [1, 2]
+
+    def test_prefix_of_v6(self):
+        mapper = AsMapper([("2001:7fd::", 32, 25152)])
+        assert mapper.prefix_of("2001:7fd::1") == ("2001:7fd::", 32)

@@ -1,0 +1,74 @@
+"""Tests for the IP→AS mapper used by alarm aggregation."""
+
+import pytest
+
+from repro.net import AsMapper, AsMappingError
+
+
+@pytest.fixture
+def mapper():
+    return AsMapper(
+        [
+            ("193.0.0.0", 16, 25152),
+            ("4.0.0.0", 8, 3356),
+            ("67.16.0.0", 14, 3549),
+            ("67.17.0.0", 16, 3549),
+        ]
+    )
+
+
+class TestAsnOf:
+    def test_basic_lookup(self, mapper):
+        assert mapper.asn_of("193.0.14.129") == 25152
+        assert mapper.asn_of("4.68.110.202") == 3356
+
+    def test_unknown_returns_none(self, mapper):
+        assert mapper.asn_of("8.8.8.8") is None
+
+    def test_invalid_ip_returns_none(self, mapper):
+        assert mapper.asn_of("not-an-ip") is None
+        assert mapper.asn_of("300.1.1.1") is None
+
+    def test_cache_returns_consistent_results(self, mapper):
+        first = mapper.asn_of("67.16.133.130")
+        second = mapper.asn_of("67.16.133.130")
+        assert first == second == 3549
+
+    def test_len(self, mapper):
+        assert len(mapper) == 4
+
+
+class TestLinkMapping:
+    def test_same_as_link_yields_single_group(self, mapper):
+        assert mapper.asns_of_link("67.16.133.130", "67.17.106.150") == [3549]
+
+    def test_cross_as_link_yields_both_groups(self, mapper):
+        assert mapper.asns_of_link("4.68.110.202", "67.16.133.126") == [3356, 3549]
+
+    def test_unknown_end_is_dropped(self, mapper):
+        assert mapper.asns_of_link("8.8.8.8", "4.68.110.202") == [3356]
+
+    def test_both_unknown_is_empty(self, mapper):
+        assert mapper.asns_of_link("8.8.8.8", "9.9.9.9") == []
+
+
+class TestLoading:
+    def test_load_rejects_bad_network(self):
+        with pytest.raises(AsMappingError):
+            AsMapper([("garbage", 24, 1)])
+
+    def test_load_rejects_bad_asn(self):
+        with pytest.raises(AsMappingError):
+            AsMapper([("10.0.0.0", 8, -5)])
+        with pytest.raises(AsMappingError):
+            AsMapper([("10.0.0.0", 8, "AS65000")])
+
+    def test_incremental_load(self, mapper):
+        added = mapper.load([("80.81.192.0", 21, 1200)])
+        assert added == 1
+        assert mapper.asn_of("80.81.192.154") == 1200
+
+    def test_prefix_of(self, mapper):
+        assert mapper.prefix_of("193.0.14.129") == ("193.0.0.0", 16)
+        assert mapper.prefix_of("8.8.8.8") is None
+        assert mapper.prefix_of("junk") is None

@@ -1,0 +1,117 @@
+"""Unit and property tests for the longest-prefix-match trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import MAX_IPV4, PrefixTrie, int_to_ip, ip_in_prefix, prefix_netmask
+
+
+@pytest.fixture
+def trie():
+    t = PrefixTrie()
+    t.insert("193.0.0.0", 16, 25152)
+    t.insert("193.0.14.0", 24, 197000)
+    t.insert("10.0.0.0", 8, 64512)
+    return t
+
+
+class TestInsertLookup:
+    def test_longest_match_wins(self, trie):
+        assert trie.lookup("193.0.14.129") == (("193.0.14.0", 24), 197000)
+
+    def test_shorter_match_as_fallback(self, trie):
+        assert trie.lookup("193.0.99.1") == (("193.0.0.0", 16), 25152)
+
+    def test_no_match(self, trie):
+        assert trie.lookup("8.8.8.8") is None
+
+    def test_lookup_value(self, trie):
+        assert trie.lookup_value("10.1.2.3") == 64512
+        assert trie.lookup_value("8.8.8.8") is None
+
+    def test_default_route_matches_everything(self):
+        t = PrefixTrie()
+        t.insert("0.0.0.0", 0, 1)
+        assert t.lookup("8.8.8.8") == (("0.0.0.0", 0), 1)
+
+    def test_host_route(self):
+        t = PrefixTrie()
+        t.insert("1.2.3.4", 32, 7)
+        assert t.lookup_value("1.2.3.4") == 7
+        assert t.lookup_value("1.2.3.5") is None
+
+    def test_reinsert_replaces_payload(self, trie):
+        trie.insert("193.0.0.0", 16, 99)
+        assert trie.lookup_value("193.0.99.1") == 99
+        assert len(trie) == 3
+
+    def test_host_bits_are_masked_on_insert(self):
+        t = PrefixTrie()
+        t.insert("10.1.2.99", 24, 5)
+        assert t.lookup_value("10.1.2.1") == 5
+        assert ("10.1.2.0", 24) in t
+
+    def test_len_counts_unique_prefixes(self, trie):
+        assert len(trie) == 3
+
+    def test_contains(self, trie):
+        assert ("193.0.14.0", 24) in trie
+        assert ("193.0.15.0", 24) not in trie
+
+    def test_rejects_bad_length(self):
+        t = PrefixTrie()
+        with pytest.raises(ValueError):
+            t.insert("1.2.3.4", 33, 1)
+
+    def test_items_roundtrip(self, trie):
+        entries = dict(trie.items())
+        assert entries == {
+            ("193.0.0.0", 16): 25152,
+            ("193.0.14.0", 24): 197000,
+            ("10.0.0.0", 8): 64512,
+        }
+
+
+prefix_strategy = st.tuples(
+    st.integers(min_value=0, max_value=MAX_IPV4),
+    st.integers(min_value=1, max_value=32),
+)
+
+
+class TestProperties:
+    @settings(max_examples=50)
+    @given(st.lists(prefix_strategy, min_size=1, max_size=30), st.integers(0, MAX_IPV4))
+    def test_matches_reference_linear_scan(self, prefixes, query):
+        """The trie must agree with an O(n) reference implementation."""
+        trie = PrefixTrie()
+        table = {}
+        for index, (network_int, length) in enumerate(prefixes):
+            network = int_to_ip(network_int & prefix_netmask(length))
+            trie.insert(network, length, index)
+            table[(network, length)] = index  # later insert wins
+
+        ip = int_to_ip(query)
+        best = None
+        for (network, length), payload in table.items():
+            if ip_in_prefix(ip, network, length):
+                if best is None or length > best[0][1]:
+                    best = ((network, length), payload)
+        assert trie.lookup(ip) == best
+
+    @settings(max_examples=50)
+    @given(st.lists(prefix_strategy, min_size=1, max_size=50))
+    def test_every_inserted_prefix_is_found(self, prefixes):
+        trie = PrefixTrie()
+        canonical = set()
+        for network_int, length in prefixes:
+            network = int_to_ip(network_int & prefix_netmask(length))
+            trie.insert(network, length, "x")
+            canonical.add((network, length))
+        assert len(trie) == len(canonical)
+        for network, length in canonical:
+            assert (network, length) in trie
+            # An address inside the prefix must match at least that length.
+            match = trie.lookup(network)
+            assert match is not None
+            assert match[0][1] >= 0

@@ -1,0 +1,118 @@
+"""Tests for the per-packet delay/loss sampler and loop stripping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import DelaySampler, NoiseParams, combined_loss
+from repro.simulation.routing import _strip_loops
+
+
+class TestNoiseParams:
+    def test_defaults_valid(self):
+        params = NoiseParams()
+        assert 0 < params.outlier_probability < 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseParams(outlier_probability=1.5)
+        with pytest.raises(ValueError):
+            NoiseParams(queue_shape=0)
+        with pytest.raises(ValueError):
+            NoiseParams(queue_scale_ms=-1)
+
+
+class TestDelaySampler:
+    def test_noise_nonnegative(self):
+        sampler = DelaySampler(seed=1)
+        noise = sampler.rtt_noise(10_000)
+        assert noise.shape == (10_000,)
+        assert np.all(noise >= 0)
+
+    def test_noise_has_heavy_tail(self):
+        """Outliers must produce samples far above the bulk — the paper's
+        whole motivation for median statistics."""
+        sampler = DelaySampler(seed=2)
+        noise = sampler.rtt_noise(100_000)
+        median = np.median(noise)
+        assert noise.max() > median + 20 * noise.std() * 0.1
+        assert np.mean(noise > median + 10) > 0.001
+
+    def test_median_stable_despite_tail(self):
+        sampler = DelaySampler(seed=3)
+        medians = [np.median(sampler.rtt_noise(500)) for _ in range(50)]
+        assert np.ptp(medians) < 0.5  # sub-millisecond band
+
+    def test_deterministic_given_seed(self):
+        a = DelaySampler(seed=7).rtt_noise(100)
+        b = DelaySampler(seed=7).rtt_noise(100)
+        assert np.array_equal(a, b)
+
+    def test_survives_extremes(self):
+        sampler = DelaySampler(seed=1)
+        assert sampler.survives(50, 0.0).all()
+        assert not sampler.survives(50, 1.0).any()
+
+    def test_survives_rate(self):
+        sampler = DelaySampler(seed=5)
+        survived = sampler.survives(100_000, 0.3)
+        assert 0.68 < survived.mean() < 0.72
+
+    def test_no_outliers_configuration(self):
+        params = NoiseParams(outlier_probability=0.0)
+        sampler = DelaySampler(params, seed=1)
+        noise = sampler.rtt_noise(10_000)
+        assert noise.max() < 10.0
+
+
+class TestCombinedLoss:
+    def test_two_halves(self):
+        assert combined_loss([0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_empty_is_zero(self):
+        assert combined_loss([]) == 0.0
+
+    def test_certain_loss_dominates(self):
+        assert combined_loss([0.1, 1.0, 0.0]) == 1.0
+
+    def test_clamps_out_of_range(self):
+        assert combined_loss([2.0]) == 1.0
+        assert combined_loss([-0.5]) == 0.0
+
+    @settings(max_examples=50)
+    @given(st.lists(st.floats(0, 1), max_size=10))
+    def test_monotone_and_bounded(self, losses):
+        total = combined_loss(losses)
+        assert 0.0 <= total <= 1.0
+        if losses:
+            assert total >= max(min(1.0, max(losses)), 0.0) - 1e-12
+
+
+class TestStripLoops:
+    def test_no_loop_unchanged(self):
+        assert _strip_loops(["a", "b", "c"]) == ["a", "b", "c"]
+
+    def test_simple_loop_collapsed(self):
+        assert _strip_loops(["a", "b", "c", "b", "d"]) == ["a", "b", "d"]
+
+    def test_return_to_start(self):
+        assert _strip_loops(["a", "b", "a", "c"]) == ["a", "c"]
+
+    def test_nested_loops(self):
+        assert _strip_loops(["a", "b", "c", "b", "c", "d"]) == [
+            "a", "b", "c", "d",
+        ]
+
+    def test_empty_and_single(self):
+        assert _strip_loops([]) == []
+        assert _strip_loops(["a"]) == ["a"]
+
+    @settings(max_examples=50)
+    @given(st.lists(st.sampled_from("abcdef"), max_size=20))
+    def test_result_has_no_duplicates(self, path):
+        result = _strip_loops(list(path))
+        assert len(result) == len(set(result))
+        if path:
+            assert result[0] == path[0]
+            assert result[-1] == path[-1]

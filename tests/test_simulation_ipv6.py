@@ -1,0 +1,142 @@
+"""Tests for dual-stack simulation and IPv6 campaign analysis."""
+
+import pytest
+
+from repro.core import analyze_campaign
+from repro.net import AsMapper, is_valid_ipv6
+from repro.simulation import (
+    AtlasPlatform,
+    CampaignConfig,
+    DdosScenario,
+    TargetSpec,
+    TopologyParams,
+    build_topology,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(seed=13)
+
+
+@pytest.fixture(scope="module")
+def platform(topo):
+    return AtlasPlatform(topo, seed=3)
+
+
+class TestDualStackTopology:
+    def test_every_edge_has_both_ingress_families(self, topo):
+        for u, v, data in topo.graph.edges(data=True):
+            if topo.graph.nodes[v].get("virtual"):
+                continue
+            assert data["ingress_ip"] is not None
+            assert data["ingress_ip6"] is not None
+            assert is_valid_ipv6(data["ingress_ip6"])
+
+    def test_probes_and_anchors_dual_stack(self, topo):
+        for probe in topo.probes:
+            assert is_valid_ipv6(probe.ip6)
+        for anchor in topo.anchors:
+            assert is_valid_ipv6(anchor.ip6)
+
+    def test_services_have_v6_addresses(self, topo):
+        assert topo.services["K-root"].service_ip6 == "2001:7fd::1"
+        assert topo.services["F-root"].service_ip6 == "2001:500:2f::f"
+
+    def test_prefix_table_dual_stack(self, topo):
+        mapper = AsMapper(topo.prefix_table())
+        probe = topo.probes[0]
+        assert mapper.asn_of(probe.ip) == probe.asn
+        assert mapper.asn_of(probe.ip6) == probe.asn
+        assert mapper.asn_of("2001:7fd::1") == 25152
+
+    def test_unique_v6_interfaces(self, topo):
+        service_ips = {s.service_ip6 for s in topo.services.values()}
+        seen = set()
+        for _, _, data in topo.graph.edges(data=True):
+            ip6 = data.get("ingress_ip6")
+            if ip6 is None or ip6 in service_ips:
+                continue
+            assert ip6 not in seen, f"duplicate v6 interface {ip6}"
+            seen.add(ip6)
+
+
+class TestV6Traceroutes:
+    def test_v6_traceroute_shape(self, topo, platform):
+        target = TargetSpec.for_service(topo.services["K-root"], af=6)
+        tr = platform.engine.run(topo.probes[0], target, 0)
+        assert tr.af == 6
+        assert tr.src_addr == topo.probes[0].ip6
+        assert tr.dst_addr == "2001:7fd::1"
+        assert tr.hops[-1].primary_ip == "2001:7fd::1"
+        for hop in tr.hops:
+            for ip in hop.responding_ips:
+                assert is_valid_ipv6(ip)
+
+    def test_same_route_both_families(self, topo, platform):
+        """Dual-stack congruence: v4 and v6 use the same router path."""
+        anchor = topo.anchors[0]
+        probe = topo.probes[1]
+        plan4 = platform.engine._plan_for(
+            probe, TargetSpec.for_anchor(anchor, af=4), None
+        )
+        plan6 = platform.engine._plan_for(
+            probe, TargetSpec.for_anchor(anchor, af=6), None
+        )
+        assert [h.node for h in plan4.hops] == [h.node for h in plan6.hops]
+
+    def test_af_validation(self, topo):
+        with pytest.raises(ValueError):
+            TargetSpec.for_anchor(topo.anchors[0], af=5)
+        with pytest.raises(ValueError):
+            CampaignConfig(duration_s=3600, address_family=7)
+
+    def test_json_roundtrip_preserves_af(self, topo, platform):
+        from repro.atlas import Traceroute
+
+        target = TargetSpec.for_anchor(topo.anchors[0], af=6)
+        tr = platform.engine.run(topo.probes[0], target, 0)
+        assert Traceroute.from_json(tr.to_json()).af == 6
+
+
+class TestV6Campaign:
+    def test_v6_campaign_analyzable(self, topo, platform):
+        config = CampaignConfig(
+            duration_s=4 * 3600,
+            address_family=6,
+            include_anchoring=False,
+        )
+        analysis = analyze_campaign(
+            platform.run_campaign(config), platform.as_mapper()
+        )
+        stats = analysis.stats()
+        assert stats.traceroutes_processed > 0
+        assert stats.links_observed > 0
+        # v6 links are (v6, v6) IP pairs.
+        some_link = next(iter(analysis.pipeline._links_seen))
+        assert is_valid_ipv6(some_link[0])
+
+    def test_v6_event_detection(self, topo):
+        """The detection methods are family-agnostic: a DDoS seen over
+        IPv6 raises the same alarms."""
+        kroot = topo.services["K-root"]
+        scenario = DdosScenario(
+            topo,
+            "K-root",
+            [i.node for i in kroot.instances[:2]],
+            windows=[(8 * 3600, 10 * 3600)],
+            seed=3,
+        )
+        platform = AtlasPlatform(topo, scenario=scenario, seed=3)
+        config = CampaignConfig(
+            duration_s=12 * 3600, address_family=6, include_anchoring=False
+        )
+        analysis = analyze_campaign(
+            platform.run_campaign(config), platform.as_mapper()
+        )
+        hours = {a.timestamp // 3600 for a in analysis.delay_alarms}
+        assert hours & {8, 9}
+        v6_kroot = [
+            a for a in analysis.delay_alarms if a.involves("2001:7fd::1")
+        ]
+        assert v6_kroot, "no alarm names the K-root v6 address"

@@ -1,0 +1,117 @@
+"""Tests for ECDF/CCDF helpers (Fig. 5) and Q-Q normality tools (Fig. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    eccdf,
+    ecdf,
+    fraction_above,
+    fraction_below,
+    normal_qq,
+    normality_verdict,
+    qq_linearity,
+    qq_max_deviation,
+    quantile_of_fraction,
+    tail_weight,
+)
+
+
+class TestEcdf:
+    def test_basic(self):
+        x, y = ecdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert y[-1] == 1.0
+
+    def test_eccdf_complements(self):
+        x, y = eccdf([1.0, 2.0, 3.0, 4.0])
+        assert y[-1] == 0.0
+        assert y[0] == 0.75
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+    @settings(max_examples=40)
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=200))
+    def test_monotone_nondecreasing(self, values):
+        x, y = ecdf(values)
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(y) >= 0)
+        assert 0 < y[0] <= 1.0
+
+
+class TestFractions:
+    def test_fraction_below(self):
+        assert fraction_below([0.1, 0.5, 2.0, 3.0], 1.0) == 0.5
+
+    def test_fraction_above(self):
+        assert fraction_above([0.1, 0.5, 2.0, 3.0], 1.0) == 0.5
+
+    def test_below_above_sum_to_one_without_ties(self):
+        values = [0.0, 1.0, 2.0, 3.0]
+        assert fraction_below(values, 1.5) + fraction_above(values, 1.5) == 1.0
+
+    def test_quantile_of_fraction(self):
+        values = list(range(101))
+        assert quantile_of_fraction(values, 0.5) == 50.0
+
+    def test_quantile_validates(self):
+        with pytest.raises(ValueError):
+            quantile_of_fraction([1.0], 1.5)
+        with pytest.raises(ValueError):
+            quantile_of_fraction([], 0.5)
+
+    def test_tail_weight(self):
+        assert tail_weight([0.0, 0.0, 5.0, -5.0], 1.0) == 0.5
+
+    def test_empty_raise(self):
+        for func in (fraction_below, fraction_above):
+            with pytest.raises(ValueError):
+                func([], 1.0)
+
+
+class TestQQ:
+    def test_normal_sample_is_linear(self):
+        rng = np.random.default_rng(11)
+        sample = rng.normal(5.0, 2.0, size=400)
+        assert qq_linearity(sample) > 0.99
+        assert normality_verdict(sample)
+
+    def test_heavy_tailed_sample_fails(self):
+        """Mean-like statistic contaminated by outliers: Fig. 3b shape."""
+        rng = np.random.default_rng(12)
+        sample = np.concatenate(
+            [rng.normal(5.0, 0.1, size=380), rng.exponential(50.0, size=20)]
+        )
+        assert qq_linearity(sample) < 0.9
+        assert not normality_verdict(sample)
+
+    def test_qq_series_shapes(self):
+        rng = np.random.default_rng(13)
+        theoretical, observed = normal_qq(rng.normal(size=100))
+        assert theoretical.shape == observed.shape == (100,)
+        assert np.all(np.diff(theoretical) > 0)
+        assert np.all(np.diff(observed) >= 0)
+
+    def test_max_deviation_small_for_normal(self):
+        rng = np.random.default_rng(14)
+        assert qq_max_deviation(rng.normal(size=1000)) < 0.5
+
+    def test_too_few_samples_raise(self):
+        with pytest.raises(ValueError):
+            normal_qq([1.0, 2.0])
+
+    def test_constant_sample_raises(self):
+        with pytest.raises(ValueError):
+            normal_qq([5.0] * 10)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=10, max_value=300))
+    def test_linearity_in_unit_range(self, n):
+        rng = np.random.default_rng(n)
+        sample = rng.normal(size=n)
+        rho = qq_linearity(sample)
+        assert 0.0 < rho <= 1.0

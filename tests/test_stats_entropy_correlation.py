@@ -1,0 +1,175 @@
+"""Tests for normalized entropy (§4.3) and Pearson correlation (§5.2.1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    align_patterns,
+    entropy_after_discard,
+    normalized_entropy,
+    pearson_correlation,
+)
+
+
+class TestNormalizedEntropy:
+    def test_uniform_is_one(self):
+        assert normalized_entropy([10, 10, 10]) == pytest.approx(1.0)
+
+    def test_single_class_is_zero(self):
+        assert normalized_entropy([42]) == 0.0
+        assert normalized_entropy({"AS1": 100, "AS2": 0}) == 0.0
+
+    def test_concentration_lowers_entropy(self):
+        balanced = normalized_entropy([50, 50])
+        skewed = normalized_entropy([95, 5])
+        assert skewed < balanced
+
+    def test_paper_scenario_90_in_one_as(self):
+        """100 probes in 5 ASes with 90 in one: low entropy (paper §4.3)."""
+        counts = {"AS1": 90, "AS2": 3, "AS3": 3, "AS4": 2, "AS5": 2}
+        assert normalized_entropy(counts) < 0.5
+
+    def test_mapping_and_sequence_agree(self):
+        assert normalized_entropy({"a": 3, "b": 7}) == normalized_entropy([3, 7])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            normalized_entropy([])
+        with pytest.raises(ValueError):
+            normalized_entropy([0, 0])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            normalized_entropy([5, -1])
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=30))
+    def test_entropy_in_unit_interval(self, counts):
+        assert 0.0 <= normalized_entropy(counts) <= 1.0 + 1e-12
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=1000), min_size=2, max_size=20),
+        st.integers(min_value=2, max_value=10),
+    )
+    def test_entropy_scale_invariant(self, counts, factor):
+        scaled = [c * factor for c in counts]
+        assert normalized_entropy(scaled) == pytest.approx(
+            normalized_entropy(counts)
+        )
+
+
+class TestEntropyAfterDiscard:
+    def test_removes_from_largest(self):
+        counts = {"AS1": 5, "AS2": 2}
+        assert entropy_after_discard(counts) == {"AS1": 4, "AS2": 2}
+
+    def test_removes_empty_class(self):
+        counts = {"AS1": 1}
+        assert entropy_after_discard(counts) == {}
+
+    def test_discard_loop_raises_entropy(self):
+        """Iterating the discard raises H(A) above 0.5 eventually (§4.3)."""
+        counts = {"AS1": 90, "AS2": 3, "AS3": 3, "AS4": 2, "AS5": 2}
+        iterations = 0
+        while normalized_entropy(counts) <= 0.5:
+            counts = entropy_after_discard(counts)
+            iterations += 1
+            assert iterations < 100
+        assert normalized_entropy(counts) > 0.5
+        assert counts["AS1"] < 90
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            entropy_after_discard({})
+
+
+class TestPearsonCorrelation:
+    def test_perfect_positive(self):
+        rho = pearson_correlation([1.0, 2.0, 3.0], [2.0, 4.0, 6.0])
+        assert rho == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        rho = pearson_correlation([1.0, 2.0, 3.0], [3.0, 2.0, 1.0])
+        assert rho == pytest.approx(-1.0)
+
+    def test_paper_figure4_example(self):
+        """Fig. 4: F̄=[10,100,5] vs F=[12,2,60,30] gives ρ ≈ -0.6."""
+        reference = {"A": 10.0, "B": 100.0, "Z": 5.0}
+        current = {"A": 12.0, "B": 2.0, "C": 60.0, "Z": 30.0}
+        rho = pearson_correlation(current, reference)
+        assert rho < -0.25  # below the paper's τ threshold
+        assert rho == pytest.approx(-0.6, abs=0.1)
+
+    def test_mapping_alignment_with_missing_keys(self):
+        rho = pearson_correlation({"a": 1.0, "b": 2.0}, {"b": 2.0, "c": 3.0})
+        assert -1.0 <= rho <= 1.0
+
+    def test_both_constant_is_one(self):
+        assert pearson_correlation({"a": 10.0}, {"a": 12.0}) == 1.0
+        assert pearson_correlation([5.0, 5.0], [3.0, 3.0]) == 1.0
+
+    def test_one_constant_is_zero(self):
+        assert pearson_correlation([1.0, 2.0], [3.0, 3.0]) == 0.0
+
+    def test_mismatched_types_raise(self):
+        with pytest.raises(TypeError):
+            pearson_correlation({"a": 1.0}, [1.0])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0, 2.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([], [])
+
+    def test_agrees_with_numpy_on_generic_data(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=100)
+        y = 0.5 * x + rng.normal(size=100)
+        ours = pearson_correlation(list(x), list(y))
+        reference = float(np.corrcoef(x, y)[0, 1])
+        assert ours == pytest.approx(reference, abs=1e-12)
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_self_correlation_is_one_or_degenerate(self, xs):
+        rho = pearson_correlation(xs, xs)
+        assert rho == pytest.approx(1.0) or len(set(xs)) == 1
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=2, max_size=30),
+        st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=2, max_size=30),
+    )
+    def test_symmetry_and_range(self, xs, ys):
+        n = min(len(xs), len(ys))
+        xs, ys = xs[:n], ys[:n]
+        rho_xy = pearson_correlation(xs, ys)
+        rho_yx = pearson_correlation(ys, xs)
+        assert rho_xy == pytest.approx(rho_yx, abs=1e-9)
+        assert -1.0 <= rho_xy <= 1.0
+
+
+class TestAlignPatterns:
+    def test_union_of_keys(self):
+        cur, ref, keys = align_patterns({"a": 1.0}, {"b": 2.0})
+        assert keys == ["a", "b"]
+        assert list(cur) == [1.0, 0.0]
+        assert list(ref) == [0.0, 2.0]
+
+    def test_deterministic_order(self):
+        _, _, keys1 = align_patterns({"b": 1.0, "a": 1.0}, {})
+        _, _, keys2 = align_patterns({"a": 1.0, "b": 1.0}, {})
+        assert keys1 == keys2 == ["a", "b"]

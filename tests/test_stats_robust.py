@@ -1,0 +1,146 @@
+"""Tests for robust estimators and the Eq. 10 magnitude machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    MAD_SCALE,
+    mad,
+    magnitude_score,
+    median,
+    median_absolute_deviation,
+    outlier_count,
+    sliding_magnitude,
+    sliding_median_mad,
+    trimmed_mean,
+    weekly_window_bins,
+)
+
+finite = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+
+
+class TestMedianMad:
+    def test_median_basic(self):
+        assert median([5.0, 1.0, 3.0]) == 3.0
+        assert median([1.0, 2.0]) == 1.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad_basic(self):
+        assert median_absolute_deviation([1.0, 1.0, 2.0, 2.0, 4.0]) == 1.0
+        assert mad([3.0, 3.0, 3.0]) == 0.0
+
+    def test_mad_empty_raises(self):
+        with pytest.raises(ValueError):
+            mad([])
+
+    @given(st.lists(finite, min_size=1, max_size=100))
+    def test_mad_nonnegative(self, values):
+        assert mad(values) >= 0
+
+    @given(st.lists(finite, min_size=1, max_size=100), st.floats(-1e6, 1e6))
+    def test_mad_translation_invariant(self, values, shift):
+        assert mad([v + shift for v in values]) == pytest.approx(
+            mad(values), rel=1e-9, abs=1e-6
+        )
+
+    def test_mad_scale_constant_matches_paper(self):
+        assert MAD_SCALE == 1.4826
+
+
+class TestMagnitudeScore:
+    def test_quiet_series_scores_near_zero(self):
+        window = [0.0] * 167
+        assert magnitude_score(0.0, window) == 0.0
+
+    def test_spike_scores_high(self):
+        window = [0.0] * 167
+        assert magnitude_score(100.0, window) == pytest.approx(100.0)
+
+    def test_eq10_formula(self):
+        window = [1.0, 2.0, 3.0, 4.0, 5.0]
+        value = 10.0
+        expected = (10.0 - 3.0) / (1.0 + MAD_SCALE * 1.0)
+        assert magnitude_score(value, window) == pytest.approx(expected)
+
+    def test_empty_window(self):
+        assert magnitude_score(5.0, []) == 0.0
+
+    def test_negative_spike_gives_negative_magnitude(self):
+        window = [0.0] * 100
+        assert magnitude_score(-50.0, window) < -10
+
+
+class TestSlidingWindows:
+    def test_sliding_median_trailing_window(self):
+        medians, mads = sliding_median_mad([1.0, 2.0, 3.0, 4.0], window=2)
+        assert list(medians) == [1.0, 1.5, 2.5, 3.5]
+        assert list(mads) == [0.0, 0.5, 0.5, 0.5]
+
+    def test_min_periods_yields_nan(self):
+        medians, _ = sliding_median_mad([1.0, 2.0, 3.0], window=3, min_periods=2)
+        assert np.isnan(medians[0])
+        assert medians[1] == 1.5
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            sliding_median_mad([1.0], window=0)
+        with pytest.raises(ValueError):
+            sliding_median_mad([1.0], window=2, min_periods=0)
+
+    def test_sliding_magnitude_flat_series_is_zero(self):
+        mags = sliding_magnitude([5.0] * 50, window=10)
+        assert np.allclose(mags, 0.0)
+
+    def test_sliding_magnitude_detects_spike(self):
+        series = [0.0] * 100 + [500.0] + [0.0] * 20
+        mags = sliding_magnitude(series, window=50)
+        assert np.argmax(mags) == 100
+        assert mags[100] > 100
+
+    def test_sliding_magnitude_detects_negative_spike(self):
+        series = [0.0] * 100 + [-500.0] + [0.0] * 20
+        mags = sliding_magnitude(series, window=50)
+        assert np.argmin(mags) == 100
+        assert mags[100] < -100
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=80))
+    def test_sliding_magnitude_finite(self, values):
+        mags = sliding_magnitude(values, window=7)
+        assert np.all(np.isfinite(mags))
+
+
+class TestAuxiliaries:
+    def test_trimmed_mean_drops_outliers(self):
+        assert trimmed_mean([1.0, 2.0, 3.0, 100.0], proportion=0.25) == 2.5
+
+    def test_trimmed_mean_zero_trim_is_mean(self):
+        assert trimmed_mean([1.0, 2.0, 3.0], proportion=0.0) == 2.0
+
+    def test_trimmed_mean_validates(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([1.0], proportion=0.5)
+        with pytest.raises(ValueError):
+            trimmed_mean([], proportion=0.1)
+
+    def test_outlier_count_matches_paper_rule(self):
+        """Counts values above mean + 3 sigma, the paper's outlier rule."""
+        rng = np.random.default_rng(0)
+        clean = rng.normal(5.0, 1.0, size=10_000)
+        spiky = np.concatenate([clean, [500.0] * 30])
+        assert outlier_count(spiky) >= 30 - 5  # allow borderline effects
+        assert outlier_count(clean) < 100
+
+    def test_outlier_count_empty(self):
+        assert outlier_count([]) == 0
+
+    def test_weekly_window_bins(self):
+        assert weekly_window_bins(3600) == 168
+        assert weekly_window_bins(1800) == 336
+        with pytest.raises(ValueError):
+            weekly_window_bins(0)

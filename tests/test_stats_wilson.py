@@ -1,0 +1,157 @@
+"""Tests for the Wilson-score median confidence intervals (paper Eq. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    WilsonInterval,
+    median_confidence_interval,
+    wilson_score_bounds,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestWilsonScoreBounds:
+    def test_bounds_bracket_p(self):
+        lower, upper = wilson_score_bounds(100, p=0.5)
+        assert lower < 0.5 < upper
+
+    def test_bounds_shrink_with_n(self):
+        narrow = wilson_score_bounds(10_000)
+        wide = wilson_score_bounds(10)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_known_value_n9(self):
+        # n = 9 is the paper's minimum sample count (3 probes x 3 packets).
+        lower, upper = wilson_score_bounds(9)
+        assert 0.0 <= lower < 0.5 < upper <= 1.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            wilson_score_bounds(0)
+        with pytest.raises(ValueError):
+            wilson_score_bounds(10, p=0.0)
+        with pytest.raises(ValueError):
+            wilson_score_bounds(10, p=1.5)
+        with pytest.raises(ValueError):
+            wilson_score_bounds(10, z=-1.0)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_bounds_always_in_unit_interval(self, n):
+        lower, upper = wilson_score_bounds(n)
+        assert 0.0 <= lower <= upper <= 1.0
+
+    @given(
+        st.integers(min_value=2, max_value=10_000),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_bounds_bracket_any_quantile(self, n, p):
+        lower, upper = wilson_score_bounds(n, p=p)
+        assert lower <= p <= upper
+
+    def test_higher_z_widens_interval(self):
+        narrow = wilson_score_bounds(100, z=1.0)
+        wide = wilson_score_bounds(100, z=2.58)
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+
+class TestMedianConfidenceInterval:
+    def test_simple_odd_sample(self):
+        ci = median_confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert ci.median == 3.0
+        assert ci.lower <= ci.median <= ci.upper
+        assert ci.n == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_confidence_interval([])
+
+    def test_single_sample_degenerate(self):
+        ci = median_confidence_interval([7.5])
+        assert ci.median == ci.lower == ci.upper == 7.5
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(42)
+        small = median_confidence_interval(rng.normal(10, 2, size=20))
+        large = median_confidence_interval(rng.normal(10, 2, size=2000))
+        assert large.width < small.width
+
+    def test_robust_to_outliers(self):
+        """Outliers should barely move the median CI (paper's motivation)."""
+        base = list(np.linspace(9.9, 10.1, 200))
+        ci_clean = median_confidence_interval(base)
+        ci_dirty = median_confidence_interval(base + [1000.0] * 5)
+        assert abs(ci_clean.median - ci_dirty.median) < 0.05
+        assert abs(ci_clean.upper - ci_dirty.upper) < 0.1
+
+    def test_skewed_distribution_asymmetric_interval(self):
+        """Wilson CI follows order statistics, so skew yields asymmetry."""
+        rng = np.random.default_rng(7)
+        sample = rng.lognormal(mean=1.0, sigma=1.0, size=500)
+        ci = median_confidence_interval(sample)
+        lower_arm = ci.median - ci.lower
+        upper_arm = ci.upper - ci.median
+        assert upper_arm != pytest.approx(lower_arm, rel=0.01)
+
+    @settings(max_examples=60)
+    @given(st.lists(finite_floats, min_size=1, max_size=300))
+    def test_interval_contains_median_and_is_ordered(self, samples):
+        ci = median_confidence_interval(samples)
+        assert ci.lower <= ci.median <= ci.upper
+        assert min(samples) <= ci.lower
+        assert ci.upper <= max(samples)
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(finite_floats, min_size=5, max_size=100),
+        st.floats(min_value=-100, max_value=100),
+    )
+    def test_translation_equivariance(self, samples, shift):
+        """CI of (x + c) equals CI of x shifted by c (order statistics)."""
+        ci = median_confidence_interval(samples)
+        shifted = median_confidence_interval([s + shift for s in samples])
+        assert shifted.median == pytest.approx(ci.median + shift, abs=1e-6)
+        assert shifted.lower == pytest.approx(ci.lower + shift, abs=1e-6)
+        assert shifted.upper == pytest.approx(ci.upper + shift, abs=1e-6)
+
+    def test_coverage_of_true_median(self):
+        """~95% of CIs should contain the true median (the point of Eq. 5)."""
+        rng = np.random.default_rng(1234)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            sample = rng.normal(0.0, 1.0, size=99)
+            ci = median_confidence_interval(sample)
+            if ci.lower <= 0.0 <= ci.upper:
+                hits += 1
+        assert hits / trials > 0.9
+
+
+class TestWilsonIntervalOverlap:
+    def test_overlapping(self):
+        a = WilsonInterval(5.0, 4.0, 6.0, 100)
+        b = WilsonInterval(5.5, 5.5, 7.0, 100)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_disjoint(self):
+        a = WilsonInterval(5.0, 4.0, 6.0, 100)
+        b = WilsonInterval(9.0, 8.0, 10.0, 100)
+        assert not a.overlaps(b)
+        assert not b.overlaps(a)
+
+    def test_touching_counts_as_overlap(self):
+        a = WilsonInterval(5.0, 4.0, 6.0, 100)
+        b = WilsonInterval(7.0, 6.0, 8.0, 100)
+        assert a.overlaps(b)
+
+    def test_width_and_shift(self):
+        a = WilsonInterval(5.0, 4.0, 6.5, 10)
+        assert a.width == pytest.approx(2.5)
+        b = a.shifted(10.0)
+        assert (b.median, b.lower, b.upper) == (15.0, 14.0, 16.5)
