@@ -1,0 +1,34 @@
+# Developer entry points.  Everything runs from the repository root and
+# injects src/ onto PYTHONPATH, so no install step is required.
+
+PYTHON      ?= python
+PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: help test bench bench-engine docs doclint
+
+help:
+	@echo "targets:"
+	@echo "  test         tier-1 test suite (pytest -x -q)"
+	@echo "  bench        full figure/table benchmark suite"
+	@echo "  bench-engine sharded-engine scaling benchmark only"
+	@echo "  docs         docstring lint + pointers to docs/"
+	@echo "  doclint      docstring lint only"
+
+test:
+	$(PYTHON) -m pytest -x -q tests
+
+# bench_*.py does not match pytest's default test-file pattern, so the
+# files are listed explicitly.
+bench:
+	$(PYTHON) -m pytest -q benchmarks/bench_*.py -s
+
+bench-engine:
+	$(PYTHON) -m pytest -q benchmarks/bench_engine_scaling.py -s
+
+doclint:
+	$(PYTHON) tools/doclint.py
+
+docs: doclint
+	@echo "docs/architecture.md   - dataflow and the shard/merge engine"
+	@echo "docs/paper_mapping.md  - paper section/figure -> module map"

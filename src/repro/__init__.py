@@ -5,12 +5,21 @@ Public API layout:
 
 * :mod:`repro.core` — the paper's detection methods (differential RTT
   delay-change detection, packet-forwarding anomaly detection, AS-level
-  event aggregation) and the end-to-end :class:`~repro.core.Pipeline`.
+  event aggregation), the end-to-end serial :class:`~repro.core.Pipeline`
+  reference, and the sharded parallel
+  :class:`~repro.core.ShardedPipeline` production engine.
 * :mod:`repro.atlas` — RIPE-Atlas-style traceroute data model and IO.
 * :mod:`repro.simulation` — the synthetic Internet and measurement
   platform used as an offline substitute for the Atlas platform.
 * :mod:`repro.stats` — the robust statistics substrate (Wilson scores,
-  exponential smoothing, entropy, sliding median/MAD, ...).
+  exponential smoothing, entropy, sliding median/MAD, ...).  The hot
+  paths have batched variants operating on whole bins at once —
+  :func:`~repro.stats.median_confidence_interval_batch` characterises
+  every link of a bin with one padded 2-D sort and vectorized Wilson
+  scores (bit-identical to the scalar
+  :func:`~repro.stats.median_confidence_interval`), and
+  :func:`~repro.stats.pearson_correlation_batch` correlates all judged
+  forwarding patterns in a handful of numpy calls.
 * :mod:`repro.net` — IP/prefix utilities and longest-prefix IP→AS mapping.
 * :mod:`repro.reporting` — Internet-Health-Report-style summaries.
 
@@ -20,6 +29,11 @@ Quickstart::
 
     analysis, topology, mapper = quick_campaign(duration_hours=24, seed=1)
     print(analysis.stats())
+
+Scaling out: set ``PipelineConfig(n_shards=8)`` (optionally ``executor``
+/ ``n_jobs``) and :func:`analyze_campaign` — or the ``--shards`` CLI
+flag — runs the campaign on :class:`~repro.core.ShardedPipeline`, whose
+output is bit-identical to the serial pipeline's.
 """
 
 from repro.core import (
@@ -31,10 +45,12 @@ from repro.core import (
     ForwardingAnomalyDetector,
     Pipeline,
     PipelineConfig,
+    ShardedPipeline,
     analyze_campaign,
+    create_pipeline,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlarmAggregator",
@@ -45,7 +61,9 @@ __all__ = [
     "ForwardingAnomalyDetector",
     "Pipeline",
     "PipelineConfig",
+    "ShardedPipeline",
     "analyze_campaign",
+    "create_pipeline",
     "quick_campaign",
     "__version__",
 ]

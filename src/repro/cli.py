@@ -8,10 +8,15 @@ Three subcommands cover the common workflows:
   print alarms plus the per-AS health summary (optionally JSON),
 * ``replay``  — regenerate one of the paper's case studies end to end.
 
+``analyze`` and ``replay`` accept ``--shards N`` (and optionally
+``--jobs J``) to run the sharded parallel engine instead of the serial
+reference pipeline; results are bit-identical either way.
+
 Examples::
 
     python -m repro generate --hours 24 --seed 42 --out campaign.jsonl
     python -m repro analyze campaign.jsonl --json
+    python -m repro analyze campaign.jsonl --shards 8 --jobs 4
     python -m repro replay ddos
 """
 
@@ -68,6 +73,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="emit the IHR summary as JSON")
     analyze.add_argument("--top", type=int, default=10,
                          help="number of top events to list")
+    _add_engine_flags(analyze)
 
     replay = sub.add_parser(
         "replay", help="replay one of the paper's case studies"
@@ -75,7 +81,50 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("case", choices=["ddos", "leak", "outage"])
     replay.add_argument("--hours", type=int, default=48)
     replay.add_argument("--seed", type=int, default=1)
+    _add_engine_flags(replay)
     return parser
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, rejected with a clean message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1: {value}")
+    return value
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Sharded-engine knobs shared by the analysis subcommands."""
+    parser.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="N",
+        help="shard links over N independent detector states and run "
+             "the vectorized engine (1 = serial reference pipeline)")
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="J",
+        help="worker count for the sharded engine (default: one per "
+             "shard, capped at the CPU count; requires --shards > 1)")
+
+
+def _engine_config(args, **overrides) -> Optional[PipelineConfig]:
+    """Build a PipelineConfig from CLI flags, or None for pure defaults."""
+    if args.jobs is not None and args.shards <= 1:
+        print(
+            "repro: error: --jobs requires --shards > 1 "
+            "(the serial pipeline has no workers)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    kwargs = {k: v for k, v in overrides.items() if v is not None}
+    if args.shards > 1:
+        kwargs["n_shards"] = args.shards
+        if args.jobs is not None:
+            kwargs["n_jobs"] = args.jobs
+    if not kwargs:
+        return None
+    return PipelineConfig(**kwargs)
 
 
 def _topology(seed: int, probes: Optional[int]):
@@ -102,9 +151,7 @@ def _cmd_generate(args) -> int:
 def _cmd_analyze(args) -> int:
     topology = _topology(args.seed, args.probes)
     platform = AtlasPlatform(topology, seed=args.seed)
-    config = None
-    if args.alpha is not None:
-        config = PipelineConfig(alpha=args.alpha)
+    config = _engine_config(args, alpha=args.alpha)
     analysis = analyze_campaign(
         read_traceroutes(args.path), platform.as_mapper(), config=config
     )
@@ -174,7 +221,9 @@ def _cmd_replay(args) -> int:
         f"{window[0]//3600}-{window[1]//3600}) over {args.hours}h ..."
     )
     analysis = analyze_campaign(
-        platform.run_campaign(config), platform.as_mapper()
+        platform.run_campaign(config),
+        platform.as_mapper(),
+        config=_engine_config(args),
     )
     report = InternetHealthReport(analysis, window_bins=args.hours // 2)
     rows = []
@@ -193,6 +242,7 @@ def _cmd_replay(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse *argv* (default ``sys.argv``) and run the subcommand."""
     args = _build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,

@@ -11,7 +11,9 @@ Modules map one-to-one onto the paper's sections:
 * :mod:`repro.core.events` — per-AS aggregation and Eq. 10 magnitude (§6)
 * :mod:`repro.core.graphs` — alarm connected components (Figures 8/12)
 * :mod:`repro.core.sensitivity` — Eq. 11 detectability bounds (App. B)
-* :mod:`repro.core.pipeline` — the end-to-end per-bin engine
+* :mod:`repro.core.pipeline` — the end-to-end per-bin reference engine
+* :mod:`repro.core.sharding` — consistent link/router shard assignment
+* :mod:`repro.core.engine` — the sharded, vectorized execution engine
 """
 
 from repro.core.alarms import (
@@ -38,6 +40,11 @@ from repro.core.diversity import (
     MIN_ENTROPY,
     DiversityFilter,
     DiversityVerdict,
+)
+from repro.core.engine import (
+    ShardedPipeline,
+    create_pipeline,
+    extract_bin,
 )
 from repro.core.events import (
     AlarmAggregator,
@@ -72,6 +79,13 @@ from repro.core.sensitivity import (
     sensitivity_point,
     sensitivity_table,
 )
+from repro.core.sharding import (
+    partition_observations,
+    partition_patterns,
+    shard_layout,
+    shard_of,
+    stable_hash64,
+)
 
 __all__ = [
     "AlarmAggregator",
@@ -100,6 +114,7 @@ __all__ = [
     "Pipeline",
     "PipelineConfig",
     "SensitivityPoint",
+    "ShardedPipeline",
     "TrackedLinkPoint",
     "UNRESPONSIVE",
     "alarm_graph",
@@ -107,13 +122,20 @@ __all__ = [
     "component_of",
     "correlate_events",
     "components_by_size",
+    "create_pipeline",
     "deviation_score",
     "differential_rtts",
     "evaluate_resolution",
+    "extract_bin",
     "forwarding_patterns",
+    "partition_observations",
+    "partition_patterns",
     "resolve_aliases",
     "responsibility_scores",
     "sensitivity_point",
     "sensitivity_table",
+    "shard_layout",
+    "shard_of",
+    "stable_hash64",
     "summarize_component",
 ]

@@ -169,9 +169,28 @@ class DelayChangeDetector:
         paper's step (5); anomalous bins still enter the reference but a
         small α limits their influence.
         """
-        if not samples:
+        if len(samples) == 0:
             return None
         observed = median_confidence_interval(samples, z=self.z)
+        return self.observe_interval(
+            timestamp, link, observed, n_probes=n_probes, n_asns=n_asns
+        )
+
+    def observe_interval(
+        self,
+        timestamp: int,
+        link: Link,
+        observed: WilsonInterval,
+        n_probes: int = 0,
+        n_asns: int = 0,
+    ) -> Optional[DelayAlarm]:
+        """Like :meth:`observe`, from a precomputed observed interval.
+
+        The sharded engine characterises all of a bin's links with one
+        batched Wilson call and feeds the resulting intervals here; the
+        detection and reference-update logic is shared with the sample
+        path so both stay equivalent by construction.
+        """
         state = self._states.get(link)
         if state is None:
             state = LinkDelayState.create(self.alpha, self.seed_bins)

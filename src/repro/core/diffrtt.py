@@ -10,62 +10,149 @@ median statistics both need the per-probe, per-AS structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
 from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.atlas.model import Traceroute
 from repro.core.alarms import Link
 
 
-@dataclass
 class LinkObservations:
-    """Differential RTT samples for one link within one time bin."""
+    """Differential RTT samples for one link within one time bin.
 
-    link: Link
-    samples_by_probe: Dict[int, List[float]] = field(default_factory=dict)
-    probe_asn: Dict[int, Optional[int]] = field(default_factory=dict)
+    Samples are accumulated into one flat preallocated-style ``array('d')``
+    buffer with per-probe ``(start, stop)`` segments instead of per-hop
+    Python lists — the bin hot path appends thousands of samples per link,
+    and a contiguous buffer both avoids per-float object overhead and lets
+    :meth:`samples_array` hand numpy a copy without boxing each value.
+    ``samples_by_probe`` is kept as a compatibility property that
+    materialises the historical dict-of-lists view.
+    """
+
+    __slots__ = ("link", "probe_asn", "_samples", "_segments")
+
+    def __init__(self, link: Link) -> None:
+        self.link = link
+        self.probe_asn: Dict[int, Optional[int]] = {}
+        self._samples = array("d")
+        self._segments: Dict[int, List[Tuple[int, int]]] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkObservations(link={self.link!r}, "
+            f"n_probes={self.n_probes}, n_samples={self.n_samples})"
+        )
 
     def add(
         self, probe_id: int, asn: Optional[int], samples: Iterable[float]
     ) -> None:
-        bucket = self.samples_by_probe.setdefault(probe_id, [])
-        bucket.extend(samples)
+        buffer = self._samples
+        start = len(buffer)
+        buffer.extend(samples)
+        self._segments.setdefault(probe_id, []).append((start, len(buffer)))
         self.probe_asn[probe_id] = asn
 
     @property
+    def samples_by_probe(self) -> Dict[int, List[float]]:
+        """Historical dict-of-lists view (materialised on access)."""
+        buffer = self._samples
+        return {
+            probe_id: [
+                value
+                for start, stop in segments
+                for value in buffer[start:stop]
+            ]
+            for probe_id, segments in self._segments.items()
+        }
+
+    def probe_ids(self) -> Iterable[int]:
+        """Probe identifiers in first-observation order."""
+        return self._segments.keys()
+
+    @property
     def n_probes(self) -> int:
-        return len(self.samples_by_probe)
+        return len(self._segments)
 
     @property
     def n_samples(self) -> int:
-        return sum(len(v) for v in self.samples_by_probe.values())
+        return len(self._samples)
 
     def asns(self) -> Dict[int, int]:
         """Probe counts per origin AS (unknown-AS probes are skipped)."""
         counts: Dict[int, int] = {}
-        for probe_id in self.samples_by_probe:
+        for probe_id in self._segments:
             asn = self.probe_asn.get(probe_id)
             if asn is None:
                 continue
             counts[asn] = counts.get(asn, 0) + 1
         return counts
 
+    def _selected_segments(
+        self, probe_ids: Optional[Iterable[int]]
+    ) -> List[Tuple[int, int]]:
+        if probe_ids is None:
+            return [
+                segment
+                for segments in self._segments.values()
+                for segment in segments
+            ]
+        return [
+            segment
+            for probe_id in probe_ids
+            if probe_id in self._segments
+            for segment in self._segments[probe_id]
+        ]
+
     def all_samples(
         self, probe_ids: Optional[Iterable[int]] = None
     ) -> List[float]:
         """Flatten samples, optionally restricted to *probe_ids*."""
-        if probe_ids is None:
-            selected = self.samples_by_probe.values()
-        else:
-            selected = (
-                self.samples_by_probe[p]
-                for p in probe_ids
-                if p in self.samples_by_probe
-            )
+        buffer = self._samples
         flat: List[float] = []
-        for chunk in selected:
-            flat.extend(chunk)
+        for start, stop in self._selected_segments(probe_ids):
+            flat.extend(buffer[start:stop])
         return flat
+
+    def samples_array(
+        self,
+        probe_ids: Optional[Iterable[int]] = None,
+        ordered: bool = True,
+    ) -> np.ndarray:
+        """Samples as a fresh float64 array (no per-value boxing).
+
+        Same values and ordering as :meth:`all_samples`; this is the form
+        the vectorized engine feeds to the batched Wilson interval.  Pass
+        ``ordered=False`` when only the multiset of values matters (e.g.
+        feeding a sort): when *probe_ids* covers every observed probe the
+        whole buffer is copied in insertion order, skipping the
+        per-segment gather.
+        """
+        if probe_ids is not None:
+            probe_ids = list(probe_ids)
+        if not ordered:
+            covered = (
+                len(self._segments)
+                if probe_ids is None
+                else sum(1 for p in probe_ids if p in self._segments)
+            )
+            if covered == len(self._segments):
+                if not self._samples:
+                    return np.empty(0, dtype=np.float64)
+                return np.frombuffer(self._samples, dtype=np.float64).copy()
+        segments = self._selected_segments(probe_ids)
+        total = sum(stop - start for start, stop in segments)
+        out = np.empty(total, dtype=np.float64)
+        if total == 0:
+            return out
+        view = np.frombuffer(self._samples, dtype=np.float64)
+        position = 0
+        for start, stop in segments:
+            length = stop - start
+            out[position : position + length] = view[start:stop]
+            position += length
+        return out
 
 
 def differential_rtts(

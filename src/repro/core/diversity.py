@@ -13,6 +13,7 @@ this:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
@@ -41,8 +42,13 @@ class DiversityVerdict:
 class DiversityFilter:
     """Apply the two §4.3 criteria to per-link observations.
 
-    The rebalancing discard is random per the paper; a seeded generator
-    keeps runs reproducible.
+    The rebalancing discard is random per the paper; the generator for
+    each evaluation is derived deterministically from ``(seed, link,
+    evaluation round)`` rather than drawn from one shared stream.  This
+    keeps runs reproducible *and* makes the draws independent of the
+    order links are evaluated in — the property the sharded engine needs
+    so that serial and any-N-shard runs make identical rebalancing
+    choices for every link.
     """
 
     def __init__(
@@ -57,12 +63,22 @@ class DiversityFilter:
             raise ValueError(f"min_entropy must be in [0,1): {min_entropy}")
         self.min_asns = min_asns
         self.min_entropy = min_entropy
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
+        self._rounds: Dict[object, int] = {}
+
+    def _rng_for(self, link: object, evaluation_round: int):
+        """Generator seeded stably by (filter seed, link, round)."""
+        key = f"{self.seed}|{link!r}|{evaluation_round}".encode()
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return np.random.default_rng(int.from_bytes(digest, "big"))
 
     def evaluate(self, observations: LinkObservations) -> DiversityVerdict:
         """Filter one link's observations; never mutates the input."""
+        link = observations.link
+        evaluation_round = self._rounds.get(link, 0)
+        self._rounds[link] = evaluation_round + 1
         by_asn: Dict[int, List[int]] = {}
-        for probe_id in observations.samples_by_probe:
+        for probe_id in observations.probe_ids():
             asn = observations.probe_asn.get(probe_id)
             if asn is None:
                 continue  # unmappable probes cannot attest diversity
@@ -83,14 +99,17 @@ class DiversityFilter:
         # random probes from the most-represented AS.
         working = {asn: list(probes) for asn, probes in by_asn.items()}
         discarded: List[int] = []
+        rng = None
         while True:
             counts = {asn: len(probes) for asn, probes in working.items()}
             entropy = normalized_entropy(counts)
             if entropy > self.min_entropy:
                 break
+            if rng is None:  # only diverse-but-skewed links pay for an RNG
+                rng = self._rng_for(link, evaluation_round)
             largest = max(counts, key=lambda a: counts[a])
             candidates = working[largest]
-            index = int(self._rng.integers(0, len(candidates)))
+            index = int(rng.integers(0, len(candidates)))
             discarded.append(candidates.pop(index))
             if not candidates:
                 del working[largest]

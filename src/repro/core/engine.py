@@ -1,0 +1,845 @@
+"""Sharded parallel execution engine with vectorized hot paths.
+
+:class:`~repro.core.pipeline.Pipeline` is the paper-shaped *reference*
+implementation: it analyses links one at a time in readable pure-Python
+loops.  This module is the *production* execution layer built for the
+paper's actual scale (2.8 billion traceroutes):
+
+* :func:`extract_bin` fuses differential-RTT extraction (§4.2.1) and
+  forwarding-pattern extraction (§5.1) into one pass over each
+  traceroute, computing every per-hop grouping exactly once;
+* :class:`_ShardCore` holds one shard's detector state and analyses its
+  link partition with batched statistics —
+  :func:`~repro.stats.wilson.median_confidence_interval_batch` (one
+  padded 2-D sort per bin instead of one sort per link) and
+  :func:`~repro.stats.correlation.pearson_correlation_batch`;
+* :class:`ShardedPipeline` consistently hashes links (and routers, for
+  the forwarding method) into N independent shards, fans each bin out
+  over a serial loop, a thread pool, or persistent per-shard worker
+  processes, and merges results deterministically (alarms sorted by
+  link / model key) into the same :class:`~repro.core.pipeline.BinResult`
+  and :class:`~repro.core.pipeline.CampaignStats` the serial path
+  produces.
+
+Equivalence is a hard guarantee, not an aspiration: every numeric step
+of the batched path performs the same float64 arithmetic in the same
+order as the scalar path, the diversity filter draws per-link (not
+per-evaluation-order) random streams, and the property tests in
+``tests/test_engine_equivalence.py`` plus the equality assertions in
+``benchmarks/bench_engine_scaling.py`` hold the output bit-identical to
+the serial pipeline for any shard count and executor.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.atlas.model import Traceroute
+from repro.atlas.stream import TimeBinner
+from repro.core.alarms import (
+    UNRESPONSIVE,
+    DelayAlarm,
+    ForwardingAlarm,
+    Link,
+)
+from repro.core.delaydetector import DelayChangeDetector
+from repro.core.diffrtt import LinkObservations
+from repro.core.diversity import DiversityFilter, DiversityVerdict
+from repro.core.forwarding import (
+    ForwardingAnomalyDetector,
+    ModelKey,
+    Pattern,
+)
+from repro.core.pipeline import (
+    BinResult,
+    CampaignStats,
+    Pipeline,
+    PipelineConfig,
+    TrackedLinkPoint,
+)
+from repro.core.sharding import (
+    partition_observations,
+    partition_patterns,
+    shard_layout,
+    shard_of,
+)
+from repro.stats.wilson import (
+    WilsonInterval,
+    median_confidence_interval,
+    median_confidence_interval_batch,
+)
+
+def extract_bin(
+    traceroutes: Sequence[Traceroute],
+) -> Tuple[Dict[Link, LinkObservations], Dict[ModelKey, Pattern]]:
+    """One fused pass: differential RTTs *and* forwarding patterns.
+
+    Produces dictionaries equal to
+    ``(differential_rtts(trs), forwarding_patterns(trs))`` — same keys,
+    same sample values in the same order, same packet counts — but walks
+    each traceroute once, computing every hop's reply grouping a single
+    time instead of re-deriving ``responding_ips`` / ``rtts_for`` /
+    ``primary_ip`` / ``is_unresponsive`` per use as the reference
+    functions do.  This is where most of the serial pipeline's bin time
+    goes, so the fusion is the engine's single biggest win.
+    """
+    links: Dict[Link, LinkObservations] = {}
+    patterns: Dict[ModelKey, Pattern] = {}
+    links_get = links.get
+    patterns_get = patterns.get
+    for traceroute in traceroutes:
+        hops = traceroute.hops
+        if len(hops) < 2:
+            # A single hop yields neither a link nor a (router, next-hop)
+            # attribution; nothing to extract.
+            continue
+        probe_id = traceroute.prb_id
+        probe_asn = traceroute.from_asn
+        destination = traceroute.dst_addr
+
+        # Per-hop groupings, each computed exactly once:
+        #   ip_rtts — ordered {ip -> [non-None rtts]} (responding_ips +
+        #             rtts_for in one structure),
+        #   counts  — replies per responding IP (primary_ip + the §5.1
+        #             per-next-hop packet attribution),
+        #   lost    — packets with no reply (the ``*`` bucket),
+        #   primary — most frequent responding IP (ties by IP).
+        infos = []
+        ttls = []
+        for hop in hops:
+            replies = hop.replies
+            ttls.append(hop.ttl)
+            # Fast path: every packet answered by the same IP — the
+            # overwhelmingly common Paris-traceroute outcome.
+            uniform = bool(replies)
+            first_ip = replies[0].ip if replies else None
+            if first_ip is None:
+                uniform = False
+            else:
+                for reply in replies:
+                    if reply.ip != first_ip:
+                        uniform = False
+                        break
+            if uniform:
+                # The dict forms are materialised lazily (mixed pairs
+                # only); uniform-uniform pairs never need them.
+                rtts = [
+                    reply.rtt_ms
+                    for reply in replies
+                    if reply.rtt_ms is not None
+                ]
+                infos.append(
+                    (None, None, 0, first_ip, rtts, len(replies))
+                )
+                continue
+            ip_rtts: Dict[str, List[float]] = {}
+            counts: Dict[str, int] = {}
+            lost = 0
+            for reply in replies:
+                ip = reply.ip
+                if ip is None:
+                    lost += 1
+                    continue
+                samples = ip_rtts.get(ip)
+                if samples is None:
+                    samples = ip_rtts[ip] = []
+                    counts[ip] = 1
+                else:
+                    counts[ip] += 1
+                rtt = reply.rtt_ms
+                if rtt is not None:
+                    samples.append(rtt)
+            if not counts:
+                primary = None
+            elif len(counts) == 1:
+                (primary,) = counts
+            else:
+                primary = max(counts, key=lambda ip: (counts[ip], ip))
+            infos.append((ip_rtts, counts, lost, primary, None, 0))
+
+        for index in range(len(hops) - 1):
+            if ttls[index + 1] != ttls[index] + 1:
+                continue  # TTL gap: routers are not IP-adjacent
+            near_info = infos[index]
+            far_info = infos[index + 1]
+            near_single = near_info[4]
+            far_single_rtts = far_info[4]
+            if near_single is not None and far_single_rtts is not None:
+                # Both hops uniform: one candidate link, one next hop.
+                near_ip = near_info[3]
+                far_ip = far_info[3]
+                if near_single and far_single_rtts and far_ip != near_ip:
+                    link = (near_ip, far_ip)
+                    samples = [
+                        far - near
+                        for far in far_single_rtts
+                        for near in near_single
+                    ]
+                    observations = links_get(link)
+                    if observations is None:
+                        observations = links[link] = LinkObservations(link)
+                    # Inlined LinkObservations.add — this runs once per
+                    # probe per link per bin, and the call overhead is
+                    # measurable at campaign scale.
+                    buffer = observations._samples
+                    start = len(buffer)
+                    buffer.extend(samples)
+                    observations._segments.setdefault(
+                        probe_id, []
+                    ).append((start, len(buffer)))
+                    observations.probe_asn[probe_id] = probe_asn
+                key = (near_ip, destination)
+                pattern = patterns_get(key)
+                if pattern is None:
+                    pattern = patterns[key] = {}
+                pattern[far_ip] = pattern.get(far_ip, 0.0) + far_info[5]
+                continue
+
+            near_rtts = near_info[0]
+            if near_rtts is None:  # materialise a uniform hop's dict form
+                near_rtts = {near_info[3]: near_info[4]}
+            far_rtts = far_info[0]
+            if far_rtts is None:
+                far_rtts = {far_info[3]: far_info[4]}
+            if near_rtts and far_rtts:  # both hops responsive (§4.2.1)
+                for near_ip, near_samples in near_rtts.items():
+                    if not near_samples:
+                        continue
+                    for far_ip, far_samples in far_rtts.items():
+                        if far_ip == near_ip or not far_samples:
+                            continue
+                        link = (near_ip, far_ip)
+                        samples = [
+                            far - near
+                            for far in far_samples
+                            for near in near_samples
+                        ]
+                        observations = links_get(link)
+                        if observations is None:
+                            observations = links[link] = LinkObservations(link)
+                        buffer = observations._samples
+                        start = len(buffer)
+                        buffer.extend(samples)
+                        observations._segments.setdefault(
+                            probe_id, []
+                        ).append((start, len(buffer)))
+                        observations.probe_asn[probe_id] = probe_asn
+            router_ip = near_info[3]
+            if router_ip is not None:  # §5.1 packet attribution
+                key = (router_ip, destination)
+                pattern = patterns_get(key)
+                if pattern is None:
+                    pattern = patterns[key] = {}
+                far_counts = far_info[1]
+                if far_counts is None:  # uniform far hop: one next hop
+                    far_ip = far_info[3]
+                    pattern[far_ip] = pattern.get(far_ip, 0.0) + far_info[5]
+                else:
+                    for next_hop, count in far_counts.items():
+                        pattern[next_hop] = pattern.get(next_hop, 0.0) + count
+                    far_lost = far_info[2]
+                    if far_lost:
+                        pattern[UNRESPONSIVE] = (
+                            pattern.get(UNRESPONSIVE, 0.0) + far_lost
+                        )
+    return links, patterns
+
+
+@dataclass
+class _ShardBinOutput:
+    """What one shard contributes to one bin's merged result."""
+
+    shard_id: int
+    delay_alarms: List[DelayAlarm]
+    forwarding_alarms: List[ForwardingAlarm]
+    n_links_analyzed: int
+
+
+@dataclass
+class _ShardSnapshot:
+    """One shard's cumulative statistics and tracked-link series."""
+
+    links_analyzed: Set[Link]
+    links_alarmed: Set[Link]
+    probes_per_link: Dict[Link, int]
+    forwarding_models: int
+    forwarding_routers: int
+    next_hops_total: int
+    tracked: Dict[Link, List[TrackedLinkPoint]]
+
+
+class _ShardCore:
+    """One shard's detection state and vectorized per-bin analysis.
+
+    Mirrors the serial :class:`Pipeline` per-link logic exactly, but
+    characterises all of the shard's accepted links with one batched
+    Wilson call and judges all of its forwarding models with one batched
+    correlation call.  Runs wherever the executor puts it — inline, on a
+    thread, or inside a persistent worker process.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        config: PipelineConfig,
+        tracked_links: Set[Link],
+    ) -> None:
+        self.shard_id = shard_id
+        self.config = config
+        self.diversity = DiversityFilter(
+            min_asns=config.min_asns,
+            min_entropy=config.min_entropy,
+            seed=config.seed,
+        )
+        self.delay_detector = DelayChangeDetector(
+            alpha=config.alpha,
+            z=config.z,
+            min_shift_ms=config.min_shift_ms,
+            winsorize=config.winsorize,
+        )
+        self.forwarding_detector = ForwardingAnomalyDetector(
+            tau=config.tau,
+            alpha=config.alpha,
+            warmup_bins=config.forwarding_warmup,
+        )
+        self.tracked: Dict[Link, List[TrackedLinkPoint]] = {
+            link: [] for link in tracked_links
+        }
+        self._links_analyzed: Set[Link] = set()
+        self._links_alarmed: Set[Link] = set()
+        self._probes_per_link: Dict[Link, int] = {}
+
+    def process_partition(
+        self,
+        timestamp: int,
+        observations: Dict[Link, LinkObservations],
+        patterns: Dict[ModelKey, Pattern],
+    ) -> _ShardBinOutput:
+        """Analyse this shard's slice of one time bin."""
+        if not observations and not patterns and not self.tracked:
+            return _ShardBinOutput(self.shard_id, [], [], 0)
+        delay_alarms: List[DelayAlarm] = []
+        analyzed = 0
+
+        links = sorted(observations)
+        tracked_rejected: List[Tuple[Link, DiversityVerdict]] = []
+        accepted: List[Link] = []
+        accepted_verdicts: List[DiversityVerdict] = []
+        sample_arrays: List[np.ndarray] = []
+        for link in links:
+            verdict = self.diversity.evaluate(observations[link])
+            if verdict.accepted:
+                accepted.append(link)
+                accepted_verdicts.append(verdict)
+                # Unordered is fine here: the batched Wilson interval
+                # sorts, so only the multiset of samples matters.
+                sample_arrays.append(
+                    observations[link].samples_array(
+                        verdict.kept_probes, ordered=False
+                    )
+                )
+            elif link in self.tracked:
+                tracked_rejected.append((link, verdict))
+
+        intervals = median_confidence_interval_batch(
+            sample_arrays, z=self.config.z
+        )
+        analyzed = len(accepted)
+        for link, verdict, observed in zip(
+            accepted, accepted_verdicts, intervals
+        ):
+            self._links_analyzed.add(link)
+            n_kept = len(verdict.kept_probes)
+            previous = self._probes_per_link.get(link, 0)
+            self._probes_per_link[link] = (
+                previous if previous >= n_kept else n_kept
+            )
+            is_tracked = link in self.tracked
+            reference_before = (
+                self.delay_detector.reference_of(link) if is_tracked else None
+            )
+            alarm = self.delay_detector.observe_interval(
+                timestamp,
+                link,
+                observed,
+                n_probes=n_kept,
+                n_asns=verdict.n_asns,
+            )
+            if alarm is not None:
+                delay_alarms.append(alarm)
+                self._links_alarmed.add(link)
+            if is_tracked:
+                self._record_tracked(
+                    link,
+                    timestamp,
+                    observations[link],
+                    verdict,
+                    alarm,
+                    reference_before,
+                    observed,
+                )
+
+        for link, verdict in tracked_rejected:
+            self._record_tracked(
+                link, timestamp, observations[link], verdict, None, None, None
+            )
+        for link in self.tracked:
+            if link not in observations:
+                # No samples this bin: the Figure 11b gap point.
+                self.tracked[link].append(
+                    TrackedLinkPoint(
+                        timestamp=timestamp,
+                        observed=None,
+                        reference=self.delay_detector.reference_of(link),
+                        alarmed=False,
+                        accepted=False,
+                        n_probes=0,
+                    )
+                )
+
+        forwarding_alarms = self.forwarding_detector.observe_bin_batched(
+            timestamp, patterns
+        )
+        return _ShardBinOutput(
+            shard_id=self.shard_id,
+            delay_alarms=delay_alarms,
+            forwarding_alarms=forwarding_alarms,
+            n_links_analyzed=analyzed,
+        )
+
+    def _record_tracked(
+        self,
+        link: Link,
+        timestamp: int,
+        link_obs: LinkObservations,
+        verdict: DiversityVerdict,
+        alarm: Optional[DelayAlarm],
+        reference_before: Optional[WilsonInterval],
+        observed: Optional[WilsonInterval],
+    ) -> None:
+        if verdict.accepted:
+            samples = link_obs.samples_array(verdict.kept_probes)
+            n_probes = len(verdict.kept_probes)
+        else:
+            samples = link_obs.samples_array()
+            n_probes = link_obs.n_probes
+        if observed is None and samples.size:
+            observed = median_confidence_interval(samples, z=self.config.z)
+        mean = sample_std = None
+        if samples.size:
+            mean = float(samples.mean())
+            sample_std = float(samples.std())
+        self.tracked[link].append(
+            TrackedLinkPoint(
+                timestamp=timestamp,
+                observed=observed,
+                reference=reference_before
+                if reference_before is not None
+                else self.delay_detector.reference_of(link),
+                alarmed=alarm is not None,
+                accepted=verdict.accepted,
+                n_probes=n_probes,
+                mean=mean,
+                sample_std=sample_std,
+            )
+        )
+
+    def snapshot(self) -> _ShardSnapshot:
+        return _ShardSnapshot(
+            links_analyzed=set(self._links_analyzed),
+            links_alarmed=set(self._links_alarmed),
+            probes_per_link=dict(self._probes_per_link),
+            forwarding_models=self.forwarding_detector.n_models,
+            forwarding_routers=self.forwarding_detector.n_routers,
+            next_hops_total=self.forwarding_detector.next_hops_total(),
+            tracked={link: list(points) for link, points in self.tracked.items()},
+        )
+
+
+def _tracked_partition(
+    config: PipelineConfig, n_shards: int
+) -> List[Set[Link]]:
+    """Assign each tracked link to its owning shard."""
+    parts: List[Set[Link]] = [set() for _ in range(n_shards)]
+    for link in config.track_links:
+        parts[shard_of(link, n_shards)].add(link)
+    return parts
+
+
+# -- executor backends -------------------------------------------------------
+
+
+class _SerialBackend:
+    """All shard cores in-process, processed one after another."""
+
+    def __init__(self, config: PipelineConfig, n_shards: int) -> None:
+        tracked = _tracked_partition(config, n_shards)
+        self.cores = [
+            _ShardCore(shard, config, tracked[shard])
+            for shard in range(n_shards)
+        ]
+
+    def run_bin(
+        self, timestamp: int, parts: List[Tuple[dict, dict]]
+    ) -> List[_ShardBinOutput]:
+        return [
+            core.process_partition(timestamp, observations, patterns)
+            for core, (observations, patterns) in zip(self.cores, parts)
+        ]
+
+    def snapshots(self) -> List[_ShardSnapshot]:
+        return [core.snapshot() for core in self.cores]
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+
+class _ThreadBackend(_SerialBackend):
+    """Shard cores in-process, bins fanned out over a thread pool.
+
+    Python-level work still serialises on the GIL, but the batched numpy
+    sorts release it; mostly useful as a low-overhead middle ground and
+    for exercising the fan-out/merge machinery without processes.
+    """
+
+    def __init__(
+        self, config: PipelineConfig, n_shards: int, n_jobs: int
+    ) -> None:
+        super().__init__(config, n_shards)
+        self.pool = ThreadPoolExecutor(
+            max_workers=min(n_jobs, n_shards),
+            thread_name_prefix="repro-shard",
+        )
+
+    def run_bin(
+        self, timestamp: int, parts: List[Tuple[dict, dict]]
+    ) -> List[_ShardBinOutput]:
+        futures = [
+            self.pool.submit(
+                core.process_partition, timestamp, observations, patterns
+            )
+            for core, (observations, patterns) in zip(self.cores, parts)
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=True)
+
+
+def _worker_main(connection, shard_ids, config, tracked_by_shard) -> None:
+    """Body of one persistent worker process owning one or more shards."""
+    cores = {
+        shard: _ShardCore(shard, config, tracked_by_shard[shard])
+        for shard in shard_ids
+    }
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:
+            break
+        tag = message[0]
+        try:
+            if tag == "bin":
+                _, timestamp, parts = message
+                outputs = [
+                    cores[shard].process_partition(timestamp, *parts[shard])
+                    for shard in shard_ids
+                ]
+                connection.send(("ok", outputs))
+            elif tag == "snapshot":
+                connection.send(
+                    ("ok", [cores[shard].snapshot() for shard in shard_ids])
+                )
+            elif tag == "stop":
+                connection.send(("ok", None))
+                break
+            else:  # pragma: no cover - protocol misuse guard
+                connection.send(("error", f"unknown message tag: {tag!r}"))
+        except Exception:  # pragma: no cover - surfaced in the parent
+            connection.send(("error", traceback.format_exc()))
+    connection.close()
+
+
+class _ProcessBackend:
+    """Persistent per-shard worker processes connected by pipes.
+
+    Each worker owns its shards' detector state for the whole campaign —
+    only the per-bin partitions travel over the pipes, never the
+    accumulated references.  Replies are collected in worker order, so
+    merging stays deterministic regardless of scheduling.
+    """
+
+    def __init__(
+        self, config: PipelineConfig, n_shards: int, n_jobs: int
+    ) -> None:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        tracked = _tracked_partition(config, n_shards)
+        self.n_shards = n_shards
+        self.workers: List[dict] = []
+        for shard_ids in shard_layout(n_shards, n_jobs):
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    child_end,
+                    shard_ids,
+                    config,
+                    {shard: tracked[shard] for shard in shard_ids},
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self.workers.append(
+                {"process": process, "pipe": parent_end, "shards": shard_ids}
+            )
+
+    def _collect(self) -> List:
+        payloads = []
+        for worker in self.workers:
+            tag, payload = worker["pipe"].recv()
+            if tag == "error":
+                self.close()
+                raise RuntimeError(f"shard worker failed:\n{payload}")
+            payloads.append(payload)
+        return payloads
+
+    def run_bin(
+        self, timestamp: int, parts: List[Tuple[dict, dict]]
+    ) -> List[_ShardBinOutput]:
+        for worker in self.workers:
+            worker["pipe"].send(
+                (
+                    "bin",
+                    timestamp,
+                    {shard: parts[shard] for shard in worker["shards"]},
+                )
+            )
+        outputs = [
+            output for payload in self._collect() for output in payload
+        ]
+        outputs.sort(key=lambda output: output.shard_id)
+        return outputs
+
+    def snapshots(self) -> List[_ShardSnapshot]:
+        for worker in self.workers:
+            worker["pipe"].send(("snapshot",))
+        return [snap for payload in self._collect() for snap in payload]
+
+    def close(self) -> None:
+        for worker in self.workers:
+            process, pipe = worker["process"], worker["pipe"]
+            try:
+                if process.is_alive():
+                    pipe.send(("stop",))
+                    pipe.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            try:
+                pipe.close()
+            except OSError:  # pragma: no cover
+                pass
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - stuck worker guard
+                process.terminate()
+        self.workers = []
+
+
+# -- the engine itself -------------------------------------------------------
+
+
+class ShardedPipeline:
+    """Sharded, vectorized drop-in for :class:`Pipeline`.
+
+    Same surface (``process_bin`` / ``run`` / ``stats`` / ``tracked`` /
+    ``config``), same output bit for bit, different execution strategy:
+    links are consistently hashed into ``config.n_shards`` independent
+    shards, each bin's per-shard work fans out over the configured
+    executor, and per-shard results merge deterministically (alarms
+    sorted by link / model key — exactly the order the serial loop
+    emits them in).
+
+    Use as a context manager (or call :meth:`close`) when the process
+    executor is active so worker processes are released promptly.
+    """
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.config = config or PipelineConfig()
+        cfg = self.config
+        self.n_shards = cfg.n_shards
+        self.executor = self._resolve_executor(cfg)
+        cpu = os.cpu_count() or 1
+        self.n_jobs = cfg.n_jobs or min(self.n_shards, cpu)
+        if self.executor == "serial":
+            self._backend = _SerialBackend(cfg, self.n_shards)
+        elif self.executor == "thread":
+            self._backend = _ThreadBackend(cfg, self.n_shards, self.n_jobs)
+        else:
+            self._backend = _ProcessBackend(cfg, self.n_shards, self.n_jobs)
+        self._links_seen: Set[Link] = set()
+        self._bins = 0
+        self._traceroutes = 0
+        self._snapshot_cache: Optional[Tuple[int, List[_ShardSnapshot]]] = None
+        self._closed = False
+        # Links and routers recur bin after bin; remembering their shard
+        # skips the consistent hash on every revisit.
+        self._link_shard: Dict[Link, int] = {}
+        self._router_shard: Dict[str, int] = {}
+
+    @staticmethod
+    def _resolve_executor(config: PipelineConfig) -> str:
+        """Map ``auto`` onto the machine: processes only when they help."""
+        if config.executor != "auto":
+            return config.executor
+        cpu = os.cpu_count() or 1
+        if config.n_shards > 1 and cpu > 1:
+            return "process"
+        return "serial"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+        if not self._closed:
+            # Preserve final statistics before workers go away.
+            self._snapshot_cache = (self._bins, self._backend.snapshots())
+            self._backend.close()
+            self._closed = True
+
+    def __enter__(self) -> "ShardedPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            if not getattr(self, "_closed", True):
+                self._backend.close()
+                self._closed = True
+        except Exception:
+            pass
+
+    # -- per-bin processing ------------------------------------------------
+
+    def process_bin(
+        self, timestamp: int, traceroutes: Sequence[Traceroute]
+    ) -> BinResult:
+        """Run both methods over one closed time bin, sharded."""
+        if self._closed:
+            raise RuntimeError("engine is closed; create a new one")
+        observations, patterns = extract_bin(traceroutes)
+        self._links_seen.update(observations)
+        observation_parts = partition_observations(
+            observations, self.n_shards, cache=self._link_shard
+        )
+        pattern_parts = partition_patterns(
+            patterns, self.n_shards, cache=self._router_shard
+        )
+        parts = list(zip(observation_parts, pattern_parts))
+        outputs = self._backend.run_bin(timestamp, parts)
+
+        delay_alarms = sorted(
+            (alarm for output in outputs for alarm in output.delay_alarms),
+            key=lambda alarm: alarm.link,
+        )
+        forwarding_alarms = sorted(
+            (
+                alarm
+                for output in outputs
+                for alarm in output.forwarding_alarms
+            ),
+            key=lambda alarm: (alarm.router_ip, alarm.destination),
+        )
+        self._bins += 1
+        self._traceroutes += len(traceroutes)
+        self._snapshot_cache = None
+        return BinResult(
+            timestamp=timestamp,
+            n_traceroutes=len(traceroutes),
+            n_links_observed=len(observations),
+            n_links_analyzed=sum(
+                output.n_links_analyzed for output in outputs
+            ),
+            delay_alarms=delay_alarms,
+            forwarding_alarms=forwarding_alarms,
+        )
+
+    # -- whole-campaign driving --------------------------------------------
+
+    def run(self, traceroutes: Iterable[Traceroute]) -> List[BinResult]:
+        """Bin an unbounded traceroute iterable and process every bin."""
+        binner = TimeBinner(bin_s=self.config.bin_s, dense=True)
+        return [
+            self.process_bin(start, list(bin_traceroutes))
+            for start, bin_traceroutes in binner.bins(traceroutes)
+        ]
+
+    # -- statistics --------------------------------------------------------
+
+    def _snapshots(self) -> List[_ShardSnapshot]:
+        if self._snapshot_cache and self._snapshot_cache[0] == self._bins:
+            return self._snapshot_cache[1]
+        if self._closed:  # cache predates close() only on the same bin count
+            raise RuntimeError("engine is closed and has no cached snapshot")
+        snapshots = self._backend.snapshots()
+        self._snapshot_cache = (self._bins, snapshots)
+        return snapshots
+
+    def stats(self) -> CampaignStats:
+        """Cumulative campaign statistics, merged across shards."""
+        snapshots = self._snapshots()
+        links_analyzed: Set[Link] = set()
+        links_alarmed: Set[Link] = set()
+        probes_sum = 0
+        models = routers = next_hops = 0
+        for snap in snapshots:
+            links_analyzed |= snap.links_analyzed
+            links_alarmed |= snap.links_alarmed
+            probes_sum += sum(snap.probes_per_link.values())
+            models += snap.forwarding_models
+            routers += snap.forwarding_routers
+            next_hops += snap.next_hops_total
+        return CampaignStats(
+            links_observed=len(self._links_seen),
+            links_analyzed=len(links_analyzed),
+            links_alarmed=len(links_alarmed),
+            max_probes_per_link_sum=probes_sum,
+            forwarding_models=models,
+            forwarding_routers=routers,
+            mean_next_hops=next_hops / models if models else 0.0,
+            bins_processed=self._bins,
+            traceroutes_processed=self._traceroutes,
+        )
+
+    @property
+    def tracked(self) -> Dict[Link, List[TrackedLinkPoint]]:
+        """Merged per-link tracked series (same content as the serial
+        pipeline's ``tracked`` attribute)."""
+        merged: Dict[Link, List[TrackedLinkPoint]] = {}
+        for snap in self._snapshots():
+            merged.update(snap.tracked)
+        return merged
+
+
+def create_pipeline(config: Optional[PipelineConfig] = None):
+    """Build the right engine for *config*.
+
+    ``n_shards == 1`` with the default executor returns the serial
+    reference :class:`Pipeline`; anything else returns a
+    :class:`ShardedPipeline`.
+    """
+    cfg = config or PipelineConfig()
+    if cfg.n_shards == 1 and cfg.executor in ("auto", "serial"):
+        return Pipeline(cfg)
+    return ShardedPipeline(cfg)

@@ -18,7 +18,10 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.atlas.model import Traceroute
 from repro.core.alarms import UNRESPONSIVE, ForwardingAlarm
-from repro.stats.correlation import pearson_correlation
+from repro.stats.correlation import (
+    pearson_correlation,
+    pearson_correlation_batch,
+)
 from repro.stats.smoothing import DEFAULT_ALPHA, VectorSmoother
 
 #: Detection threshold on the Pearson correlation (§5.2.1, knee of the
@@ -72,8 +75,13 @@ def responsibility_scores(
     ``r_i = -ρ · (p_i - p̄_i) / Σ_j |p_j - p̄_j|`` — positive for hops that
     appeared, negative for hops that lost traffic; near zero for hops
     whose packet counts did not move.
+
+    Keys are processed in sorted order so the floating-point
+    normalisation sum is independent of Python's per-process string-hash
+    seed — a requirement for the sharded engine's worker processes to
+    reproduce the serial pipeline bit for bit.
     """
-    keys = set(pattern) | set(reference)
+    keys = sorted(set(pattern) | set(reference), key=str)
     diffs = {
         key: pattern.get(key, 0.0) - reference.get(key, 0.0) for key in keys
     }
@@ -140,12 +148,15 @@ class ForwardingAnomalyDetector:
         state = self._states.get(key)
         return state.reference if state else None
 
+    def next_hops_total(self) -> int:
+        """Summed reference sizes over all models (for stat merging)."""
+        return sum(len(s.reference) for s in self._states.values())
+
     def mean_next_hops(self) -> float:
         """Average reference size over all models (paper reports ≈ 4)."""
         if not self._states:
             return 0.0
-        total = sum(len(s.reference) for s in self._states.values())
-        return total / len(self._states)
+        return self.next_hops_total() / len(self._states)
 
     # -- detection -------------------------------------------------------------
 
@@ -188,4 +199,59 @@ class ForwardingAnomalyDetector:
             alarm = self.observe(timestamp, key, patterns[key])
             if alarm is not None:
                 alarms.append(alarm)
+        return alarms
+
+    def observe_bin_batched(
+        self, timestamp: int, patterns: Dict[ModelKey, Pattern]
+    ) -> List[ForwardingAlarm]:
+        """Batched :meth:`observe_bin`: one vectorized correlation call.
+
+        Splits the bin's models into those still warming up and those to
+        judge, correlates all judged (pattern, reference) pairs with
+        :func:`pearson_correlation_batch`, then applies the same
+        alarm/update logic per model.  Per-model states are independent,
+        so the two-phase schedule produces results bit-identical to the
+        sequential method; the sharded engine uses this entry point.
+        """
+        judged = []  # (key, state, pattern, reference) past warm-up
+        passive = []  # (state, pattern) still building their reference
+        for key in sorted(patterns):
+            pattern = patterns[key]
+            if not pattern:
+                continue
+            state = self._states.get(key)
+            if state is None:
+                state = ForwardingModelState(VectorSmoother(self.alpha))
+                self._states[key] = state
+            reference = state.reference
+            if state.bins_seen >= self.warmup_bins and reference:
+                judged.append((key, state, pattern, reference))
+            else:
+                passive.append((state, pattern))
+
+        alarms: List[ForwardingAlarm] = []
+        correlations = pearson_correlation_batch(
+            [(pattern, reference) for _, _, pattern, reference in judged]
+        )
+        for (key, state, pattern, reference), correlation in zip(
+            judged, correlations
+        ):
+            if correlation < self.tau:
+                alarms.append(
+                    ForwardingAlarm(
+                        timestamp=timestamp,
+                        router_ip=key[0],
+                        destination=key[1],
+                        correlation=correlation,
+                        responsibilities=responsibility_scores(
+                            pattern, reference, correlation
+                        ),
+                        pattern=dict(pattern),
+                        reference=dict(reference),
+                    )
+                )
+                state.alarms_raised += 1
+            state.smoother.update(pattern)
+        for state, pattern in passive:
+            state.smoother.update(pattern)
         return alarms

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.atlas.model import Traceroute
 from repro.atlas.stream import DEFAULT_BIN_S, TimeBinner
 from repro.core.alarms import DelayAlarm, ForwardingAlarm, Link
@@ -41,12 +43,28 @@ from repro.core.forwarding import (
 )
 from repro.net.asmap import AsMapper
 from repro.stats.smoothing import DEFAULT_ALPHA
-from repro.stats.wilson import DEFAULT_Z, WilsonInterval
+from repro.stats.wilson import (
+    DEFAULT_Z,
+    WilsonInterval,
+    median_confidence_interval,
+)
+
+#: Executors understood by the sharded engine (``repro.core.engine``).
+_EXECUTORS = ("auto", "serial", "thread", "process")
 
 
 @dataclass
 class PipelineConfig:
-    """All tunables of the analysis, with the paper's defaults."""
+    """All tunables of the analysis, with the paper's defaults.
+
+    ``n_shards``, ``executor`` and ``n_jobs`` configure the sharded
+    parallel engine (:class:`repro.core.engine.ShardedPipeline`); the
+    serial :class:`Pipeline` ignores them.  ``executor`` is one of
+    ``auto`` (processes when the machine has more than one CPU, else a
+    serial loop), ``serial``, ``thread`` or ``process``; ``n_jobs``
+    bounds the worker count (default: one per shard, capped at the CPU
+    count).
+    """
 
     bin_s: int = DEFAULT_BIN_S
     alpha: float = DEFAULT_ALPHA
@@ -59,10 +77,21 @@ class PipelineConfig:
     winsorize: bool = True
     seed: int = 0
     track_links: Set[Link] = field(default_factory=set)
+    n_shards: int = 1
+    executor: str = "auto"
+    n_jobs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.bin_s <= 0:
             raise ValueError(f"bin size must be positive: {self.bin_s}")
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1: {self.n_shards}")
+        if self.executor not in _EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {_EXECUTORS}: {self.executor!r}"
+            )
+        if self.n_jobs is not None and self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1: {self.n_jobs}")
 
 
 @dataclass(frozen=True)
@@ -232,8 +261,6 @@ class Pipeline:
         else:
             samples = link_obs.all_samples()
             n_probes = link_obs.n_probes
-        from repro.stats.wilson import median_confidence_interval
-
         observed = (
             median_confidence_interval(samples, z=self.config.z)
             if samples
@@ -241,8 +268,6 @@ class Pipeline:
         )
         mean = sample_std = None
         if samples:
-            import numpy as np
-
             array = np.asarray(samples, dtype=float)
             mean = float(array.mean())
             sample_std = float(array.std())
@@ -319,10 +344,19 @@ def analyze_campaign(
     """Convenience driver: pipeline + AS aggregation in one call.
 
     ``start`` anchors the aggregation bin clock; by default the first
-    processed bin's timestamp is used.
+    processed bin's timestamp is used.  With ``config.n_shards > 1`` (or
+    a non-default executor) the sharded engine runs the campaign and is
+    finalised before returning; its output is bit-identical to the
+    serial pipeline's.
     """
-    pipeline = Pipeline(config)
+    # Imported here, not at module level: the engine imports this module
+    # for the result types, so a top-level import would be circular.
+    from repro.core.engine import ShardedPipeline, create_pipeline
+
+    pipeline = create_pipeline(config)
     bin_results = pipeline.run(traceroutes)
+    if isinstance(pipeline, ShardedPipeline):
+        pipeline.close()  # caches final stats/tracked, frees any workers
     anchor = start
     if anchor is None:
         anchor = bin_results[0].timestamp if bin_results else 0

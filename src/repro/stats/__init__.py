@@ -12,7 +12,11 @@ Every statistical primitive the paper relies on lives here:
 * Q-Q analysis against the normal distribution (Figure 3).
 """
 
-from repro.stats.correlation import align_patterns, pearson_correlation
+from repro.stats.correlation import (
+    align_patterns,
+    pearson_correlation,
+    pearson_correlation_batch,
+)
 from repro.stats.distributions import (
     eccdf,
     ecdf,
@@ -50,6 +54,7 @@ from repro.stats.wilson import (
     DEFAULT_Z,
     WilsonInterval,
     median_confidence_interval,
+    median_confidence_interval_batch,
     wilson_score_bounds,
 )
 
@@ -72,11 +77,13 @@ __all__ = [
     "median",
     "median_absolute_deviation",
     "median_confidence_interval",
+    "median_confidence_interval_batch",
     "normal_qq",
     "normality_verdict",
     "normalized_entropy",
     "outlier_count",
     "pearson_correlation",
+    "pearson_correlation_batch",
     "qq_linearity",
     "qq_max_deviation",
     "quantile_of_fraction",

@@ -1,0 +1,103 @@
+"""Tests for consistent shard assignment (`repro.core.sharding`)."""
+
+import pytest
+
+from repro.core.sharding import (
+    partition_observations,
+    partition_patterns,
+    shard_layout,
+    shard_of,
+    stable_hash64,
+)
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash64("10.0.0.1") == stable_hash64("10.0.0.1")
+
+    def test_distinct_inputs_differ(self):
+        assert stable_hash64("10.0.0.1") != stable_hash64("10.0.0.2")
+
+    def test_pinned_values(self):
+        """Regression pins: assignments must never change between
+        releases, or resumed campaigns would re-shard their state."""
+        assert stable_hash64("10.0.0.1") == 0x75A4FEE35DD3BA4C
+        assert stable_hash64("a|b") == 0x0D187ED6AE563ED7
+
+
+class TestShardOf:
+    def test_range_and_stability(self):
+        links = [(f"10.0.{i}.1", f"10.0.{i}.2") for i in range(300)]
+        for n_shards in (1, 2, 4, 8):
+            first = [shard_of(link, n_shards) for link in links]
+            second = [shard_of(link, n_shards) for link in links]
+            assert first == second
+            assert all(0 <= shard < n_shards for shard in first)
+
+    def test_single_shard_is_zero(self):
+        assert shard_of(("a", "b"), 1) == 0
+        assert shard_of("router", 1) == 0
+
+    def test_roughly_balanced(self):
+        links = [(f"10.{i // 250}.{i % 250}.1", "x") for i in range(2000)]
+        counts = [0] * 4
+        for link in links:
+            counts[shard_of(link, 4)] += 1
+        assert min(counts) > 2000 / 4 * 0.7
+
+    def test_string_and_tuple_keys_supported(self):
+        assert isinstance(shard_of("192.0.2.1", 8), int)
+        assert isinstance(shard_of(("192.0.2.1", "192.0.2.2"), 8), int)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_of("x", 0)
+
+
+class TestPartitions:
+    def test_observations_disjoint_and_complete(self):
+        observations = {(f"a{i}", f"b{i}"): i for i in range(50)}
+        parts = partition_observations(observations, 4)
+        assert len(parts) == 4
+        merged = {}
+        for part in parts:
+            assert not set(part) & set(merged)
+            merged.update(part)
+        assert merged == observations
+
+    def test_patterns_sharded_by_router(self):
+        """All of a router's models must land on the same shard, so
+        router-level statistics merge by addition."""
+        patterns = {
+            (f"r{i % 7}", f"d{i}"): {"n": float(i)} for i in range(70)
+        }
+        parts = partition_patterns(patterns, 4)
+        router_shard = {}
+        for shard, part in enumerate(parts):
+            for router, _ in part:
+                assert router_shard.setdefault(router, shard) == shard
+        assert sum(len(part) for part in parts) == len(patterns)
+
+
+class TestShardLayout:
+    def test_even_split(self):
+        assert shard_layout(4, 2) == [[0, 1], [2, 3]]
+
+    def test_uneven_split(self):
+        assert shard_layout(5, 2) == [[0, 1, 2], [3, 4]]
+
+    def test_more_jobs_than_shards(self):
+        assert shard_layout(2, 8) == [[0], [1]]
+
+    def test_all_shards_covered_once(self):
+        for n_shards in (1, 3, 8, 13):
+            for n_jobs in (1, 2, 5, 16):
+                layout = shard_layout(n_shards, n_jobs)
+                flat = [shard for worker in layout for shard in worker]
+                assert sorted(flat) == list(range(n_shards))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_layout(0, 1)
+        with pytest.raises(ValueError):
+            shard_layout(1, 0)

@@ -1,0 +1,38 @@
+"""Documentation lint, enforced in tier-1.
+
+Every module under ``src/repro`` must carry a module docstring, and
+every public module-level class/function must be documented — the same
+check ``make docs`` / ``tools/doclint.py`` runs, imported here so the
+test suite fails fast when an undocumented module lands.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_doclint():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import doclint
+    finally:
+        sys.path.pop(0)
+    return doclint
+
+
+def test_every_module_documented():
+    doclint = _load_doclint()
+    problems = doclint.lint_tree(REPO_ROOT / "src" / "repro")
+    assert problems == [], "\n".join(problems)
+
+
+def test_doclint_detects_missing_docstrings(tmp_path):
+    doclint = _load_doclint()
+    bad = tmp_path / "bad.py"
+    bad.write_text("def public():\n    pass\n")
+    problems = doclint.lint_file(bad)
+    assert len(problems) == 2  # module + function
+    good = tmp_path / "good.py"
+    good.write_text('"""Doc."""\n\ndef public():\n    """Doc."""\n')
+    assert doclint.lint_file(good) == []

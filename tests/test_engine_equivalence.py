@@ -1,0 +1,271 @@
+"""Serial-vs-sharded equivalence: the engine's core guarantee.
+
+The sharded engine must be a *drop-in* for the serial reference
+pipeline: same alarms, same statistics, same tracked-link series — bit
+for bit, for any shard count, any executor, and any workload.  These
+tests drive both implementations over synthetic campaigns rich enough to
+exercise every code path (diversity rejection *and* entropy rebalancing,
+delay alarms in both directions, forwarding churn, tracked links with
+gaps) and assert full structural equality.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.atlas import make_traceroute
+from repro.core import (
+    Pipeline,
+    PipelineConfig,
+    ShardedPipeline,
+    create_pipeline,
+    differential_rtts,
+    extract_bin,
+    forwarding_patterns,
+)
+
+# -- synthetic campaign generator -------------------------------------------
+
+
+def _campaign(n_links=12, n_probes=9, n_bins=10, seed=3):
+    """A deterministic multi-link campaign with events.
+
+    Includes: a mid-campaign delay shift on some links (delay alarms), a
+    next-hop flip on one destination (forwarding alarms), a heavily
+    skewed AS distribution on one link (entropy rebalancing), a
+    single-AS link (diversity rejection), and a link that vanishes for
+    two bins (tracked-link gap points).
+    """
+    rng = np.random.default_rng(seed)
+    traceroutes = []
+    for bin_index in range(n_bins):
+        timestamp = bin_index * 3600
+        for link_index in range(n_links):
+            near = f"10.{link_index}.0.1"
+            far = f"10.{link_index}.0.2"
+            if link_index == 1 and bin_index in (6, 7):
+                continue  # tracked-link gap
+            shift = 20.0 if bin_index >= 7 and link_index % 3 == 0 else 0.0
+            for probe in range(n_probes):
+                if link_index == 2:
+                    asn = 65001  # single AS: diversity-rejected
+                elif link_index == 3:
+                    # 7 probes in one AS, one each in two others: skewed
+                    # enough to trigger entropy rebalancing.
+                    asn = 65001 if probe < 7 else 65002 + (probe % 2)
+                else:
+                    asn = 65001 + probe % 4
+                base = 10.0 + probe
+                near_rtts = base + rng.normal(0.0, 0.2, 2)
+                far_rtts = base + 6.0 + shift + rng.normal(0.0, 0.2, 2)
+                next_hop = far
+                if link_index == 4 and bin_index >= 6:
+                    next_hop = f"10.{link_index}.9.9"  # forwarding flip
+                traceroutes.append(
+                    make_traceroute(
+                        probe + link_index * 100,
+                        f"src{probe}",
+                        f"dst{link_index}",
+                        timestamp + probe,
+                        [
+                            [(near, float(value)) for value in near_rtts],
+                            [(next_hop, float(value)) for value in far_rtts],
+                        ],
+                        from_asn=asn,
+                    )
+                )
+    return traceroutes
+
+
+TRACKED = {
+    ("10.0.0.1", "10.0.0.2"),  # alarmed link
+    ("10.1.0.1", "10.1.0.2"),  # link with a two-bin gap
+    ("10.2.0.1", "10.2.0.2"),  # diversity-rejected link
+    ("192.0.2.1", "192.0.2.2"),  # never observed at all
+}
+
+
+def _config(**kwargs):
+    return PipelineConfig(track_links=set(TRACKED), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return _campaign()
+
+
+@pytest.fixture(scope="module")
+def serial_results(campaign):
+    pipeline = Pipeline(_config())
+    results = pipeline.run(campaign)
+    return pipeline, results
+
+
+# -- the equivalence properties ---------------------------------------------
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_identical_results_stats_and_tracked(
+        self, campaign, serial_results, n_shards
+    ):
+        serial, results = serial_results
+        engine = ShardedPipeline(_config(n_shards=n_shards, executor="serial"))
+        engine_results = engine.run(campaign)
+        assert engine_results == results
+        assert engine.stats() == serial.stats()
+        assert engine.tracked == serial.tracked
+
+    def test_campaign_exercises_every_path(self, serial_results):
+        """Guard against vacuous equivalence: the synthetic campaign
+        must actually produce alarms and rebalancing."""
+        serial, results = serial_results
+        assert sum(len(r.delay_alarms) for r in results) > 0
+        assert sum(len(r.forwarding_alarms) for r in results) > 0
+        stats = serial.stats()
+        assert stats.links_alarmed > 0
+        assert stats.links_analyzed < stats.links_observed  # rejection
+        gap_link = ("10.1.0.1", "10.1.0.2")
+        observed = [p.observed is None for p in serial.tracked[gap_link]]
+        assert any(observed)  # the gap produced hole points
+
+    def test_process_executor_identical(self, campaign, serial_results):
+        serial, results = serial_results
+        with ShardedPipeline(
+            _config(n_shards=2, executor="process", n_jobs=2)
+        ) as engine:
+            engine_results = engine.run(campaign)
+            assert engine_results == results
+            assert engine.stats() == serial.stats()
+            assert engine.tracked == serial.tracked
+
+    def test_thread_executor_identical(self, campaign, serial_results):
+        serial, results = serial_results
+        with ShardedPipeline(
+            _config(n_shards=3, executor="thread", n_jobs=2)
+        ) as engine:
+            assert engine.run(campaign) == results
+            assert engine.stats() == serial.stats()
+
+    def test_uneven_worker_to_shard_mapping(self, campaign, serial_results):
+        """3 shards on 2 process workers: one worker owns two shards."""
+        serial, results = serial_results
+        with ShardedPipeline(
+            _config(n_shards=3, executor="process", n_jobs=2)
+        ) as engine:
+            assert engine.run(campaign) == results
+            assert engine.stats() == serial.stats()
+
+    def test_stats_available_after_close(self, campaign):
+        engine = ShardedPipeline(_config(n_shards=2, executor="serial"))
+        engine.run(campaign)
+        expected = engine.stats()
+        engine.close()
+        assert engine.stats() == expected
+        assert engine.tracked  # served from the final snapshot cache
+
+    def test_closed_engine_rejects_bins(self, campaign):
+        engine = ShardedPipeline(_config(n_shards=2, executor="serial"))
+        engine.close()
+        with pytest.raises(RuntimeError):
+            engine.process_bin(0, [])
+
+
+class TestCreatePipeline:
+    def test_default_is_serial_reference(self):
+        assert isinstance(create_pipeline(PipelineConfig()), Pipeline)
+        assert isinstance(create_pipeline(None), Pipeline)
+
+    def test_sharded_when_requested(self):
+        engine = create_pipeline(PipelineConfig(n_shards=2, executor="serial"))
+        assert isinstance(engine, ShardedPipeline)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(n_shards=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(executor="gpu")
+        with pytest.raises(ValueError):
+            PipelineConfig(n_jobs=0)
+
+
+class TestAnalyzeCampaignDispatch:
+    def test_sharded_analyze_campaign_matches_serial(self, campaign):
+        from repro.core import analyze_campaign
+        from repro.net import AsMapper
+
+        mapper = AsMapper([("0.0.0.0", 0, 64999)])
+        serial = analyze_campaign(campaign, mapper)
+        sharded = analyze_campaign(
+            campaign, mapper, config=PipelineConfig(
+                n_shards=4, executor="serial"
+            )
+        )
+        assert sharded.bin_results == serial.bin_results
+        assert sharded.stats() == serial.stats()
+        assert isinstance(sharded.pipeline, ShardedPipeline)
+
+
+# -- fused extraction equivalence -------------------------------------------
+
+ip_strategy = st.sampled_from(
+    ["10.0.0.1", "10.0.0.2", "10.0.1.1", "10.1.0.1", "10.1.0.2"]
+)
+rtt_strategy = st.floats(min_value=0.1, max_value=200.0, allow_nan=False)
+
+
+@st.composite
+def traceroute_strategy(draw):
+    n_hops = draw(st.integers(min_value=1, max_value=5))
+    hop_replies = []
+    for _ in range(n_hops):
+        n_replies = draw(st.integers(min_value=1, max_value=3))
+        replies = []
+        for _ in range(n_replies):
+            if draw(st.booleans()):
+                replies.append((draw(ip_strategy), draw(rtt_strategy)))
+            else:
+                replies.append((None, None))
+        hop_replies.append(replies)
+    return make_traceroute(
+        prb_id=draw(st.integers(0, 20)),
+        src_addr="192.0.2.1",
+        dst_addr=draw(ip_strategy),
+        timestamp=0,
+        hop_replies=hop_replies,
+        from_asn=draw(st.sampled_from([65001, 65002, 65003, None])),
+    )
+
+
+class TestExtractBinEquivalence:
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(traceroute_strategy(), max_size=15))
+    def test_matches_reference_extractors(self, traceroutes):
+        """extract_bin == (differential_rtts, forwarding_patterns),
+        including per-probe sample order and AS attribution."""
+        observations, patterns = extract_bin(traceroutes)
+        reference_obs = differential_rtts(traceroutes)
+        reference_pat = forwarding_patterns(traceroutes)
+        assert set(observations) == set(reference_obs)
+        for link, reference in reference_obs.items():
+            fused = observations[link]
+            assert fused.all_samples() == reference.all_samples()
+            assert fused.samples_by_probe == reference.samples_by_probe
+            assert fused.probe_asn == reference.probe_asn
+        assert patterns == reference_pat
+
+    def test_gap_ttls_and_uniform_fast_path(self):
+        """Mixed uniform/non-uniform hops and a TTL gap in one trace."""
+        traceroute = make_traceroute(
+            1, "s", "d", 0,
+            [
+                [("A", 1.0), ("A", 1.2), ("A", 1.1)],  # uniform
+                [("B", 2.0), ("C", 2.5), (None, None)],  # mixed
+                [("D", 3.0)],
+            ],
+            from_asn=65001,
+        )
+        observations, patterns = extract_bin([traceroute])
+        assert observations.keys() == differential_rtts([traceroute]).keys()
+        assert patterns == forwarding_patterns([traceroute])

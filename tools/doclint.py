@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Docstring lint for the ``repro`` package.
+
+Fails (exit code 1) when any module under ``src/repro`` is missing a
+module docstring, or any *public* module-level class or function is
+missing one.  Names with a leading underscore, test helpers and
+``__main__`` shims are exempt.
+
+Usage::
+
+    python tools/doclint.py [root]
+
+where *root* defaults to ``src/repro`` relative to the repository root.
+Run via ``make docs`` (or ``make doclint``); also enforced in tier-1 by
+``tests/test_docstrings.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+
+def _public_nodes(tree: ast.Module):
+    for node in tree.body:
+        if isinstance(
+            node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and not node.name.startswith("_"):
+            yield node
+
+
+def lint_file(path: Path) -> List[str]:
+    """Return human-readable docstring violations for one file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{path}: missing module docstring")
+    for node in _public_nodes(tree):
+        if ast.get_docstring(node) is None:
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            problems.append(
+                f"{path}:{node.lineno}: public {kind} "
+                f"'{node.name}' missing docstring"
+            )
+    return problems
+
+
+def lint_tree(root: Path) -> List[str]:
+    """Lint every ``*.py`` file under *root* (sorted, deterministic)."""
+    problems = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name == "__main__.py":
+            continue
+        problems.extend(lint_file(path))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; prints violations and returns the exit code."""
+    repo_root = Path(__file__).resolve().parent.parent
+    root = Path(argv[1]) if len(argv) > 1 else repo_root / "src" / "repro"
+    if not root.exists():
+        print(f"doclint: no such directory: {root}", file=sys.stderr)
+        return 2
+    problems = lint_tree(root)
+    for problem in problems:
+        print(problem)
+    count = len(list(root.rglob("*.py")))
+    if problems:
+        print(f"doclint: {len(problems)} problem(s) in {count} file(s)")
+        return 1
+    print(f"doclint: OK ({count} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
