@@ -5,13 +5,14 @@ PYTHON      ?= python
 PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: help test bench bench-engine docs doclint
+.PHONY: help test bench bench-engine bench-ingest docs doclint
 
 help:
 	@echo "targets:"
 	@echo "  test         tier-1 test suite (pytest -x -q)"
 	@echo "  bench        full figure/table benchmark suite"
 	@echo "  bench-engine sharded-engine scaling benchmark only"
+	@echo "  bench-ingest columnar ingestion benchmark (BENCH_ingest.json)"
 	@echo "  docs         docstring lint + pointers to docs/"
 	@echo "  doclint      docstring lint only"
 
@@ -25,6 +26,9 @@ bench:
 
 bench-engine:
 	$(PYTHON) -m pytest -q benchmarks/bench_engine_scaling.py -s
+
+bench-ingest:
+	$(PYTHON) -m pytest -q benchmarks/bench_ingest.py -s
 
 doclint:
 	$(PYTHON) tools/doclint.py

@@ -6,10 +6,29 @@ the builtin/anchoring measurement cadences (paper §2 and Appendix B).
 """
 
 from repro.atlas.io import (
+    DecodeWarning,
     TracerouteDecodeError,
     count_traceroutes,
     read_traceroutes,
     write_traceroutes,
+)
+from repro.atlas.columnar import (
+    NO_INT,
+    NO_IP,
+    BatchView,
+    IPInterner,
+    TracerouteBatch,
+    bin_views,
+    decode_traceroutes,
+)
+from repro.atlas.bincache import (
+    CACHE_VERSION,
+    BinCacheError,
+    default_cache_path,
+    fingerprint_of,
+    load_or_build,
+    read_bincache,
+    write_bincache,
 )
 from repro.atlas.measurements import (
     ANCHORING,
@@ -43,26 +62,41 @@ from repro.atlas.stream import (
 __all__ = [
     "ANCHORING",
     "BUILTIN",
+    "BatchView",
+    "BinCacheError",
+    "CACHE_VERSION",
     "DEFAULT_BIN_S",
+    "DecodeWarning",
     "Hop",
+    "IPInterner",
     "MAX_SANE_RTT_MS",
     "MeasurementKind",
     "MeasurementSpec",
+    "NO_INT",
+    "NO_IP",
     "PACKETS_PER_HOP",
     "Reply",
     "SanitationReport",
     "TIMEOUT",
     "TimeBinner",
     "Traceroute",
+    "TracerouteBatch",
     "TracerouteDecodeError",
     "TracerouteStream",
     "bin_start",
+    "bin_views",
     "count_traceroutes",
+    "decode_traceroutes",
+    "default_cache_path",
+    "fingerprint_of",
+    "load_or_build",
     "make_traceroute",
     "minimum_usable_bin_s",
+    "read_bincache",
     "read_traceroutes",
     "sanitize",
     "sanitize_one",
     "shortest_detectable_event_s",
+    "write_bincache",
     "write_traceroutes",
 ]

@@ -68,23 +68,37 @@ class Hop:
 
     @property
     def responding_ips(self) -> List[str]:
-        """Distinct responding IPs at this TTL (Paris traceroute usually 1)."""
-        seen: List[str] = []
+        """Distinct responding IPs at this TTL (Paris traceroute usually 1).
+
+        First-seen order, via one dict-backed pass — the historical
+        ``ip not in seen`` list scan was O(n²) in the reply count.
+        """
+        seen: Dict[str, None] = {}
         for reply in self.replies:
-            if reply.ip is not None and reply.ip not in seen:
-                seen.append(reply.ip)
-        return seen
+            if reply.ip is not None:
+                seen[reply.ip] = None
+        return list(seen)
 
     @property
     def primary_ip(self) -> Optional[str]:
-        """Most frequent responding IP at this TTL, or None if all lost."""
+        """Most frequent responding IP at this TTL, or None if all lost.
+
+        Ties go to the lexicographically greatest IP.  One counting
+        pass plus one scan over the distinct IPs — no per-candidate
+        re-walks of the reply list.
+        """
         counts: Dict[str, int] = {}
         for reply in self.replies:
-            if reply.ip is not None:
-                counts[reply.ip] = counts.get(reply.ip, 0) + 1
-        if not counts:
-            return None
-        return max(counts, key=lambda ip: (counts[ip], ip))
+            ip = reply.ip
+            if ip is not None:
+                counts[ip] = counts.get(ip, 0) + 1
+        best = None
+        best_count = 0
+        for ip, count in counts.items():
+            if count > best_count or (count == best_count and ip > best):
+                best = ip
+                best_count = count
+        return best
 
     @property
     def rtts(self) -> List[float]:

@@ -11,8 +11,9 @@ order (the Atlas streaming API gives no ordering guarantee).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
+from repro.atlas.columnar import BatchView, TracerouteBatch, bin_views
 from repro.atlas.model import Traceroute
 
 #: The paper's conservative default time bin: one hour.
@@ -37,6 +38,12 @@ class TimeBinner:
     Empty bins between populated ones are yielded as empty lists when
     ``dense=True`` so that downstream per-bin references keep a uniform
     clock (important for the sliding-window magnitude metric).
+
+    Columnar fast path: handing :meth:`bins` a
+    :class:`~repro.atlas.columnar.TracerouteBatch` (or an existing
+    :class:`~repro.atlas.columnar.BatchView`) yields
+    ``(bin_start, BatchView)`` index windows instead of object lists —
+    no traceroute objects are built, only per-bin row-index lists.
     """
 
     def __init__(self, bin_s: int = DEFAULT_BIN_S, dense: bool = True) -> None:
@@ -46,9 +53,18 @@ class TimeBinner:
         self.dense = dense
 
     def bins(
-        self, traceroutes: Iterable[Traceroute]
-    ) -> Iterator[Tuple[int, List[Traceroute]]]:
-        """Yield ``(bin_start, [traceroutes])`` in chronological order."""
+        self,
+        traceroutes: Union[Iterable[Traceroute], TracerouteBatch, BatchView],
+    ) -> Iterator[Tuple[int, Union[List[Traceroute], BatchView]]]:
+        """Yield ``(bin_start, payload)`` in chronological order.
+
+        The payload is a list of traceroutes for object input and a
+        :class:`~repro.atlas.columnar.BatchView` for columnar input;
+        bin starts and per-bin membership are identical either way.
+        """
+        if isinstance(traceroutes, (TracerouteBatch, BatchView)):
+            yield from bin_views(traceroutes, self.bin_s, self.dense)
+            return
         grouped: Dict[int, List[Traceroute]] = defaultdict(list)
         for traceroute in traceroutes:
             grouped[bin_start(traceroute.timestamp, self.bin_s)].append(

@@ -10,13 +10,18 @@ Three subcommands cover the common workflows:
 
 ``analyze`` and ``replay`` accept ``--shards N`` (and optionally
 ``--jobs J``) to run the sharded parallel engine instead of the serial
-reference pipeline; results are bit-identical either way.
+reference pipeline; results are bit-identical either way.  ``analyze
+--bin-cache [PATH]`` ingests through the columnar binary cache
+(:mod:`repro.atlas.bincache`): the first replay decodes the JSONL once
+into flat arrays and caches them, repeat replays skip JSON parsing
+entirely — output is bit-identical to plain ingestion.
 
 Examples::
 
     python -m repro generate --hours 24 --seed 42 --out campaign.jsonl
     python -m repro analyze campaign.jsonl --json
     python -m repro analyze campaign.jsonl --shards 8 --jobs 4
+    python -m repro analyze campaign.jsonl --bin-cache --shards 8
     python -m repro replay ddos
 """
 
@@ -26,7 +31,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.atlas import read_traceroutes, write_traceroutes
+from repro.atlas import (
+    default_cache_path,
+    load_or_build,
+    read_traceroutes,
+    write_traceroutes,
+)
 from repro.core import PipelineConfig, analyze_campaign
 from repro.reporting import InternetHealthReport, format_table
 from repro.simulation import (
@@ -73,6 +83,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="emit the IHR summary as JSON")
     analyze.add_argument("--top", type=int, default=10,
                          help="number of top events to list")
+    analyze.add_argument(
+        "--bin-cache", nargs="?", const="", default=None, metavar="PATH",
+        help="ingest through the columnar binary cache: reuse PATH "
+             "(default: <campaign>.binc) when it matches the campaign "
+             "file, else decode once and write it for the next replay")
     _add_engine_flags(analyze)
 
     replay = sub.add_parser(
@@ -152,9 +167,17 @@ def _cmd_analyze(args) -> int:
     topology = _topology(args.seed, args.probes)
     platform = AtlasPlatform(topology, seed=args.seed)
     config = _engine_config(args, alpha=args.alpha)
-    analysis = analyze_campaign(
-        read_traceroutes(args.path), platform.as_mapper(), config=config
-    )
+    if args.bin_cache is not None:
+        source, hit = load_or_build(
+            args.path, cache_path=args.bin_cache or None
+        )
+        if not args.json:
+            cache = args.bin_cache or default_cache_path(args.path)
+            state = "hit" if hit else "rebuilt"
+            print(f"bin cache {state}: {cache} ({len(source)} traceroutes)")
+    else:
+        source = read_traceroutes(args.path)
+    analysis = analyze_campaign(source, platform.as_mapper(), config=config)
     report = InternetHealthReport(analysis)
     if args.json:
         print(report.to_json())

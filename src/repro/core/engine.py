@@ -37,10 +37,11 @@ import os
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro.atlas.columnar import NO_INT, BatchView, TracerouteBatch
 from repro.atlas.model import Traceroute
 from repro.atlas.stream import TimeBinner
 from repro.core.alarms import (
@@ -77,7 +78,7 @@ from repro.stats.wilson import (
 )
 
 def extract_bin(
-    traceroutes: Sequence[Traceroute],
+    traceroutes: Union[Sequence[Traceroute], TracerouteBatch, BatchView],
 ) -> Tuple[Dict[Link, LinkObservations], Dict[ModelKey, Pattern]]:
     """One fused pass: differential RTTs *and* forwarding patterns.
 
@@ -89,7 +90,15 @@ def extract_bin(
     ``primary_ip`` / ``is_unresponsive`` per use as the reference
     functions do.  This is where most of the serial pipeline's bin time
     goes, so the fusion is the engine's single biggest win.
+
+    Accepts either a sequence of :class:`Traceroute` objects or a
+    columnar :class:`~repro.atlas.columnar.TracerouteBatch` /
+    :class:`~repro.atlas.columnar.BatchView`; the columnar path
+    (:func:`_extract_bin_columnar`) reads the flat arrays directly and
+    produces the identical output without materialising any objects.
     """
+    if isinstance(traceroutes, (TracerouteBatch, BatchView)):
+        return _extract_bin_columnar(traceroutes)
     links: Dict[Link, LinkObservations] = {}
     patterns: Dict[ModelKey, Pattern] = {}
     links_get = links.get
@@ -100,9 +109,6 @@ def extract_bin(
             # A single hop yields neither a link nor a (router, next-hop)
             # attribution; nothing to extract.
             continue
-        probe_id = traceroute.prb_id
-        probe_asn = traceroute.from_asn
-        destination = traceroute.dst_addr
 
         # Per-hop groupings, each computed exactly once:
         #   ip_rtts — ordered {ip -> [non-None rtts]} (responding_ips +
@@ -164,6 +170,14 @@ def extract_bin(
                 primary = max(counts, key=lambda ip: (counts[ip], ip))
             infos.append((ip_rtts, counts, lost, primary, None, 0))
 
+        # The pair loop below also exists as _emit_adjacent_pairs (the
+        # columnar path's copy).  It is kept inline here because a
+        # helper call per traceroute costs ~6% of extraction time at
+        # campaign scale; the two copies are held identical by the
+        # hypothesis property in tests/test_engine_equivalence.py.
+        probe_id = traceroute.prb_id
+        probe_asn = traceroute.from_asn
+        destination = traceroute.dst_addr
         for index in range(len(hops) - 1):
             if ttls[index + 1] != ttls[index] + 1:
                 continue  # TTL gap: routers are not IP-adjacent
@@ -249,6 +263,224 @@ def extract_bin(
                         pattern[UNRESPONSIVE] = (
                             pattern.get(UNRESPONSIVE, 0.0) + far_lost
                         )
+    return links, patterns
+
+
+def _emit_adjacent_pairs(
+    infos: List[tuple],
+    ttls: List[int],
+    probe_id: int,
+    probe_asn: Optional[int],
+    destination: str,
+    links: Dict[Link, LinkObservations],
+    patterns: Dict[ModelKey, Pattern],
+) -> None:
+    """Turn one traceroute's per-hop groupings into links and patterns.
+
+    The columnar extraction path's copy of the pair loop that
+    :func:`extract_bin` runs inline (inline there because a call per
+    traceroute is measurable on the object hot path).  Both paths build
+    identical ``infos`` tuples and the loops are held identical by the
+    hypothesis property in ``tests/test_engine_equivalence.py``.
+    """
+    links_get = links.get
+    patterns_get = patterns.get
+    for index in range(len(ttls) - 1):
+        if ttls[index + 1] != ttls[index] + 1:
+            continue  # TTL gap: routers are not IP-adjacent
+        near_info = infos[index]
+        far_info = infos[index + 1]
+        near_single = near_info[4]
+        far_single_rtts = far_info[4]
+        if near_single is not None and far_single_rtts is not None:
+            # Both hops uniform: one candidate link, one next hop.
+            near_ip = near_info[3]
+            far_ip = far_info[3]
+            if near_single and far_single_rtts and far_ip != near_ip:
+                link = (near_ip, far_ip)
+                samples = [
+                    far - near
+                    for far in far_single_rtts
+                    for near in near_single
+                ]
+                observations = links_get(link)
+                if observations is None:
+                    observations = links[link] = LinkObservations(link)
+                # Inlined LinkObservations.add — this runs once per
+                # probe per link per bin, and the call overhead is
+                # measurable at campaign scale.
+                buffer = observations._samples
+                start = len(buffer)
+                buffer.extend(samples)
+                observations._segments.setdefault(
+                    probe_id, []
+                ).append((start, len(buffer)))
+                observations.probe_asn[probe_id] = probe_asn
+            key = (near_ip, destination)
+            pattern = patterns_get(key)
+            if pattern is None:
+                pattern = patterns[key] = {}
+            pattern[far_ip] = pattern.get(far_ip, 0.0) + far_info[5]
+            continue
+
+        near_rtts = near_info[0]
+        if near_rtts is None:  # materialise a uniform hop's dict form
+            near_rtts = {near_info[3]: near_info[4]}
+        far_rtts = far_info[0]
+        if far_rtts is None:
+            far_rtts = {far_info[3]: far_info[4]}
+        if near_rtts and far_rtts:  # both hops responsive (§4.2.1)
+            for near_ip, near_samples in near_rtts.items():
+                if not near_samples:
+                    continue
+                for far_ip, far_samples in far_rtts.items():
+                    if far_ip == near_ip or not far_samples:
+                        continue
+                    link = (near_ip, far_ip)
+                    samples = [
+                        far - near
+                        for far in far_samples
+                        for near in near_samples
+                    ]
+                    observations = links_get(link)
+                    if observations is None:
+                        observations = links[link] = LinkObservations(link)
+                    buffer = observations._samples
+                    start = len(buffer)
+                    buffer.extend(samples)
+                    observations._segments.setdefault(
+                        probe_id, []
+                    ).append((start, len(buffer)))
+                    observations.probe_asn[probe_id] = probe_asn
+        router_ip = near_info[3]
+        if router_ip is not None:  # §5.1 packet attribution
+            key = (router_ip, destination)
+            pattern = patterns_get(key)
+            if pattern is None:
+                pattern = patterns[key] = {}
+            far_counts = far_info[1]
+            if far_counts is None:  # uniform far hop: one next hop
+                far_ip = far_info[3]
+                pattern[far_ip] = pattern.get(far_ip, 0.0) + far_info[5]
+            else:
+                for next_hop, count in far_counts.items():
+                    pattern[next_hop] = pattern.get(next_hop, 0.0) + count
+                far_lost = far_info[2]
+                if far_lost:
+                    pattern[UNRESPONSIVE] = (
+                        pattern.get(UNRESPONSIVE, 0.0) + far_lost
+                    )
+
+
+def _extract_bin_columnar(
+    source: Union[TracerouteBatch, BatchView],
+) -> Tuple[Dict[Link, LinkObservations], Dict[ModelKey, Pattern]]:
+    """Fused extraction over columnar rows — zero objects materialised.
+
+    Walks the flat arrays of a :class:`~repro.atlas.columnar`
+    batch/view, builds per-hop ``infos`` tuples identical to the object
+    path's (uniform hops are detected on integer ip ids before a single
+    string is touched; strings are materialised only for link/pattern
+    keys, via the interner so repeated ips share one ``str`` object),
+    and feeds them through the same :func:`_emit_adjacent_pairs` loop.
+    Output is bit-identical to ``extract_bin`` over the materialised
+    objects — including per-probe sample order and ``probe_asn``
+    insertion order, which the diversity filter's rebalancing draws
+    depend on.
+    """
+    if isinstance(source, BatchView):
+        batch, indices = source.batch, source.indices
+    else:
+        batch, indices = source, range(len(source))
+    strings = batch.interner.strings
+    hop_offsets = batch.hop_offsets
+    hop_ttl = batch.hop_ttl
+    reply_offsets = batch.reply_offsets
+    reply_ip = batch.reply_ip
+    reply_rtt = batch.reply_rtt
+    prb_ids = batch.prb_id
+    asns = batch.from_asn
+    dst_ids = batch.dst_id
+    links: Dict[Link, LinkObservations] = {}
+    patterns: Dict[ModelKey, Pattern] = {}
+    for row in indices:
+        hop_start = hop_offsets[row]
+        hop_stop = hop_offsets[row + 1]
+        if hop_stop - hop_start < 2:
+            # A single hop yields neither a link nor a (router, next-hop)
+            # attribution; nothing to extract.
+            continue
+        infos = []
+        ttls = []
+        for hop in range(hop_start, hop_stop):
+            reply_start = reply_offsets[hop]
+            reply_stop = reply_offsets[hop + 1]
+            ttls.append(hop_ttl[hop])
+            # Uniform fast path on integer ids: every packet answered
+            # by the same (responding) IP.
+            if reply_stop > reply_start:
+                first_id = reply_ip[reply_start]
+                uniform = first_id >= 0
+                if uniform:
+                    for index in range(reply_start + 1, reply_stop):
+                        if reply_ip[index] != first_id:
+                            uniform = False
+                            break
+            else:
+                uniform = False
+            if uniform:
+                rtts = []
+                for index in range(reply_start, reply_stop):
+                    rtt = reply_rtt[index]
+                    if rtt == rtt:  # NaN marks a missing RTT
+                        rtts.append(rtt)
+                infos.append(
+                    (
+                        None,
+                        None,
+                        0,
+                        strings[first_id],
+                        rtts,
+                        reply_stop - reply_start,
+                    )
+                )
+                continue
+            ip_rtts: Dict[str, List[float]] = {}
+            counts: Dict[str, int] = {}
+            lost = 0
+            for index in range(reply_start, reply_stop):
+                ident = reply_ip[index]
+                if ident < 0:
+                    lost += 1
+                    continue
+                ip = strings[ident]
+                samples = ip_rtts.get(ip)
+                if samples is None:
+                    samples = ip_rtts[ip] = []
+                    counts[ip] = 1
+                else:
+                    counts[ip] += 1
+                rtt = reply_rtt[index]
+                if rtt == rtt:
+                    samples.append(rtt)
+            if not counts:
+                primary = None
+            elif len(counts) == 1:
+                (primary,) = counts
+            else:
+                primary = max(counts, key=lambda ip: (counts[ip], ip))
+            infos.append((ip_rtts, counts, lost, primary, None, 0))
+
+        asn = asns[row]
+        _emit_adjacent_pairs(
+            infos,
+            ttls,
+            prb_ids[row],
+            None if asn == NO_INT else asn,
+            strings[dst_ids[row]],
+            links,
+            patterns,
+        )
     return links, patterns
 
 
@@ -733,9 +965,16 @@ class ShardedPipeline:
     # -- per-bin processing ------------------------------------------------
 
     def process_bin(
-        self, timestamp: int, traceroutes: Sequence[Traceroute]
+        self,
+        timestamp: int,
+        traceroutes: Union[Sequence[Traceroute], TracerouteBatch, BatchView],
     ) -> BinResult:
-        """Run both methods over one closed time bin, sharded."""
+        """Run both methods over one closed time bin, sharded.
+
+        Accepts object-model traceroutes or a columnar batch/view; the
+        columnar form takes the zero-object extraction fast path and
+        produces the identical result.
+        """
         if self._closed:
             raise RuntimeError("engine is closed; create a new one")
         observations, patterns = extract_bin(traceroutes)
@@ -777,13 +1016,23 @@ class ShardedPipeline:
 
     # -- whole-campaign driving --------------------------------------------
 
-    def run(self, traceroutes: Iterable[Traceroute]) -> List[BinResult]:
-        """Bin an unbounded traceroute iterable and process every bin."""
+    def run(
+        self,
+        traceroutes: Union[Iterable[Traceroute], TracerouteBatch, BatchView],
+    ) -> List[BinResult]:
+        """Bin a traceroute iterable or columnar batch; process every bin.
+
+        Columnar input stays columnar end to end: the binner yields
+        :class:`~repro.atlas.columnar.BatchView` index windows and each
+        bin is extracted straight from the flat arrays.
+        """
         binner = TimeBinner(bin_s=self.config.bin_s, dense=True)
-        return [
-            self.process_bin(start, list(bin_traceroutes))
-            for start, bin_traceroutes in binner.bins(traceroutes)
-        ]
+        results = []
+        for start, payload in binner.bins(traceroutes):
+            if not isinstance(payload, BatchView):
+                payload = list(payload)
+            results.append(self.process_bin(start, payload))
+        return results
 
     # -- statistics --------------------------------------------------------
 

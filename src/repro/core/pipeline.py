@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.atlas.columnar import BatchView, TracerouteBatch
 from repro.atlas.model import Traceroute
 from repro.atlas.stream import DEFAULT_BIN_S, TimeBinner
 from repro.core.alarms import DelayAlarm, ForwardingAlarm, Link
@@ -186,7 +187,15 @@ class Pipeline:
     def process_bin(
         self, timestamp: int, traceroutes: Sequence[Traceroute]
     ) -> BinResult:
-        """Run both methods over one closed time bin."""
+        """Run both methods over one closed time bin.
+
+        Columnar input (:class:`~repro.atlas.columnar.TracerouteBatch`
+        or a view) is materialised into objects first — the reference
+        pipeline deliberately stays on the paper-shaped object path;
+        the sharded engine is the one that consumes columns natively.
+        """
+        if isinstance(traceroutes, (TracerouteBatch, BatchView)):
+            traceroutes = traceroutes.to_traceroutes()
         observations = differential_rtts(traceroutes)
         self._links_seen.update(observations)
         delay_alarms: List[DelayAlarm] = []
@@ -291,12 +300,19 @@ class Pipeline:
     def run(
         self, traceroutes: Iterable[Traceroute]
     ) -> List[BinResult]:
-        """Bin an unbounded traceroute iterable and process every bin."""
+        """Bin an unbounded traceroute iterable and process every bin.
+
+        Columnar input is accepted (bins arrive as views and are
+        materialised per bin by :meth:`process_bin`); object input is
+        binned exactly as before.
+        """
         binner = TimeBinner(bin_s=self.config.bin_s, dense=True)
-        return [
-            self.process_bin(start, list(bin_traceroutes))
-            for start, bin_traceroutes in binner.bins(traceroutes)
-        ]
+        results = []
+        for start, payload in binner.bins(traceroutes):
+            if not isinstance(payload, BatchView):
+                payload = list(payload)
+            results.append(self.process_bin(start, payload))
+        return results
 
     # -- statistics -------------------------------------------------------------
 
@@ -347,7 +363,10 @@ def analyze_campaign(
     processed bin's timestamp is used.  With ``config.n_shards > 1`` (or
     a non-default executor) the sharded engine runs the campaign and is
     finalised before returning; its output is bit-identical to the
-    serial pipeline's.
+    serial pipeline's.  *traceroutes* may also be a columnar
+    :class:`~repro.atlas.columnar.TracerouteBatch` (e.g. from the bin
+    cache): the sharded engine then consumes the columns directly and
+    the serial pipeline materialises objects per bin.
     """
     # Imported here, not at module level: the engine imports this module
     # for the result types, so a top-level import would be circular.

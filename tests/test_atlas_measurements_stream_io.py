@@ -1,10 +1,13 @@
 """Tests for measurement specs, time binning, streaming and JSONL IO."""
 
+import gzip
+
 import pytest
 
 from repro.atlas import (
     ANCHORING,
     BUILTIN,
+    DecodeWarning,
     MeasurementKind,
     MeasurementSpec,
     TimeBinner,
@@ -99,6 +102,35 @@ class TestBinning:
         with pytest.raises(ValueError):
             TimeBinner(bin_s=0)
 
+    def test_dense_mode_fills_large_gap(self):
+        """A long quiet stretch yields one empty bin per missing hour —
+        the uniform clock the sliding-window magnitude metric needs."""
+        gap_bins = 500
+        binner = TimeBinner(bin_s=3600, dense=True)
+        bins = list(binner.bins([_tr(100), _tr(gap_bins * 3600 + 50)]))
+        assert len(bins) == gap_bins + 1
+        assert [start for start, _ in bins] == [
+            i * 3600 for i in range(gap_bins + 1)
+        ]
+        assert len(bins[0][1]) == 1 and len(bins[-1][1]) == 1
+        assert all(payload == [] for _, payload in bins[1:-1])
+
+    def test_dense_mode_multiple_gaps(self):
+        binner = TimeBinner(bin_s=3600, dense=True)
+        bins = list(binner.bins([_tr(0), _tr(3 * 3600), _tr(7 * 3600)]))
+        populated = [start for start, payload in bins if payload]
+        empty = [start for start, payload in bins if not payload]
+        assert populated == [0, 3 * 3600, 7 * 3600]
+        assert empty == [h * 3600 for h in (1, 2, 4, 5, 6)]
+
+    def test_dense_mode_negative_timestamps(self):
+        """Bin alignment floors correctly below zero (pre-epoch data)."""
+        binner = TimeBinner(bin_s=3600, dense=True)
+        bins = list(binner.bins([_tr(-3601), _tr(100)]))
+        assert [start for start, _ in bins] == [-7200, -3600, 0]
+        assert len(bins[0][1]) == 1
+        assert bins[1][1] == []
+
 
 class TestTracerouteStream:
     def test_bins_close_in_order(self):
@@ -131,6 +163,52 @@ class TestTracerouteStream:
         with pytest.raises(ValueError):
             TracerouteStream(lateness_bins=-1)
 
+    def test_forward_jump_closes_several_bins_at_once(self):
+        """A result far in the future closes every bin behind the
+        lateness horizon in one push, oldest first."""
+        stream = TracerouteStream(bin_s=3600, lateness_bins=1)
+        stream.push(_tr(100))
+        stream.push(_tr(3700))
+        closed = stream.push(_tr(10 * 3600 + 5))
+        assert [start for start, _ in closed] == [0, 3600]
+        assert stream.dropped_late == 0
+
+    def test_out_of_order_within_lateness_buffers_into_right_bin(self):
+        """Results arriving shuffled inside the tolerance window land in
+        their own bins, not the bin that was open on arrival."""
+        stream = TracerouteStream(bin_s=3600, lateness_bins=2)
+        for ts in (7300, 100, 3700, 200, 7400):
+            assert stream.push(_tr(ts)) == []
+        closed = stream.drain()
+        assert [start for start, _ in closed] == [0, 3600, 7200]
+        sizes = {start: len(members) for start, members in closed}
+        assert sizes == {0: 2, 3600: 1, 7200: 2}
+
+    def test_drop_applies_only_below_watermark(self):
+        """After a bin closes, stragglers for it are dropped but results
+        for still-open bins keep buffering."""
+        stream = TracerouteStream(bin_s=3600, lateness_bins=0)
+        stream.push(_tr(100))
+        stream.push(_tr(3700))  # closes bin 0
+        assert stream.push(_tr(50)) == []  # bin 0: dropped
+        assert stream.dropped_late == 1
+        assert stream.push(_tr(3800)) == []  # bin 3600 still open: kept
+        closed = stream.drain()
+        assert [start for start, _ in closed] == [3600]
+        assert len(closed[0][1]) == 2
+
+    def test_drain_advances_watermark(self):
+        """Everything at or before the last drained bin is late after a
+        drain, even if no push ever closed a bin."""
+        stream = TracerouteStream(bin_s=3600, lateness_bins=5)
+        stream.push(_tr(100))
+        stream.push(_tr(3700))
+        assert [start for start, _ in stream.drain()] == [0, 3600]
+        stream.push(_tr(200))  # behind the drained watermark
+        assert stream.dropped_late == 1
+        assert stream.push(_tr(3900)) == []
+        assert stream.dropped_late == 2  # bin 3600 was drained too
+
 
 class TestJsonlIO:
     def test_roundtrip(self, tmp_path):
@@ -149,16 +227,63 @@ class TestJsonlIO:
     def test_corrupt_line_strict(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"prb_id": 1}\n')
-        with pytest.raises(TracerouteDecodeError):
+        with pytest.raises(TracerouteDecodeError) as excinfo:
             list(read_traceroutes(path))
+        assert excinfo.value.line_number == 1
 
-    def test_corrupt_line_lenient(self, tmp_path):
+    def test_strict_reports_offending_line_number(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        write_traceroutes(path, [_tr(100), _tr(200)])
+        with open(path, "a") as handle:
+            handle.write("this is not json\n")
+        with pytest.raises(TracerouteDecodeError) as excinfo:
+            list(read_traceroutes(path))
+        assert excinfo.value.line_number == 3
+
+    def test_corrupt_line_lenient_warns_with_count(self, tmp_path):
+        """Lenient reads skip bad lines but say how many were lost."""
         path = tmp_path / "mixed.jsonl"
         write_traceroutes(path, [_tr(100)])
         with open(path, "a") as handle:
             handle.write("this is not json\n")
-        results = list(read_traceroutes(path, strict=False))
+            handle.write('{"prb_id": 2}\n')
+        with pytest.warns(DecodeWarning) as captured:
+            results = list(read_traceroutes(path, strict=False))
         assert len(results) == 1
+        assert len(captured) == 1
+        assert captured[0].message.skipped == 2
+        assert "skipped 2" in str(captured[0].message)
+
+    def test_lenient_clean_file_does_not_warn(self, tmp_path):
+        import warnings
+
+        path = tmp_path / "clean.jsonl"
+        write_traceroutes(path, [_tr(100)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(list(read_traceroutes(path, strict=False))) == 1
+
+    def test_gzip_corrupt_line_strict(self, tmp_path):
+        path = tmp_path / "bad.jsonl.gz"
+        originals = [_tr(100)]
+        write_traceroutes(path, originals)
+        with gzip.open(path, "at", encoding="utf-8") as handle:
+            handle.write("broken\n")
+        with pytest.raises(TracerouteDecodeError) as excinfo:
+            list(read_traceroutes(path))
+        assert excinfo.value.line_number == 2
+
+    def test_gzip_corrupt_line_lenient_roundtrip(self, tmp_path):
+        """The .gz path honours both strict modes and round-trips the
+        decodable lines."""
+        path = tmp_path / "mixed.jsonl.gz"
+        originals = [_tr(100), _tr(3700)]
+        write_traceroutes(path, originals)
+        with gzip.open(path, "at", encoding="utf-8") as handle:
+            handle.write("broken\n")
+        with pytest.warns(DecodeWarning) as captured:
+            assert list(read_traceroutes(path, strict=False)) == originals
+        assert captured[0].message.skipped == 1
 
     def test_count(self, tmp_path):
         path = tmp_path / "count.jsonl"

@@ -78,6 +78,61 @@ class TestHop:
         hop = Hop(ttl=4, replies=(Reply("10.0.0.9", 5.5), Reply(None, None)))
         assert Hop.from_json(hop.to_json()) == hop
 
+    def test_responding_ips_preserves_first_seen_order(self):
+        """Regression: the dict-based single pass must keep the exact
+        order (and dedup semantics) of the historical O(n²) list scan."""
+        hop = Hop(
+            ttl=1,
+            replies=(
+                Reply("b", 1.0),
+                Reply("a", 1.1),
+                Reply(None, None),
+                Reply("b", 1.2),
+                Reply("c", 1.3),
+                Reply("a", 1.4),
+            ),
+        )
+        assert hop.responding_ips == ["b", "a", "c"]
+
+    def test_primary_ip_tie_breaks_by_greatest_ip(self):
+        """Ties on reply count go to the lexicographically greatest IP
+        (the historical ``max`` over ``(count, ip)`` tuples)."""
+        hop = Hop(
+            ttl=1,
+            replies=(Reply("a", 1.0), Reply("c", 1.1), Reply("b", 1.2)),
+        )
+        assert hop.primary_ip == "c"
+        hop = Hop(
+            ttl=1,
+            replies=(
+                Reply("z", 1.0),
+                Reply("a", 1.1),
+                Reply("a", 1.2),
+            ),
+        )
+        assert hop.primary_ip == "a"  # count beats lexicographic order
+
+    def test_scan_properties_match_reference_on_many_replies(self):
+        """The single-pass forms agree with a brute-force reference on a
+        reply list large enough that quadratic scans would be visible."""
+        ips = [f"10.0.0.{i % 17}" for i in range(200)]
+        replies = tuple(
+            Reply(ip if i % 5 else None, float(i)) for i, ip in enumerate(ips)
+        )
+        hop = Hop(ttl=1, replies=replies)
+        expected_order = []
+        for reply in replies:
+            if reply.ip is not None and reply.ip not in expected_order:
+                expected_order.append(reply.ip)
+        assert hop.responding_ips == expected_order
+        counts = {}
+        for reply in replies:
+            if reply.ip is not None:
+                counts[reply.ip] = counts.get(reply.ip, 0) + 1
+        assert hop.primary_ip == max(
+            counts, key=lambda ip: (counts[ip], ip)
+        )
+
 
 class TestTraceroute:
     def test_destination_reached(self, sample_traceroute):

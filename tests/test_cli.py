@@ -60,6 +60,41 @@ class TestGenerateAnalyze:
         )
         assert code == 0
 
+    def test_analyze_bin_cache_matches_plain_ingestion(
+        self, campaign_path, capsys
+    ):
+        """--bin-cache builds the cache on first use, hits it on the
+        second, and the JSON report is identical to plain ingestion."""
+        from pathlib import Path
+
+        base = ["analyze", str(campaign_path), "--seed", "3",
+                "--probes", "12", "--json"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+
+        assert main(base + ["--bin-cache"]) == 0
+        first = capsys.readouterr().out
+        cache = Path(str(campaign_path) + ".binc")
+        assert cache.exists()
+        assert main(base + ["--bin-cache"]) == 0
+        second = capsys.readouterr().out
+        assert first == second == plain
+
+    def test_analyze_bin_cache_custom_path_and_status_line(
+        self, campaign_path, tmp_path, capsys
+    ):
+        cache = tmp_path / "custom.binc"
+        argv = [
+            "analyze", str(campaign_path), "--seed", "3", "--probes", "12",
+            "--bin-cache", str(cache),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"bin cache rebuilt: {cache}" in out
+        assert cache.exists()
+        assert main(argv) == 0
+        assert f"bin cache hit: {cache}" in capsys.readouterr().out
+
 
 class TestReplay:
     def test_replay_outage_detects_event(self, capsys):

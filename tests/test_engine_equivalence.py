@@ -14,7 +14,14 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.atlas import make_traceroute
+from repro.atlas import (
+    TracerouteBatch,
+    decode_traceroutes,
+    make_traceroute,
+    read_bincache,
+    write_bincache,
+    write_traceroutes,
+)
 from repro.core import (
     Pipeline,
     PipelineConfig,
@@ -172,6 +179,67 @@ class TestShardedEquivalence:
             engine.process_bin(0, [])
 
 
+class TestColumnarEquivalence:
+    """The columnar ingestion fast path is bit-identical to objects.
+
+    ``ShardedPipeline`` consuming a :class:`TracerouteBatch` (built from
+    objects, decoded from JSONL, or loaded from the bin cache) must
+    produce exactly the object path's results — every alarm, statistic
+    and tracked point — at every shard count.
+    """
+
+    @pytest.fixture(scope="class")
+    def batch(self, campaign):
+        return TracerouteBatch.from_traceroutes(campaign)
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_batch_input_identical(
+        self, campaign, serial_results, batch, n_shards
+    ):
+        serial, results = serial_results
+        engine = ShardedPipeline(_config(n_shards=n_shards, executor="serial"))
+        assert engine.run(batch) == results
+        assert engine.stats() == serial.stats()
+        assert engine.tracked == serial.tracked
+
+    def test_jsonl_and_bincache_input_identical(
+        self, campaign, serial_results, tmp_path
+    ):
+        """disk → decoder → engine and disk → cache → engine both match
+        the serial object pipeline exactly."""
+        serial, results = serial_results
+        jsonl = tmp_path / "campaign.jsonl"
+        write_traceroutes(jsonl, campaign)
+        decoded = decode_traceroutes(jsonl)
+        cache = tmp_path / "campaign.binc"
+        write_bincache(cache, decoded)
+        for source in (decoded, read_bincache(cache)):
+            engine = ShardedPipeline(_config(n_shards=2, executor="serial"))
+            assert engine.run(source) == results
+            assert engine.stats() == serial.stats()
+            assert engine.tracked == serial.tracked
+
+    def test_serial_pipeline_accepts_columnar_input(
+        self, serial_results, batch
+    ):
+        """The reference Pipeline materialises views per bin (fallback
+        path) and still produces identical output."""
+        serial, results = serial_results
+        pipeline = Pipeline(_config())
+        assert pipeline.run(batch) == results
+        assert pipeline.stats() == serial.stats()
+
+    def test_process_executor_with_columnar_input(
+        self, serial_results, batch
+    ):
+        serial, results = serial_results
+        with ShardedPipeline(
+            _config(n_shards=2, executor="process", n_jobs=2)
+        ) as engine:
+            assert engine.run(batch) == results
+            assert engine.stats() == serial.stats()
+
+
 class TestCreatePipeline:
     def test_default_is_serial_reference(self):
         assert isinstance(create_pipeline(PipelineConfig()), Pipeline)
@@ -243,17 +311,20 @@ class TestExtractBinEquivalence:
     @given(st.lists(traceroute_strategy(), max_size=15))
     def test_matches_reference_extractors(self, traceroutes):
         """extract_bin == (differential_rtts, forwarding_patterns),
-        including per-probe sample order and AS attribution."""
-        observations, patterns = extract_bin(traceroutes)
+        including per-probe sample order and AS attribution — for both
+        the object input and its columnar twin."""
         reference_obs = differential_rtts(traceroutes)
         reference_pat = forwarding_patterns(traceroutes)
-        assert set(observations) == set(reference_obs)
-        for link, reference in reference_obs.items():
-            fused = observations[link]
-            assert fused.all_samples() == reference.all_samples()
-            assert fused.samples_by_probe == reference.samples_by_probe
-            assert fused.probe_asn == reference.probe_asn
-        assert patterns == reference_pat
+        batch = TracerouteBatch.from_traceroutes(traceroutes)
+        for source in (traceroutes, batch, batch.view()):
+            observations, patterns = extract_bin(source)
+            assert set(observations) == set(reference_obs)
+            for link, reference in reference_obs.items():
+                fused = observations[link]
+                assert fused.all_samples() == reference.all_samples()
+                assert fused.samples_by_probe == reference.samples_by_probe
+                assert fused.probe_asn == reference.probe_asn
+            assert patterns == reference_pat
 
     def test_gap_ttls_and_uniform_fast_path(self):
         """Mixed uniform/non-uniform hops and a TTL gap in one trace."""
