@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: help test bench bench-engine bench-ingest docs doclint
+.PHONY: help test bench bench-engine bench-ingest bench-detect docs doclint
 
 help:
 	@echo "targets:"
@@ -13,6 +13,7 @@ help:
 	@echo "  bench        full figure/table benchmark suite"
 	@echo "  bench-engine sharded-engine scaling benchmark only"
 	@echo "  bench-ingest columnar ingestion benchmark (BENCH_ingest.json)"
+	@echo "  bench-detect detection-kernel benchmark (BENCH_detect.json)"
 	@echo "  docs         docstring lint + pointers to docs/"
 	@echo "  doclint      docstring lint only"
 
@@ -29,6 +30,9 @@ bench-engine:
 
 bench-ingest:
 	$(PYTHON) -m pytest -q benchmarks/bench_ingest.py -s
+
+bench-detect:
+	$(PYTHON) -m pytest -q benchmarks/bench_detect.py -s
 
 doclint:
 	$(PYTHON) tools/doclint.py

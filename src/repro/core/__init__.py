@@ -13,6 +13,8 @@ Modules map one-to-one onto the paper's sections:
 * :mod:`repro.core.sensitivity` — Eq. 11 detectability bounds (App. B)
 * :mod:`repro.core.pipeline` — the end-to-end per-bin reference engine
 * :mod:`repro.core.sharding` — consistent link/router shard assignment
+* :mod:`repro.core.arena` — structure-of-arrays detector state and the
+  vectorized per-bin detection kernels (Eq. 6–9 in batch form)
 * :mod:`repro.core.engine` — the sharded, vectorized execution engine
 """
 
@@ -26,6 +28,11 @@ from repro.core.alias import (
     AliasResolution,
     evaluate_resolution,
     resolve_aliases,
+)
+from repro.core.arena import (
+    DelayArena,
+    ForwardingArena,
+    LinkInterner,
 )
 from repro.core.correlate import CorrelatedEvent, correlate_events
 from repro.core.delaydetector import (
@@ -98,15 +105,18 @@ __all__ = [
     "CorrelatedEvent",
     "DEFAULT_TAU",
     "DelayAlarm",
+    "DelayArena",
     "DelayChangeDetector",
     "DetectedEvent",
     "DiversityFilter",
     "DiversityVerdict",
     "ForwardingAlarm",
     "ForwardingAnomalyDetector",
+    "ForwardingArena",
     "ForwardingModelState",
     "Link",
     "LinkDelayState",
+    "LinkInterner",
     "LinkObservations",
     "MIN_ASNS",
     "MIN_ENTROPY",

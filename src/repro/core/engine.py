@@ -8,11 +8,15 @@ paper's actual scale (2.8 billion traceroutes):
 * :func:`extract_bin` fuses differential-RTT extraction (§4.2.1) and
   forwarding-pattern extraction (§5.1) into one pass over each
   traceroute, computing every per-hop grouping exactly once;
-* :class:`_ShardCore` holds one shard's detector state and analyses its
-  link partition with batched statistics —
-  :func:`~repro.stats.wilson.median_confidence_interval_batch` (one
-  padded 2-D sort per bin instead of one sort per link) and
-  :func:`~repro.stats.correlation.pearson_correlation_batch`;
+* :class:`_ShardCore` holds one shard's detector state in the
+  structure-of-arrays arenas (:class:`~repro.core.arena.DelayArena`,
+  :class:`~repro.core.arena.ForwardingArena`) and analyses its link
+  partition with batched kernels —
+  :func:`~repro.stats.wilson.median_confidence_interval_arrays` (one
+  padded 2-D sort per bin instead of one sort per link) feeding the
+  arena's vectorized Eq. 6/7 detection, and pooled Eq. 8 smoothing +
+  :func:`~repro.stats.correlation.pearson_correlation_pooled` for the
+  forwarding side;
 * :class:`ShardedPipeline` consistently hashes links (and routers, for
   the forwarding method) into N independent shards, fans each bin out
   over a serial loop, a thread pool, or persistent per-shard worker
@@ -36,12 +40,12 @@ import multiprocessing
 import os
 import traceback
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
-from repro.atlas.columnar import NO_INT, BatchView, TracerouteBatch
+from repro.atlas.columnar import NO_INT, NO_IP, BatchView, TracerouteBatch
 from repro.atlas.model import Traceroute
 from repro.atlas.stream import TimeBinner
 from repro.core.alarms import (
@@ -50,14 +54,10 @@ from repro.core.alarms import (
     ForwardingAlarm,
     Link,
 )
-from repro.core.delaydetector import DelayChangeDetector
+from repro.core.arena import DelayArena, ForwardingArena
 from repro.core.diffrtt import LinkObservations
 from repro.core.diversity import DiversityFilter, DiversityVerdict
-from repro.core.forwarding import (
-    ForwardingAnomalyDetector,
-    ModelKey,
-    Pattern,
-)
+from repro.core.forwarding import ModelKey, Pattern
 from repro.core.pipeline import (
     BinResult,
     CampaignStats,
@@ -74,7 +74,7 @@ from repro.core.sharding import (
 from repro.stats.wilson import (
     WilsonInterval,
     median_confidence_interval,
-    median_confidence_interval_batch,
+    median_confidence_interval_arrays,
 )
 
 def extract_bin(
@@ -271,17 +271,26 @@ def _emit_adjacent_pairs(
     ttls: List[int],
     probe_id: int,
     probe_asn: Optional[int],
-    destination: str,
-    links: Dict[Link, LinkObservations],
-    patterns: Dict[ModelKey, Pattern],
+    dst_id: int,
+    links: Dict[Tuple[int, int], LinkObservations],
+    patterns: Dict[Tuple[int, int], Dict[int, float]],
+    strings: List[str],
 ) -> None:
     """Turn one traceroute's per-hop groupings into links and patterns.
 
     The columnar extraction path's copy of the pair loop that
     :func:`extract_bin` runs inline (inline there because a call per
-    traceroute is measurable on the object hot path).  Both paths build
-    identical ``infos`` tuples and the loops are held identical by the
-    hypothesis property in ``tests/test_engine_equivalence.py``.
+    traceroute is measurable on the object hot path).  This copy works
+    entirely on **interned integer ids**: hop/link/pattern dicts are
+    keyed by small ints (or id pairs) instead of ``(str, str)`` tuples
+    built per pair — int hashing is cheaper and no key objects are
+    allocated on the hot path.  ``strings`` (the interner table) is
+    consulted only where a string must exist: once per new link (the
+    :class:`LinkObservations` key) and for the rare primary-IP
+    tie-break, which the object path resolves by IP string order.  Both
+    paths emit identical links/samples/patterns in identical order,
+    held so by the hypothesis property in
+    ``tests/test_engine_equivalence.py``.
     """
     links_get = links.get
     patterns_get = patterns.get
@@ -294,10 +303,10 @@ def _emit_adjacent_pairs(
         far_single_rtts = far_info[4]
         if near_single is not None and far_single_rtts is not None:
             # Both hops uniform: one candidate link, one next hop.
-            near_ip = near_info[3]
-            far_ip = far_info[3]
-            if near_single and far_single_rtts and far_ip != near_ip:
-                link = (near_ip, far_ip)
+            near_id = near_info[3]
+            far_id = far_info[3]
+            if near_single and far_single_rtts and far_id != near_id:
+                link = (near_id, far_id)
                 samples = [
                     far - near
                     for far in far_single_rtts
@@ -305,7 +314,9 @@ def _emit_adjacent_pairs(
                 ]
                 observations = links_get(link)
                 if observations is None:
-                    observations = links[link] = LinkObservations(link)
+                    observations = links[link] = LinkObservations(
+                        (strings[near_id], strings[far_id])
+                    )
                 # Inlined LinkObservations.add — this runs once per
                 # probe per link per bin, and the call overhead is
                 # measurable at campaign scale.
@@ -316,11 +327,11 @@ def _emit_adjacent_pairs(
                     probe_id, []
                 ).append((start, len(buffer)))
                 observations.probe_asn[probe_id] = probe_asn
-            key = (near_ip, destination)
+            key = (near_id, dst_id)
             pattern = patterns_get(key)
             if pattern is None:
                 pattern = patterns[key] = {}
-            pattern[far_ip] = pattern.get(far_ip, 0.0) + far_info[5]
+            pattern[far_id] = pattern.get(far_id, 0.0) + far_info[5]
             continue
 
         near_rtts = near_info[0]
@@ -330,13 +341,13 @@ def _emit_adjacent_pairs(
         if far_rtts is None:
             far_rtts = {far_info[3]: far_info[4]}
         if near_rtts and far_rtts:  # both hops responsive (§4.2.1)
-            for near_ip, near_samples in near_rtts.items():
+            for near_id, near_samples in near_rtts.items():
                 if not near_samples:
                     continue
-                for far_ip, far_samples in far_rtts.items():
-                    if far_ip == near_ip or not far_samples:
+                for far_id, far_samples in far_rtts.items():
+                    if far_id == near_id or not far_samples:
                         continue
-                    link = (near_ip, far_ip)
+                    link = (near_id, far_id)
                     samples = [
                         far - near
                         for far in far_samples
@@ -344,7 +355,9 @@ def _emit_adjacent_pairs(
                     ]
                     observations = links_get(link)
                     if observations is None:
-                        observations = links[link] = LinkObservations(link)
+                        observations = links[link] = LinkObservations(
+                            (strings[near_id], strings[far_id])
+                        )
                     buffer = observations._samples
                     start = len(buffer)
                     buffer.extend(samples)
@@ -352,24 +365,22 @@ def _emit_adjacent_pairs(
                         probe_id, []
                     ).append((start, len(buffer)))
                     observations.probe_asn[probe_id] = probe_asn
-        router_ip = near_info[3]
-        if router_ip is not None:  # §5.1 packet attribution
-            key = (router_ip, destination)
+        router_id = near_info[3]
+        if router_id is not None:  # §5.1 packet attribution
+            key = (router_id, dst_id)
             pattern = patterns_get(key)
             if pattern is None:
                 pattern = patterns[key] = {}
             far_counts = far_info[1]
             if far_counts is None:  # uniform far hop: one next hop
-                far_ip = far_info[3]
-                pattern[far_ip] = pattern.get(far_ip, 0.0) + far_info[5]
+                far_id = far_info[3]
+                pattern[far_id] = pattern.get(far_id, 0.0) + far_info[5]
             else:
                 for next_hop, count in far_counts.items():
                     pattern[next_hop] = pattern.get(next_hop, 0.0) + count
                 far_lost = far_info[2]
                 if far_lost:
-                    pattern[UNRESPONSIVE] = (
-                        pattern.get(UNRESPONSIVE, 0.0) + far_lost
-                    )
+                    pattern[NO_IP] = pattern.get(NO_IP, 0.0) + far_lost
 
 
 def _extract_bin_columnar(
@@ -378,15 +389,17 @@ def _extract_bin_columnar(
     """Fused extraction over columnar rows — zero objects materialised.
 
     Walks the flat arrays of a :class:`~repro.atlas.columnar`
-    batch/view, builds per-hop ``infos`` tuples identical to the object
-    path's (uniform hops are detected on integer ip ids before a single
-    string is touched; strings are materialised only for link/pattern
-    keys, via the interner so repeated ips share one ``str`` object),
-    and feeds them through the same :func:`_emit_adjacent_pairs` loop.
-    Output is bit-identical to ``extract_bin`` over the materialised
-    objects — including per-probe sample order and ``probe_asn``
-    insertion order, which the diversity filter's rebalancing draws
-    depend on.
+    batch/view, builds per-hop ``infos`` tuples shaped like the object
+    path's but keyed by **interned integer ids** throughout (uniform
+    hops are detected on ids, per-hop reply groupings are id-keyed
+    dicts, and the pair loop accumulates links/patterns under id-pair
+    keys — no ``(str, str)`` tuple is built per adjacent pair).  The
+    id-keyed accumulators are converted to the string-keyed output form
+    once per distinct link/model at the end, preserving first-seen
+    insertion order.  Output is bit-identical to ``extract_bin`` over
+    the materialised objects — including per-probe sample order and
+    ``probe_asn`` insertion order, which the diversity filter's
+    rebalancing draws depend on.
     """
     if isinstance(source, BatchView):
         batch, indices = source.batch, source.indices
@@ -401,8 +414,8 @@ def _extract_bin_columnar(
     prb_ids = batch.prb_id
     asns = batch.from_asn
     dst_ids = batch.dst_id
-    links: Dict[Link, LinkObservations] = {}
-    patterns: Dict[ModelKey, Pattern] = {}
+    links_by_id: Dict[Tuple[int, int], LinkObservations] = {}
+    patterns_by_id: Dict[Tuple[int, int], Dict[int, float]] = {}
     for row in indices:
         hop_start = hop_offsets[row]
         hop_stop = hop_offsets[row + 1]
@@ -439,27 +452,26 @@ def _extract_bin_columnar(
                         None,
                         None,
                         0,
-                        strings[first_id],
+                        first_id,
                         rtts,
                         reply_stop - reply_start,
                     )
                 )
                 continue
-            ip_rtts: Dict[str, List[float]] = {}
-            counts: Dict[str, int] = {}
+            ip_rtts: Dict[int, List[float]] = {}
+            counts: Dict[int, int] = {}
             lost = 0
             for index in range(reply_start, reply_stop):
                 ident = reply_ip[index]
                 if ident < 0:
                     lost += 1
                     continue
-                ip = strings[ident]
-                samples = ip_rtts.get(ip)
+                samples = ip_rtts.get(ident)
                 if samples is None:
-                    samples = ip_rtts[ip] = []
-                    counts[ip] = 1
+                    samples = ip_rtts[ident] = []
+                    counts[ident] = 1
                 else:
-                    counts[ip] += 1
+                    counts[ident] += 1
                 rtt = reply_rtt[index]
                 if rtt == rtt:
                     samples.append(rtt)
@@ -468,7 +480,11 @@ def _extract_bin_columnar(
             elif len(counts) == 1:
                 (primary,) = counts
             else:
-                primary = max(counts, key=lambda ip: (counts[ip], ip))
+                # Ties break on the IP *string*, exactly as the object
+                # path's max over (count, ip) does.
+                primary = max(
+                    counts, key=lambda ident: (counts[ident], strings[ident])
+                )
             infos.append((ip_rtts, counts, lost, primary, None, 0))
 
         asn = asns[row]
@@ -477,10 +493,28 @@ def _extract_bin_columnar(
             ttls,
             prb_ids[row],
             None if asn == NO_INT else asn,
-            strings[dst_ids[row]],
-            links,
-            patterns,
+            dst_ids[row],
+            links_by_id,
+            patterns_by_id,
+            strings,
         )
+    links: Dict[Link, LinkObservations] = {
+        observations.link: observations
+        for observations in links_by_id.values()
+    }
+    patterns: Dict[ModelKey, Pattern] = {}
+    for (router_id, dst_id), pattern in patterns_by_id.items():
+        converted: Pattern = {}
+        for hop_id, count in pattern.items():
+            # Accumulate, do not overwrite: a literal "*" responder IP
+            # interns to an id >= 0 while lost packets use the NO_IP
+            # sentinel, and both must merge under the UNRESPONSIVE key
+            # exactly as the object path's string-keyed dict does.
+            # (Counts are integral, so re-associating the float sums is
+            # exact and the merge stays bit-identical.)
+            hop = strings[hop_id] if hop_id >= 0 else UNRESPONSIVE
+            converted[hop] = converted.get(hop, 0.0) + count
+        patterns[(strings[router_id], strings[dst_id])] = converted
     return links, patterns
 
 
@@ -511,10 +545,14 @@ class _ShardCore:
     """One shard's detection state and vectorized per-bin analysis.
 
     Mirrors the serial :class:`Pipeline` per-link logic exactly, but
-    characterises all of the shard's accepted links with one batched
-    Wilson call and judges all of its forwarding models with one batched
-    correlation call.  Runs wherever the executor puts it — inline, on a
-    thread, or inside a persistent worker process.
+    holds its detector state in the structure-of-arrays arenas
+    (:class:`~repro.core.arena.DelayArena`,
+    :class:`~repro.core.arena.ForwardingArena`): all of the shard's
+    accepted links are characterised with one batched Wilson call and
+    judged/updated with the arena's vectorized Eq. 6/7 kernels, and all
+    of its forwarding models with the arena's pooled Eq. 8 smoothing and
+    one batched correlation call.  Runs wherever the executor puts it —
+    inline, on a thread, or inside a persistent worker process.
     """
 
     def __init__(
@@ -530,13 +568,12 @@ class _ShardCore:
             min_entropy=config.min_entropy,
             seed=config.seed,
         )
-        self.delay_detector = DelayChangeDetector(
+        self.delay_arena = DelayArena(
             alpha=config.alpha,
-            z=config.z,
             min_shift_ms=config.min_shift_ms,
             winsorize=config.winsorize,
         )
-        self.forwarding_detector = ForwardingAnomalyDetector(
+        self.forwarding_arena = ForwardingArena(
             tau=config.tau,
             alpha=config.alpha,
             warmup_bins=config.forwarding_warmup,
@@ -544,9 +581,6 @@ class _ShardCore:
         self.tracked: Dict[Link, List[TrackedLinkPoint]] = {
             link: [] for link in tracked_links
         }
-        self._links_analyzed: Set[Link] = set()
-        self._links_alarmed: Set[Link] = set()
-        self._probes_per_link: Dict[Link, int] = {}
 
     def process_partition(
         self,
@@ -557,19 +591,23 @@ class _ShardCore:
         """Analyse this shard's slice of one time bin."""
         if not observations and not patterns and not self.tracked:
             return _ShardBinOutput(self.shard_id, [], [], 0)
-        delay_alarms: List[DelayAlarm] = []
-        analyzed = 0
 
         links = sorted(observations)
         tracked_rejected: List[Tuple[Link, DiversityVerdict]] = []
         accepted: List[Link] = []
-        accepted_verdicts: List[DiversityVerdict] = []
+        n_probes: List[int] = []
+        n_asns: List[int] = []
         sample_arrays: List[np.ndarray] = []
+        # (position in accepted, link, verdict) for tracked links only.
+        tracked_accepted: List[Tuple[int, Link, DiversityVerdict]] = []
         for link in links:
             verdict = self.diversity.evaluate(observations[link])
             if verdict.accepted:
+                if link in self.tracked:
+                    tracked_accepted.append((len(accepted), link, verdict))
                 accepted.append(link)
-                accepted_verdicts.append(verdict)
+                n_probes.append(len(verdict.kept_probes))
+                n_asns.append(verdict.n_asns)
                 # Unordered is fine here: the batched Wilson interval
                 # sorts, so only the multiset of samples matters.
                 sample_arrays.append(
@@ -580,41 +618,44 @@ class _ShardCore:
             elif link in self.tracked:
                 tracked_rejected.append((link, verdict))
 
-        intervals = median_confidence_interval_batch(
+        medians, lowers, uppers, counts = median_confidence_interval_arrays(
             sample_arrays, z=self.config.z
         )
         analyzed = len(accepted)
-        for link, verdict, observed in zip(
-            accepted, accepted_verdicts, intervals
-        ):
-            self._links_analyzed.add(link)
-            n_kept = len(verdict.kept_probes)
-            previous = self._probes_per_link.get(link, 0)
-            self._probes_per_link[link] = (
-                previous if previous >= n_kept else n_kept
-            )
-            is_tracked = link in self.tracked
-            reference_before = (
-                self.delay_detector.reference_of(link) if is_tracked else None
-            )
-            alarm = self.delay_detector.observe_interval(
-                timestamp,
-                link,
-                observed,
-                n_probes=n_kept,
-                n_asns=verdict.n_asns,
-            )
-            if alarm is not None:
-                delay_alarms.append(alarm)
-                self._links_alarmed.add(link)
-            if is_tracked:
+        # The reference must be captured *before* the kernel folds this
+        # bin in (the scalar path reads it pre-update); only tracked
+        # links need it.
+        references_before = {
+            link: self.delay_arena.reference_of(link)
+            for _, link, _ in tracked_accepted
+        }
+        delay_alarms = self.delay_arena.observe_bin(
+            timestamp,
+            accepted,
+            medians,
+            lowers,
+            uppers,
+            counts,
+            n_probes,
+            n_asns,
+        )
+
+        if tracked_accepted:
+            alarms_by_link = {alarm.link: alarm for alarm in delay_alarms}
+            for position, link, verdict in tracked_accepted:
+                observed = WilsonInterval(
+                    median=float(medians[position]),
+                    lower=float(lowers[position]),
+                    upper=float(uppers[position]),
+                    n=int(counts[position]),
+                )
                 self._record_tracked(
                     link,
                     timestamp,
                     observations[link],
                     verdict,
-                    alarm,
-                    reference_before,
+                    alarms_by_link.get(link),
+                    references_before[link],
                     observed,
                 )
 
@@ -629,14 +670,14 @@ class _ShardCore:
                     TrackedLinkPoint(
                         timestamp=timestamp,
                         observed=None,
-                        reference=self.delay_detector.reference_of(link),
+                        reference=self.delay_arena.reference_of(link),
                         alarmed=False,
                         accepted=False,
                         n_probes=0,
                     )
                 )
 
-        forwarding_alarms = self.forwarding_detector.observe_bin_batched(
+        forwarding_alarms = self.forwarding_arena.observe_bin(
             timestamp, patterns
         )
         return _ShardBinOutput(
@@ -674,7 +715,7 @@ class _ShardCore:
                 observed=observed,
                 reference=reference_before
                 if reference_before is not None
-                else self.delay_detector.reference_of(link),
+                else self.delay_arena.reference_of(link),
                 alarmed=alarm is not None,
                 accepted=verdict.accepted,
                 n_probes=n_probes,
@@ -684,13 +725,17 @@ class _ShardCore:
         )
 
     def snapshot(self) -> _ShardSnapshot:
+        # The cumulative aggregates live in the arenas (every link the
+        # delay arena ever interned passed the diversity filter, so the
+        # interner *is* the analyzed-links set) — no per-bin Python
+        # bookkeeping needed on the hot path.
         return _ShardSnapshot(
-            links_analyzed=set(self._links_analyzed),
-            links_alarmed=set(self._links_alarmed),
-            probes_per_link=dict(self._probes_per_link),
-            forwarding_models=self.forwarding_detector.n_models,
-            forwarding_routers=self.forwarding_detector.n_routers,
-            next_hops_total=self.forwarding_detector.next_hops_total(),
+            links_analyzed=set(self.delay_arena.links()),
+            links_alarmed=self.delay_arena.alarmed_links(),
+            probes_per_link=self.delay_arena.max_probes_map(),
+            forwarding_models=self.forwarding_arena.n_models,
+            forwarding_routers=self.forwarding_arena.n_routers,
+            next_hops_total=self.forwarding_arena.next_hops_total(),
             tracked={link: list(points) for link, points in self.tracked.items()},
         )
 

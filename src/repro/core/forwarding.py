@@ -18,10 +18,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.atlas.model import Traceroute
 from repro.core.alarms import UNRESPONSIVE, ForwardingAlarm
-from repro.stats.correlation import (
-    pearson_correlation,
-    pearson_correlation_batch,
-)
+from repro.stats.correlation import pearson_correlation
 from repro.stats.smoothing import DEFAULT_ALPHA, VectorSmoother
 
 #: Detection threshold on the Pearson correlation (§5.2.1, knee of the
@@ -53,6 +50,7 @@ def forwarding_patterns(
     {'A': 2.0, '*': 1.0}
     """
     patterns: Dict[ModelKey, Pattern] = {}
+    patterns_get = patterns.get
     for traceroute in traceroutes:
         destination = traceroute.dst_addr
         for near_hop, far_hop in traceroute.adjacent_pairs():
@@ -60,10 +58,18 @@ def forwarding_patterns(
             if router_ip is None:
                 continue
             key = (router_ip, destination)
-            pattern = patterns.setdefault(key, {})
+            pattern = patterns_get(key)
+            if pattern is None:
+                pattern = patterns[key] = {}
+            # Single-pass accumulation with the dict getter hoisted to a
+            # local: one bound-method lookup per hop pair instead of one
+            # per reply packet.
+            pattern_get = pattern.get
             for reply in far_hop.replies:
-                next_hop = reply.ip if reply.ip is not None else UNRESPONSIVE
-                pattern[next_hop] = pattern.get(next_hop, 0.0) + 1.0
+                next_hop = reply.ip
+                if next_hop is None:
+                    next_hop = UNRESPONSIVE
+                pattern[next_hop] = pattern_get(next_hop, 0.0) + 1.0
     return patterns
 
 
@@ -193,65 +199,17 @@ class ForwardingAnomalyDetector:
     def observe_bin(
         self, timestamp: int, patterns: Dict[ModelKey, Pattern]
     ) -> List[ForwardingAlarm]:
-        """Process every model of one time bin; return its alarms."""
+        """Process every model of one time bin; return its alarms.
+
+        This is the scalar reference loop; the sharded engine's batched
+        equivalent lives in
+        :class:`~repro.core.arena.ForwardingArena`, which is held
+        bit-identical to this method by the hypothesis property in
+        ``tests/test_core_arena.py``.
+        """
         alarms = []
         for key in sorted(patterns):
             alarm = self.observe(timestamp, key, patterns[key])
             if alarm is not None:
                 alarms.append(alarm)
-        return alarms
-
-    def observe_bin_batched(
-        self, timestamp: int, patterns: Dict[ModelKey, Pattern]
-    ) -> List[ForwardingAlarm]:
-        """Batched :meth:`observe_bin`: one vectorized correlation call.
-
-        Splits the bin's models into those still warming up and those to
-        judge, correlates all judged (pattern, reference) pairs with
-        :func:`pearson_correlation_batch`, then applies the same
-        alarm/update logic per model.  Per-model states are independent,
-        so the two-phase schedule produces results bit-identical to the
-        sequential method; the sharded engine uses this entry point.
-        """
-        judged = []  # (key, state, pattern, reference) past warm-up
-        passive = []  # (state, pattern) still building their reference
-        for key in sorted(patterns):
-            pattern = patterns[key]
-            if not pattern:
-                continue
-            state = self._states.get(key)
-            if state is None:
-                state = ForwardingModelState(VectorSmoother(self.alpha))
-                self._states[key] = state
-            reference = state.reference
-            if state.bins_seen >= self.warmup_bins and reference:
-                judged.append((key, state, pattern, reference))
-            else:
-                passive.append((state, pattern))
-
-        alarms: List[ForwardingAlarm] = []
-        correlations = pearson_correlation_batch(
-            [(pattern, reference) for _, _, pattern, reference in judged]
-        )
-        for (key, state, pattern, reference), correlation in zip(
-            judged, correlations
-        ):
-            if correlation < self.tau:
-                alarms.append(
-                    ForwardingAlarm(
-                        timestamp=timestamp,
-                        router_ip=key[0],
-                        destination=key[1],
-                        correlation=correlation,
-                        responsibilities=responsibility_scores(
-                            pattern, reference, correlation
-                        ),
-                        pattern=dict(pattern),
-                        reference=dict(reference),
-                    )
-                )
-                state.alarms_raised += 1
-            state.smoother.update(pattern)
-        for state, pattern in passive:
-            state.smoother.update(pattern)
         return alarms

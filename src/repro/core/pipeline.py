@@ -155,7 +155,17 @@ class CampaignStats:
 
 
 class Pipeline:
-    """Stateful per-bin analysis engine."""
+    """Stateful per-bin analysis engine (the scalar reference).
+
+    This is the paper-shaped implementation: per-link scalar detectors
+    (:class:`~repro.core.delaydetector.DelayChangeDetector`,
+    :class:`~repro.core.forwarding.ForwardingAnomalyDetector`) driven in
+    readable Python loops.  It deliberately stays scalar — it is the
+    *equivalence oracle* for the production engine: the arena-backed
+    :class:`~repro.core.engine.ShardedPipeline` must reproduce this
+    pipeline's output bit for bit, which the property tests and the
+    ``bench_detect``/``bench_engine_scaling`` benchmarks assert.
+    """
 
     def __init__(self, config: Optional[PipelineConfig] = None) -> None:
         self.config = config or PipelineConfig()

@@ -172,7 +172,10 @@ class DdosScenario(WindowedLinkScenario):
                     edges |= _both_directions([(far, upstream)])
         delay_shift = {}
         loss_map = {}
-        for u, v in edges:
+        # Sorted iteration: the per-edge uniform draws pair with edges
+        # in a stable order, so campaigns are reproducible across
+        # processes (set order follows the per-process string-hash seed).
+        for u, v in sorted(edges):
             delay_shift[(u, v)] = float(rng.uniform(min_shift_ms, max_shift_ms))
             loss_map[(u, v)] = loss
         super().__init__(
@@ -229,8 +232,10 @@ class RouteLeakScenario(Scenario):
             congested_edges = self._default_congested_edges(topology)
         rng = np.random.default_rng(seed)
         edges = _both_directions(congested_edges)
+        # Sorted for cross-process reproducibility (see DdosScenario).
         self._delay_shift = {
-            edge: float(rng.uniform(*delay_shift_range_ms)) for edge in edges
+            edge: float(rng.uniform(*delay_shift_range_ms))
+            for edge in sorted(edges)
         }
         self._loss = {edge: loss for edge in edges}
         self._edges = edges

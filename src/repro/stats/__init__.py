@@ -16,6 +16,7 @@ from repro.stats.correlation import (
     align_patterns,
     pearson_correlation,
     pearson_correlation_batch,
+    pearson_correlation_pooled,
 )
 from repro.stats.distributions import (
     eccdf,
@@ -54,6 +55,7 @@ from repro.stats.wilson import (
     DEFAULT_Z,
     WilsonInterval,
     median_confidence_interval,
+    median_confidence_interval_arrays,
     median_confidence_interval_batch,
     wilson_score_bounds,
 )
@@ -77,6 +79,7 @@ __all__ = [
     "median",
     "median_absolute_deviation",
     "median_confidence_interval",
+    "median_confidence_interval_arrays",
     "median_confidence_interval_batch",
     "normal_qq",
     "normality_verdict",
@@ -84,6 +87,7 @@ __all__ = [
     "outlier_count",
     "pearson_correlation",
     "pearson_correlation_batch",
+    "pearson_correlation_pooled",
     "qq_linearity",
     "qq_max_deviation",
     "quantile_of_fraction",

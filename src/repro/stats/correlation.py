@@ -15,7 +15,7 @@ alarms — matching the intent of the paper's detector.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence, Tuple, Union
+from typing import List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -83,29 +83,70 @@ def pearson_correlation_batch(
 
     The forwarding detector's per-bin hot path: every judged
     (pattern, reference) pair of a time bin is correlated in a handful of
-    numpy calls instead of ~8 per pair.  Pairs are grouped by their
-    aligned key-set size before stacking, because numpy's pairwise
-    summation depends on the reduced axis length — reducing rows of a
-    uniform-length 2-D block performs the same additions in the same
-    order as the 1-D scalar path, so results are **bit-identical** to the
-    scalar function (the engine's equivalence guarantee relies on this).
+    numpy calls instead of ~8 per pair.  Pairs are aligned onto their
+    sorted union key order and handed to
+    :func:`pearson_correlation_pooled`, which performs the grouped block
+    arithmetic; results are **bit-identical** to the scalar function (the
+    engine's equivalence guarantee relies on this).
 
     >>> pearson_correlation_batch([({"a": 1.0, "b": 2.0}, {"a": 2.0, "b": 4.0})])
     [1.0]
     """
-    results: List[float] = [0.0] * len(pairs)
-    by_length: dict = {}
-    for index, (current, reference) in enumerate(pairs):
+    xs_pool: List[float] = []
+    ys_pool: List[float] = []
+    offsets = [0]
+    for current, reference in pairs:
         keys = sorted(set(current) | set(reference), key=str)
         if not keys:
             raise ValueError("correlation of empty vectors")
-        xs = [float(current.get(key, 0.0)) for key in keys]
-        ys = [float(reference.get(key, 0.0)) for key in keys]
-        by_length.setdefault(len(keys), []).append((index, xs, ys))
+        xs_pool.extend(float(current.get(key, 0.0)) for key in keys)
+        ys_pool.extend(float(reference.get(key, 0.0)) for key in keys)
+        offsets.append(len(xs_pool))
+    return pearson_correlation_pooled(
+        np.asarray(xs_pool), np.asarray(ys_pool), offsets
+    )
 
-    for entries in by_length.values():
-        xs_block = np.array([entry[1] for entry in entries])
-        ys_block = np.array([entry[2] for entry in entries])
+
+def pearson_correlation_pooled(
+    values_x: np.ndarray,
+    values_y: np.ndarray,
+    offsets: Sequence[int],
+) -> List[float]:
+    """Pearson ρ over CSR-style pooled vector pairs.
+
+    ``values_x``/``values_y`` hold every pair's aligned values back to
+    back; row ``i`` spans ``offsets[i]:offsets[i + 1]``.  This is the
+    entry point the forwarding arena (:mod:`repro.core.arena`) feeds —
+    it aligns each judged pattern against its reference once and pools
+    the aligned values, so no per-pair mappings are rebuilt.
+
+    Rows are grouped by length before stacking, because numpy's pairwise
+    summation depends on the reduced axis length — reducing rows of a
+    uniform-length 2-D block performs the same additions in the same
+    order as the 1-D scalar path, so results are **bit-identical** to
+    :func:`pearson_correlation` on each row.
+
+    >>> import numpy as np
+    >>> pearson_correlation_pooled(
+    ...     np.array([1.0, 2.0]), np.array([2.0, 4.0]), [0, 2])
+    [1.0]
+    """
+    values_x = np.asarray(values_x, dtype=float)
+    values_y = np.asarray(values_y, dtype=float)
+    n_rows = len(offsets) - 1
+    results: List[float] = [0.0] * n_rows
+    by_length: dict = {}
+    for index in range(n_rows):
+        start, stop = offsets[index], offsets[index + 1]
+        if stop <= start:
+            raise ValueError("correlation of empty vectors")
+        by_length.setdefault(stop - start, []).append(index)
+
+    for length, indices in by_length.items():
+        starts = np.asarray([offsets[i] for i in indices], dtype=np.intp)
+        take = starts[:, None] + np.arange(length, dtype=np.intp)
+        xs_block = values_x[take]
+        ys_block = values_y[take]
         x_centred = xs_block - xs_block.mean(axis=1, keepdims=True)
         y_centred = ys_block - ys_block.mean(axis=1, keepdims=True)
         x_norm = np.sqrt((x_centred**2).sum(axis=1))
@@ -119,6 +160,6 @@ def pearson_correlation_batch(
         # constant -> +1 (nothing changed), one constant -> 0.
         rho = np.where(degenerate, 0.0, rho)
         rho = np.where((x_norm == 0.0) & (y_norm == 0.0), 1.0, rho)
-        for position, (index, _, _) in enumerate(entries):
+        for position, index in enumerate(indices):
             results[index] = float(rho[position])
     return results

@@ -24,6 +24,12 @@ DEFAULT_ALPHA = 0.01
 #: Number of initial bins used to seed the reference (§4.2.4).
 SEED_BINS = 3
 
+#: Default smoothed weight below which forwarding next hops are pruned.
+#: Shared by :class:`VectorSmoother` and the forwarding arena
+#: (:class:`repro.core.arena.ForwardingArena`) — their bit-identity
+#: requires a single source of truth for this threshold.
+PRUNE_BELOW = 1e-6
+
 
 def exponential_smoothing(
     previous: float, observation: float, alpha: float
@@ -75,12 +81,21 @@ class ExponentialSmoother:
         return self._value is not None
 
     def update(self, observation: float) -> Optional[float]:
-        """Feed one observation; return the updated reference (or None)."""
+        """Feed one observation; return the updated reference (or None).
+
+        The warm-up buffer is bounded to ``seed_bins`` entries: should
+        ``seed_bins`` be lowered mid-warm-up, only the newest
+        ``seed_bins`` observations seed the median and older ones are
+        discarded, so the buffer can never grow without bound.
+        """
         if self._value is None:
-            self._warmup.append(float(observation))
-            if len(self._warmup) >= self.seed_bins:
-                self._value = float(np.median(self._warmup))
-                self._warmup.clear()
+            warmup = self._warmup
+            warmup.append(float(observation))
+            if len(warmup) > self.seed_bins:
+                del warmup[: len(warmup) - self.seed_bins]
+            if len(warmup) >= self.seed_bins:
+                self._value = float(np.median(warmup))
+                warmup.clear()
             return self._value
         self._value = exponential_smoothing(
             self._value, float(observation), self.alpha
@@ -91,6 +106,8 @@ class ExponentialSmoother:
         """Value :meth:`update` would produce, without mutating state."""
         if self._value is None:
             warmup = self._warmup + [float(observation)]
+            if len(warmup) > self.seed_bins:
+                del warmup[: len(warmup) - self.seed_bins]
             if len(warmup) >= self.seed_bins:
                 return float(np.median(warmup))
             return None
@@ -109,7 +126,9 @@ class VectorSmoother:
     keep long-running references compact.
     """
 
-    def __init__(self, alpha: float = DEFAULT_ALPHA, prune_below: float = 1e-6):
+    def __init__(
+        self, alpha: float = DEFAULT_ALPHA, prune_below: float = PRUNE_BELOW
+    ):
         if not 0.0 < alpha < 1.0:
             raise ValueError(f"alpha must be in (0, 1): {alpha}")
         if prune_below < 0:

@@ -141,10 +141,43 @@ def median_confidence_interval_batch(
     >>> batch[1].n
     1
     """
+    medians, lowers, uppers, ns = median_confidence_interval_arrays(
+        sample_sets, z=z
+    )
+    return [
+        WilsonInterval(
+            median=float(medians[index]),
+            lower=float(lowers[index]),
+            upper=float(uppers[index]),
+            n=int(ns[index]),
+        )
+        for index in range(len(sample_sets))
+    ]
+
+
+def median_confidence_interval_arrays(
+    sample_sets: Sequence[Sequence[float]], z: float = DEFAULT_Z
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Batched Wilson characterisation returning flat parallel arrays.
+
+    Same statistics as :func:`median_confidence_interval_batch` — value
+    for value, bit for bit — but returned as four aligned float64/int64
+    arrays ``(medians, lowers, uppers, ns)`` instead of one
+    :class:`WilsonInterval` per set.  This is the form the detector-state
+    arena (:mod:`repro.core.arena`) consumes: the per-bin kernels stay in
+    NumPy end to end and interval objects are materialised only for the
+    anomalous subset.
+
+    >>> medians, lowers, uppers, ns = median_confidence_interval_arrays(
+    ...     [[1.0, 2.0, 3.0]])
+    >>> float(medians[0]), int(ns[0])
+    (2.0, 3)
+    """
     if z <= 0:
         raise ValueError(f"z must be positive: {z}")
+    empty = np.empty(0)
     if not sample_sets:
-        return []
+        return empty, empty, empty, np.empty(0, dtype=np.int64)
     arrays = [np.asarray(values, dtype=float) for values in sample_sets]
     for values in arrays:
         if values.size == 0:
@@ -160,17 +193,24 @@ def median_confidence_interval_batch(
     buckets: dict = {}
     for index, values in enumerate(arrays):
         buckets.setdefault(values.size.bit_length(), []).append(index)
-    results: List[WilsonInterval] = [None] * len(arrays)  # type: ignore
+    medians = np.empty(len(arrays))
+    lowers = np.empty(len(arrays))
+    uppers = np.empty(len(arrays))
+    ns = np.empty(len(arrays), dtype=np.int64)
     for indices in buckets.values():
-        results_for = _batch_uniform([arrays[i] for i in indices], z)
-        for index, interval in zip(indices, results_for):
-            results[index] = interval
-    return results
+        meds, lows, ups, counts = _batch_uniform(
+            [arrays[i] for i in indices], z
+        )
+        medians[indices] = meds
+        lowers[indices] = lows
+        uppers[indices] = ups
+        ns[indices] = counts
+    return medians, lowers, uppers, ns
 
 
 def _batch_uniform(
     arrays: List[np.ndarray], z: float
-) -> List[WilsonInterval]:
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Batch-characterise sample sets of similar length (see above)."""
     lengths = np.array([values.size for values in arrays], dtype=np.int64)
     width = int(lengths.max())
@@ -208,12 +248,4 @@ def _batch_uniform(
     medians = np.where(lengths % 2 == 1, padded[rows, mid], evens)
     lowers = padded[rows, lower_index]
     uppers = padded[rows, upper_index]
-    return [
-        WilsonInterval(
-            median=float(medians[row]),
-            lower=float(lowers[row]),
-            upper=float(uppers[row]),
-            n=int(lengths[row]),
-        )
-        for row in range(len(arrays))
-    ]
+    return medians, lowers, uppers, lengths

@@ -43,6 +43,40 @@ class TestDeviationScore:
         assert np.isfinite(score)
         assert score > 0
 
+    def test_zero_width_reference_uses_epsilon_denominator(self):
+        """A degenerate (zero-width) reference divides by _EPSILON_MS
+        exactly — huge but finite scores, in both shift directions."""
+        from repro.core.delaydetector import _EPSILON_MS
+
+        reference = WilsonInterval(5.0, 5.0, 5.0, 10)
+        increase = WilsonInterval(8.0, 7.0, 9.0, 10)
+        decrease = WilsonInterval(2.0, 1.0, 3.0, 10)
+        assert deviation_score(increase, reference) == (7.0 - 5.0) / _EPSILON_MS
+        assert deviation_score(decrease, reference) == (5.0 - 3.0) / _EPSILON_MS
+
+    def test_batch_matches_scalar_including_zero_width(self):
+        """deviation_score_batch == deviation_score elementwise, bit for
+        bit, across all three branches and the ε guard."""
+        from repro.core.delaydetector import deviation_score_batch
+
+        cases = [
+            (WilsonInterval(5.2, 5.0, 5.4, 9), WilsonInterval(5.3, 5.1, 5.5, 9)),
+            (WilsonInterval(8.0, 7.5, 8.5, 9), WilsonInterval(5.0, 4.8, 5.2, 9)),
+            (WilsonInterval(2.0, 1.8, 2.2, 9), WilsonInterval(5.0, 4.8, 5.2, 9)),
+            (WilsonInterval(8.0, 8.0, 8.0, 9), WilsonInterval(5.0, 5.0, 5.0, 9)),
+            (WilsonInterval(1.0, 0.5, 1.5, 9), WilsonInterval(5.0, 5.0, 5.0, 9)),
+        ]
+        batch = deviation_score_batch(
+            np.array([obs.median for obs, _ in cases]),
+            np.array([obs.lower for obs, _ in cases]),
+            np.array([obs.upper for obs, _ in cases]),
+            np.array([ref.median for _, ref in cases]),
+            np.array([ref.lower for _, ref in cases]),
+            np.array([ref.upper for _, ref in cases]),
+        )
+        for index, (observed, reference) in enumerate(cases):
+            assert batch[index] == deviation_score(observed, reference)
+
     def test_larger_gap_larger_deviation(self):
         reference = WilsonInterval(5.0, 4.8, 5.2, 100)
         near = WilsonInterval(6.0, 5.8, 6.2, 100)

@@ -277,8 +277,11 @@ class TestAnalyzeCampaignDispatch:
 
 # -- fused extraction equivalence -------------------------------------------
 
+# "*" is deliberately included: a literal "*" responder string must
+# merge with the lost-packet bucket exactly as the object path merges
+# them (regression: the id-keyed columnar path once kept them apart).
 ip_strategy = st.sampled_from(
-    ["10.0.0.1", "10.0.0.2", "10.0.1.1", "10.1.0.1", "10.1.0.2"]
+    ["10.0.0.1", "10.0.0.2", "10.0.1.1", "10.1.0.1", "10.1.0.2", "*"]
 )
 rtt_strategy = st.floats(min_value=0.1, max_value=200.0, allow_nan=False)
 
@@ -325,6 +328,24 @@ class TestExtractBinEquivalence:
                 assert fused.samples_by_probe == reference.samples_by_probe
                 assert fused.probe_asn == reference.probe_asn
             assert patterns == reference_pat
+
+    def test_literal_star_responder_merges_with_lost_bucket(self):
+        """A reply from a literal "*" IP and a lost packet in the same
+        far hop land in one UNRESPONSIVE bucket on every input path."""
+        traceroute = make_traceroute(
+            1, "s", "d", 0,
+            [
+                [("R", 1.0)],
+                [("*", 2.0), (None, None), ("11.0.0.1", 2.5)],
+            ],
+            from_asn=65001,
+        )
+        reference = forwarding_patterns([traceroute])
+        assert reference[("R", "d")] == {"*": 2.0, "11.0.0.1": 1.0}
+        batch = TracerouteBatch.from_traceroutes([traceroute])
+        for source in ([traceroute], batch, batch.view()):
+            _, patterns = extract_bin(source)
+            assert patterns == reference
 
     def test_gap_ttls_and_uniform_fast_path(self):
         """Mixed uniform/non-uniform hops and a TTL gap in one trace."""

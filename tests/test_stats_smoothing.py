@@ -79,6 +79,28 @@ class TestExponentialSmoother:
         with pytest.raises(ValueError):
             ExponentialSmoother(seed_bins=0)
 
+    def test_warmup_buffer_bounded_to_seed_bins(self):
+        """The warm-up buffer never holds more than seed_bins entries."""
+        smoother = ExponentialSmoother(alpha=0.5, seed_bins=5)
+        for value in (1.0, 2.0, 3.0):
+            smoother.update(value)
+            assert len(smoother._warmup) <= smoother.seed_bins
+        # Shrinking seed_bins mid-warm-up must not leave a larger buffer
+        # behind: only the newest seed_bins observations seed the median.
+        smoother.seed_bins = 2
+        result = smoother.update(4.0)
+        assert smoother.ready
+        assert result == 3.5  # median(3.0, 4.0): oldest entries dropped
+        assert smoother._warmup == []
+
+    def test_preview_respects_seed_bins_bound(self):
+        smoother = ExponentialSmoother(alpha=0.5, seed_bins=3)
+        smoother.update(1.0)
+        smoother.update(100.0)
+        smoother.seed_bins = 2
+        assert smoother.preview(2.0) == 51.0  # median(100, 2)
+        assert not smoother.ready  # preview never mutates
+
     @settings(max_examples=30)
     @given(st.lists(finite, min_size=4, max_size=50), st.floats(0.01, 0.99))
     def test_reference_stays_within_observed_range(self, values, alpha):
