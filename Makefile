@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: help test bench bench-engine bench-ingest bench-detect docs doclint
+.PHONY: help test bench bench-engine bench-ingest bench-detect bench-stream docs doclint
 
 help:
 	@echo "targets:"
@@ -14,6 +14,7 @@ help:
 	@echo "  bench-engine sharded-engine scaling benchmark only"
 	@echo "  bench-ingest columnar ingestion benchmark (BENCH_ingest.json)"
 	@echo "  bench-detect detection-kernel benchmark (BENCH_detect.json)"
+	@echo "  bench-stream checkpoint-overhead benchmark (BENCH_stream.json)"
 	@echo "  docs         docstring lint + pointers to docs/"
 	@echo "  doclint      docstring lint only"
 
@@ -33,6 +34,9 @@ bench-ingest:
 
 bench-detect:
 	$(PYTHON) -m pytest -q benchmarks/bench_detect.py -s
+
+bench-stream:
+	$(PYTHON) -m pytest -q benchmarks/bench_stream.py -s
 
 doclint:
 	$(PYTHON) tools/doclint.py

@@ -1,20 +1,33 @@
 #!/usr/bin/env python
-"""Near-real-time monitoring (paper §8, the Internet Health Report).
+"""Near-real-time monitoring with durable checkpoints (paper §8).
 
-The authors feed the Atlas *streaming* API into their detectors so alarms
-appear in near real time.  This example shows the same consumption
-pattern with :class:`~repro.atlas.TracerouteStream`: results are pushed
-one by one (slightly out of order, as on the real stream), bins close
-when the stream moves past their lateness horizon, and each closed bin is
-analyzed immediately.
+The authors feed the Atlas *streaming* API into their detectors so
+alarms appear in near real time.  This example shows the same
+consumption pattern with :class:`~repro.atlas.TracerouteStream` — and
+what makes it operable as a long-running service: after every closed
+bin the full detector state is snapshotted to disk
+(:mod:`repro.core.checkpoint`), the monitor is then "crashed"
+mid-campaign, and a fresh process-like context resumes from the
+checkpoint, replays the feed from the top (the already-processed prefix
+is dropped as replay, not reprocessed) and continues the bin clock
+exactly where it stopped.
 
 Run:  python examples/streaming_monitor.py
 """
 
+import os
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
 from repro.atlas import TracerouteStream
-from repro.core import Pipeline, PipelineConfig
+from repro.core import (
+    Pipeline,
+    PipelineConfig,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.reporting import format_table
 from repro.simulation import (
     AtlasPlatform,
@@ -25,9 +38,12 @@ from repro.simulation import (
 )
 
 EVENT = (10 * 3600, 12 * 3600)
+CRASH_AFTER_RESULTS = 6000  # simulated crash point in the feed
 
 
-def main() -> None:
+def build_feed():
+    """A 16-hour campaign with a DDoS window, lightly shuffled to
+    emulate out-of-order arrival on the stream."""
     topology = build_topology(TopologyParams(n_probes=60), seed=9)
     kroot = topology.services["K-root"]
     scenario = DdosScenario(
@@ -38,47 +54,82 @@ def main() -> None:
         seed=1,
     )
     platform = AtlasPlatform(topology, scenario=scenario, seed=3)
-    config = CampaignConfig(duration_s=16 * 3600)
-
-    # Shuffle lightly to emulate out-of-order arrival on the stream.
-    results = list(platform.run_campaign(config))
+    results = list(
+        platform.run_campaign(CampaignConfig(duration_s=16 * 3600))
+    )
     rng = np.random.default_rng(0)
     for index in range(0, len(results) - 50, 50):
         window = results[index : index + 50]
         rng.shuffle(window)
         results[index : index + 50] = window
+    return results
 
-    pipeline = Pipeline(PipelineConfig())
-    stream = TracerouteStream(bin_s=3600, lateness_bins=1)
-    print("streaming", len(results), "traceroutes ...\n")
+
+def consume(pipeline, stream, closed_bins, rows, checkpoint_path=None):
+    """Process closed bins, record a table row each, checkpoint after."""
+    for bin_start, traceroutes in closed_bins:
+        result = pipeline.process_bin(bin_start, traceroutes)
+        flag = ""
+        if result.delay_alarms:
+            flag = f"DELAY x{len(result.delay_alarms)}"
+        if result.forwarding_alarms:
+            flag += f" FWD x{len(result.forwarding_alarms)}"
+        rows.append(
+            [
+                bin_start // 3600,
+                result.n_traceroutes,
+                result.n_links_analyzed,
+                flag or "-",
+            ]
+        )
+        if checkpoint_path is not None:
+            save_snapshot(checkpoint_path, pipeline.snapshot())
+
+
+def main() -> None:
+    """Stream, crash, resume — and show the seam-free bin series."""
+    feed = build_feed()
+    descriptor, checkpoint_name = tempfile.mkstemp(suffix=".ckpt")
+    os.close(descriptor)  # save_snapshot writes via its own temp+rename
+    checkpoint = Path(checkpoint_name)
+    config = PipelineConfig()
     rows = []
 
-    def consume(closed_bins):
-        for bin_start, traceroutes in closed_bins:
-            result = pipeline.process_bin(bin_start, traceroutes)
-            flag = ""
-            if result.delay_alarms:
-                flag = f"DELAY x{len(result.delay_alarms)}"
-            if result.forwarding_alarms:
-                flag += f" FWD x{len(result.forwarding_alarms)}"
-            rows.append(
-                [
-                    bin_start // 3600,
-                    result.n_traceroutes,
-                    result.n_links_analyzed,
-                    flag or "-",
-                ]
-            )
+    # -- phase 1: monitor until the simulated crash ----------------------
+    pipeline = Pipeline(config)
+    stream = TracerouteStream(bin_s=3600, lateness_bins=1, dense=True)
+    print(f"streaming {len(feed)} traceroutes "
+          f"(crash after {CRASH_AFTER_RESULTS}) ...\n")
+    for traceroute in feed[:CRASH_AFTER_RESULTS]:
+        consume(pipeline, stream, stream.push(traceroute), rows, checkpoint)
+    bins_before = len(rows)
+    # The process "dies" here: open bins and in-memory state are lost —
+    # only the checkpoint file survives.
 
-    for traceroute in results:
-        consume(stream.push(traceroute))
-    consume(stream.drain())
+    # -- phase 2: a fresh context resumes from the checkpoint ------------
+    snapshot = load_snapshot(checkpoint, config=config)
+    pipeline = Pipeline(config)
+    pipeline.restore(snapshot)
+    stream = TracerouteStream(
+        bin_s=3600,
+        lateness_bins=1,
+        dense=True,
+        start_after=snapshot.last_timestamp,
+    )
+    print(f"crashed after {bins_before} closed bins; resumed from "
+          f"{checkpoint.name} at bin hour "
+          f"{(snapshot.last_timestamp or 0) // 3600}\n")
+    for traceroute in feed:  # the whole feed again, from the top
+        consume(pipeline, stream, stream.push(traceroute), rows, checkpoint)
+    consume(pipeline, stream, stream.drain(), rows, checkpoint)
 
     print(format_table(["hour", "traceroutes", "links", "alarms"], rows))
-    print(f"\nlate results dropped: {stream.dropped_late}")
+    print(f"\nreplayed results skipped on resume: {stream.dropped_replayed}")
+    print(f"late results dropped: {stream.dropped_late}")
     alarmed_hours = [row[0] for row in rows if row[3] != "-"]
     print(f"alarmed hours: {alarmed_hours} (event injected at "
           f"{EVENT[0]//3600}-{EVENT[1]//3600})")
+    checkpoint.unlink()
 
 
 if __name__ == "__main__":

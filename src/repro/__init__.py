@@ -34,6 +34,12 @@ Scaling out: set ``PipelineConfig(n_shards=8)`` (optionally ``executor``
 / ``n_jobs``) and :func:`analyze_campaign` — or the ``--shards`` CLI
 flag — runs the campaign on :class:`~repro.core.ShardedPipeline`, whose
 output is bit-identical to the serial pipeline's.
+
+Running continuously: both engines expose an incremental API
+(``process_bin`` / ``snapshot`` / ``restore`` / ``run(resume_from=...)``)
+backed by :mod:`repro.core.checkpoint`'s durable snapshots, so a run can
+stop after any bin and continue bit-identically — see the ``monitor``
+CLI subcommand and :func:`run_checkpointed`.
 """
 
 from repro.core import (
@@ -41,30 +47,40 @@ from repro.core import (
     CampaignAnalysis,
     DelayAlarm,
     DelayChangeDetector,
+    EngineSnapshot,
     ForwardingAlarm,
     ForwardingAnomalyDetector,
     Pipeline,
     PipelineConfig,
     ShardedPipeline,
+    SnapshotError,
     analyze_campaign,
     create_pipeline,
+    load_snapshot,
+    run_checkpointed,
+    save_snapshot,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AlarmAggregator",
     "CampaignAnalysis",
     "DelayAlarm",
     "DelayChangeDetector",
+    "EngineSnapshot",
     "ForwardingAlarm",
     "ForwardingAnomalyDetector",
     "Pipeline",
     "PipelineConfig",
     "ShardedPipeline",
+    "SnapshotError",
     "analyze_campaign",
     "create_pipeline",
+    "load_snapshot",
     "quick_campaign",
+    "run_checkpointed",
+    "save_snapshot",
     "__version__",
 ]
 

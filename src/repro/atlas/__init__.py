@@ -57,6 +57,7 @@ from repro.atlas.stream import (
     TimeBinner,
     TracerouteStream,
     bin_start,
+    binned_payloads,
 )
 
 __all__ = [
@@ -85,6 +86,7 @@ __all__ = [
     "TracerouteStream",
     "bin_start",
     "bin_views",
+    "binned_payloads",
     "count_traceroutes",
     "decode_traceroutes",
     "default_cache_path",

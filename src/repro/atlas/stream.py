@@ -11,7 +11,7 @@ order (the Atlas streaming API gives no ordering guarantee).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.atlas.columnar import BatchView, TracerouteBatch, bin_views
 from repro.atlas.model import Traceroute
@@ -83,6 +83,29 @@ class TimeBinner:
                 yield start, grouped[start]
 
 
+def binned_payloads(
+    traceroutes,
+    bin_s: int = DEFAULT_BIN_S,
+    skip_through: Optional[int] = None,
+):
+    """Yield ``(bin_start, payload)`` on the dense clock, resume-aware.
+
+    The one bin loop every campaign driver shares (serial ``run``,
+    sharded ``run``, the checkpointing driver): dense binning, an
+    optional skip of every bin at or before *skip_through* (a resumed
+    run's last checkpointed bin), and object payloads materialised to
+    lists while columnar input stays a
+    :class:`~repro.atlas.columnar.BatchView`.
+    """
+    binner = TimeBinner(bin_s=bin_s, dense=True)
+    for start, payload in binner.bins(traceroutes):
+        if skip_through is not None and start <= skip_through:
+            continue
+        if not isinstance(payload, BatchView):
+            payload = list(payload)
+        yield start, payload
+
+
 class TracerouteStream:
     """Buffered push-based stream that emits closed bins.
 
@@ -93,26 +116,77 @@ class TracerouteStream:
     This mirrors how the authors' near-real-time deployment consumes the
     Atlas streaming API: slightly late results are tolerated, very late
     ones are dropped.
+
+    Two options wire the stream into the incremental engine:
+
+    * ``dense=True`` emits empty bins for any gap between consecutively
+      closed bins, so the per-bin reference clock stays uniform — the
+      push-based twin of :class:`TimeBinner`'s dense mode (important for
+      the sliding-window magnitude metric and for bins_processed parity
+      with a replayed run);
+    * ``start_after`` (an aligned bin start, typically a checkpoint's
+      ``last_timestamp``) discards everything up to and including that
+      bin as *replayed* input rather than late input, so a resumed
+      monitor can re-read its feed from the top without double-counting
+      — replays land in :attr:`dropped_replayed`, genuine stragglers in
+      :attr:`dropped_late`.
     """
 
     def __init__(
-        self, bin_s: int = DEFAULT_BIN_S, lateness_bins: int = 1
+        self,
+        bin_s: int = DEFAULT_BIN_S,
+        lateness_bins: int = 1,
+        dense: bool = False,
+        start_after: Optional[int] = None,
     ) -> None:
         if bin_s <= 0:
             raise ValueError(f"bin size must be positive: {bin_s}")
         if lateness_bins < 0:
             raise ValueError(f"lateness must be >= 0: {lateness_bins}")
+        if start_after is not None and start_after % bin_s:
+            raise ValueError(
+                f"start_after must be an aligned bin start: {start_after}"
+            )
         self.bin_s = bin_s
         self.lateness_bins = lateness_bins
+        self.dense = dense
+        self.start_after = start_after
         self._open: Dict[int, List[Traceroute]] = {}
-        self._closed_watermark: int = -(2**62)
+        self._closed_watermark: int = (
+            start_after if start_after is not None else -(2**62)
+        )
+        self._last_emitted: Optional[int] = start_after
         self.dropped_late = 0
+        self.dropped_replayed = 0
+
+    def _emit(
+        self, closed: List[Tuple[int, List[Traceroute]]]
+    ) -> List[Tuple[int, List[Traceroute]]]:
+        """Densify a batch of closing bins (no-op unless ``dense``)."""
+        if not closed:
+            return closed
+        if not self.dense:
+            self._last_emitted = closed[-1][0]
+            return closed
+        out: List[Tuple[int, List[Traceroute]]] = []
+        for start, traceroutes in closed:
+            if self._last_emitted is not None:
+                gap = self._last_emitted + self.bin_s
+                while gap < start:
+                    out.append((gap, []))
+                    gap += self.bin_s
+            out.append((start, traceroutes))
+            self._last_emitted = start
+        return out
 
     def push(self, traceroute: Traceroute) -> List[Tuple[int, List[Traceroute]]]:
         """Add one result; return any bins that closed as a consequence."""
         start = bin_start(traceroute.timestamp, self.bin_s)
         if start <= self._closed_watermark:
-            self.dropped_late += 1
+            if self.start_after is not None and start <= self.start_after:
+                self.dropped_replayed += 1
+            else:
+                self.dropped_late += 1
             return []
         self._open.setdefault(start, []).append(traceroute)
         horizon = start - self.lateness_bins * self.bin_s
@@ -123,7 +197,7 @@ class TracerouteStream:
                 self._closed_watermark = max(
                     self._closed_watermark, open_start
                 )
-        return closed
+        return self._emit(closed)
 
     def drain(self) -> List[Tuple[int, List[Traceroute]]]:
         """Close and return every remaining open bin, oldest first."""
@@ -133,4 +207,4 @@ class TracerouteStream:
                 self._closed_watermark, closed[-1][0]
             )
         self._open.clear()
-        return closed
+        return self._emit(closed)

@@ -1,11 +1,15 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 * ``generate`` — run a measurement campaign on the synthetic Internet
   and store the traceroutes as JSONL (Atlas download format),
 * ``analyze`` — run the detection pipeline over a stored campaign and
   print alarms plus the per-AS health summary (optionally JSON),
+* ``monitor`` — tail a JSONL feed like the authors' near-real-time
+  deployment tails the Atlas streaming API: close hourly bins as the
+  stream moves past them, emit alarms per closed bin, and durably
+  checkpoint detector state as it goes,
 * ``replay``  — regenerate one of the paper's case studies end to end.
 
 ``analyze`` and ``replay`` accept ``--shards N`` (and optionally
@@ -16,29 +20,57 @@ reference pipeline; results are bit-identical either way.  ``analyze
 into flat arrays and caches them, repeat replays skip JSON parsing
 entirely — output is bit-identical to plain ingestion.
 
+``analyze --checkpoint PATH [--checkpoint-every N]`` snapshots detector
+state and accumulated results to PATH every N bins
+(:mod:`repro.core.checkpoint`); an interrupted analysis rerun with the
+same arguments resumes from the newest valid checkpoint and produces
+bit-identical output.  ``monitor`` shares the same snapshot format, so
+a crashed monitor restarted on the same feed continues where it left
+off, dropping the already-processed prefix as replay.
+
 Examples::
 
     python -m repro generate --hours 24 --seed 42 --out campaign.jsonl
     python -m repro analyze campaign.jsonl --json
     python -m repro analyze campaign.jsonl --shards 8 --jobs 4
     python -m repro analyze campaign.jsonl --bin-cache --shards 8
+    python -m repro analyze campaign.jsonl --checkpoint state.ckpt
+    python -m repro monitor feed.jsonl --follow --checkpoint mon.ckpt
     python -m repro replay ddos
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+import time
+from pathlib import Path
+from typing import Iterator, List, Optional
 
 from repro.atlas import (
+    Traceroute,
+    TracerouteStream,
     default_cache_path,
     load_or_build,
     read_traceroutes,
     write_traceroutes,
 )
-from repro.core import PipelineConfig, analyze_campaign
-from repro.reporting import InternetHealthReport, format_table
+from repro.core import (
+    PipelineConfig,
+    ShardedPipeline,
+    SnapshotError,
+    analyze_campaign,
+    create_pipeline,
+    load_snapshot,
+    save_snapshot,
+    source_digest_of,
+)
+from repro.reporting import (
+    InternetHealthReport,
+    bin_event_record,
+    format_table,
+)
 from repro.simulation import (
     AtlasPlatform,
     CampaignConfig,
@@ -88,7 +120,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ingest through the columnar binary cache: reuse PATH "
              "(default: <campaign>.binc) when it matches the campaign "
              "file, else decode once and write it for the next replay")
+    analyze.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="snapshot detector state and accumulated results to PATH "
+             "as the analysis progresses; a rerun with the same "
+             "arguments resumes from the newest valid checkpoint")
+    analyze.add_argument(
+        "--checkpoint-every", type=_positive_int, default=None, metavar="N",
+        help="bins between checkpoints (default 1; requires --checkpoint)")
     _add_engine_flags(analyze)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="tail a JSONL feed, emit alarms per closed time bin, "
+             "checkpoint as you go",
+    )
+    monitor.add_argument("path", help="append-only JSONL feed file")
+    monitor.add_argument(
+        "--follow", action="store_true",
+        help="keep tailing the feed for new results (like tail -f)")
+    monitor.add_argument(
+        "--poll", type=float, default=0.5, metavar="S",
+        help="seconds between feed polls with --follow (default 0.5)")
+    monitor.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="S",
+        help="with --follow, drain and exit after S seconds without "
+             "new data (default: follow forever)")
+    monitor.add_argument(
+        "--bin-s", type=_positive_int, default=3600, metavar="S",
+        help="time bin length in seconds (default 3600, the paper's)")
+    monitor.add_argument(
+        "--lateness", type=_nonnegative_int, default=1, metavar="B",
+        help="bins of out-of-order slack before a bin closes (default 1)")
+    monitor.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="snapshot detector state to PATH so a restarted monitor "
+             "resumes where it left off")
+    monitor.add_argument(
+        "--checkpoint-every", type=_positive_int, default=None, metavar="N",
+        help="closed bins between checkpoints (default 1; requires "
+             "--checkpoint)")
+    monitor.add_argument(
+        "--max-bins", type=_positive_int, default=None, metavar="N",
+        help="stop after N closed bins (smoke tests / bounded runs)")
+    monitor.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON object per closed bin instead of text")
+    _add_engine_flags(monitor)
 
     replay = sub.add_parser(
         "replay", help="replay one of the paper's case studies"
@@ -109,6 +187,28 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1: {value}")
     return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0, rejected with a clean message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0: {value}")
+    return value
+
+
+def _checkpoint_every(args) -> int:
+    """Resolve --checkpoint-every, rejecting it without --checkpoint."""
+    if args.checkpoint_every is not None and not args.checkpoint:
+        print(
+            "repro: error: --checkpoint-every requires --checkpoint",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return args.checkpoint_every if args.checkpoint_every is not None else 1
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -177,7 +277,14 @@ def _cmd_analyze(args) -> int:
             print(f"bin cache {state}: {cache} ({len(source)} traceroutes)")
     else:
         source = read_traceroutes(args.path)
-    analysis = analyze_campaign(source, platform.as_mapper(), config=config)
+    analysis = analyze_campaign(
+        source,
+        platform.as_mapper(),
+        config=config,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=_checkpoint_every(args),
+        checkpoint_source=args.path if args.checkpoint else None,
+    )
     report = InternetHealthReport(analysis)
     if args.json:
         print(report.to_json())
@@ -211,6 +318,174 @@ def _cmd_analyze(args) -> int:
         )
     else:
         print("\nno significant events")
+    return 0
+
+
+def _iter_feed_lines(
+    path: str, follow: bool, poll: float, idle_timeout: Optional[float]
+) -> Iterator[str]:
+    """Yield complete lines from an append-only feed file.
+
+    Without *follow* this reads to end of file and stops.  With it, the
+    reader keeps polling for appended data (a partial line — one not yet
+    newline-terminated — is buffered until its remainder arrives) and
+    gives up only after *idle_timeout* seconds of silence, if set.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        partial = ""
+        idle = 0.0
+        while True:
+            chunk = handle.readline()
+            if chunk:
+                idle = 0.0
+                partial += chunk
+                if partial.endswith("\n"):
+                    yield partial
+                    partial = ""
+                continue
+            if not follow or (
+                idle_timeout is not None and idle >= idle_timeout
+            ):
+                if partial:
+                    yield partial  # final unterminated line at EOF
+                return
+            time.sleep(poll)
+            idle += poll
+
+
+def _emit_bin(result, as_json: bool) -> None:
+    """Print one closed bin's outcome (text or one-line JSON)."""
+    if as_json:
+        print(json.dumps(bin_event_record(result), sort_keys=True), flush=True)
+        return
+    print(
+        f"bin {result.timestamp}: {result.n_traceroutes} traceroutes, "
+        f"{result.n_links_analyzed} links analyzed, "
+        f"{len(result.delay_alarms)} delay / "
+        f"{len(result.forwarding_alarms)} forwarding alarms",
+        flush=True,
+    )
+    for alarm in result.delay_alarms:
+        shift = alarm.observed.median - alarm.reference.median
+        print(
+            f"  DELAY {alarm.link[0]} -> {alarm.link[1]} "
+            f"shift {shift:+.1f} ms, deviation {alarm.deviation:.1f} "
+            f"({alarm.n_probes} probes, {alarm.n_asns} ASes)"
+        )
+    for alarm in result.forwarding_alarms:
+        top = max(
+            alarm.responsibilities,
+            key=lambda hop: (abs(alarm.responsibilities[hop]), hop),
+            default="-",
+        )
+        print(
+            f"  FWD   {alarm.router_ip} -> {alarm.destination} "
+            f"rho {alarm.correlation:+.2f}, most responsible hop {top}"
+        )
+
+
+def _cmd_monitor(args) -> int:
+    """Body of the ``monitor`` subcommand (live path + checkpointing)."""
+    every = _checkpoint_every(args)
+    config = _engine_config(args, bin_s=args.bin_s) or PipelineConfig()
+    pipeline = create_pipeline(config)
+    snapshot = None
+    feed_digest = b""
+    if args.checkpoint:
+        try:
+            feed_digest = source_digest_of(args.path)
+        except SnapshotError:
+            feed_digest = b""  # unreadable feed fails below, on open()
+    if args.checkpoint and Path(args.checkpoint).exists():
+        try:
+            snapshot = load_snapshot(args.checkpoint, config=pipeline.config)
+        except SnapshotError as exc:
+            print(
+                f"checkpoint ignored ({exc}); starting fresh",
+                file=sys.stderr,
+            )
+        if (
+            snapshot is not None
+            and feed_digest
+            and snapshot.source_digest
+            and snapshot.source_digest != feed_digest
+        ):
+            print(
+                "checkpoint ignored (it belongs to a different feed); "
+                "starting fresh",
+                file=sys.stderr,
+            )
+            snapshot = None
+    if snapshot is not None:
+        pipeline.restore(snapshot)
+        if not args.json:
+            print(
+                f"resumed from checkpoint: {snapshot.bins_processed} bins "
+                f"already processed (last bin {snapshot.last_timestamp})"
+            )
+    stream = TracerouteStream(
+        bin_s=config.bin_s,
+        lateness_bins=args.lateness,
+        dense=True,
+        start_after=(
+            snapshot.last_timestamp if snapshot is not None else None
+        ),
+    )
+    closed_bins = 0
+    pending = 0
+    skipped_lines = 0
+
+    def checkpoint() -> None:
+        """Write a state-only snapshot bound to this feed."""
+        state = pipeline.snapshot()
+        state.source_digest = feed_digest
+        save_snapshot(args.checkpoint, state)
+
+    def handle(closed) -> bool:
+        """Process closed bins; True once --max-bins is reached."""
+        nonlocal closed_bins, pending
+        for start, traceroutes in closed:
+            result = pipeline.process_bin(start, traceroutes)
+            _emit_bin(result, args.json)
+            closed_bins += 1
+            pending += 1
+            if args.checkpoint and pending >= every:
+                checkpoint()
+                pending = 0
+            if args.max_bins is not None and closed_bins >= args.max_bins:
+                return True
+        return False
+
+    try:
+        stopped = False
+        for line in _iter_feed_lines(
+            args.path, args.follow, args.poll, args.idle_timeout
+        ):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                traceroute = Traceroute.from_json(json.loads(line))
+            except (ValueError, KeyError, TypeError):
+                skipped_lines += 1  # a live feed's bad line is not fatal
+                continue
+            if handle(stream.push(traceroute)):
+                stopped = True
+                break
+        if not stopped:
+            handle(stream.drain())
+        if args.checkpoint and pending:
+            checkpoint()
+    finally:
+        if isinstance(pipeline, ShardedPipeline):
+            pipeline.close()
+    if not args.json:
+        print(
+            f"monitor done: {closed_bins} bins, "
+            f"{stream.dropped_late} late results dropped, "
+            f"{stream.dropped_replayed} replayed results skipped, "
+            f"{skipped_lines} undecodable lines skipped"
+        )
     return 0
 
 
@@ -270,6 +545,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,
+        "monitor": _cmd_monitor,
         "replay": _cmd_replay,
     }
     return handlers[args.command](args)

@@ -34,6 +34,18 @@ from repro.core.arena import (
     ForwardingArena,
     LinkInterner,
 )
+from repro.core.checkpoint import (
+    SNAPSHOT_VERSION,
+    DelayTable,
+    EngineSnapshot,
+    ForwardingTable,
+    SnapshotError,
+    config_fingerprint,
+    load_snapshot,
+    run_checkpointed,
+    save_snapshot,
+    source_digest_of,
+)
 from repro.core.correlate import CorrelatedEvent, correlate_events
 from repro.core.delaydetector import (
     MIN_SHIFT_MS,
@@ -107,13 +119,16 @@ __all__ = [
     "DelayAlarm",
     "DelayArena",
     "DelayChangeDetector",
+    "DelayTable",
     "DetectedEvent",
     "DiversityFilter",
     "DiversityVerdict",
+    "EngineSnapshot",
     "ForwardingAlarm",
     "ForwardingAnomalyDetector",
     "ForwardingArena",
     "ForwardingModelState",
+    "ForwardingTable",
     "Link",
     "LinkDelayState",
     "LinkInterner",
@@ -123,13 +138,16 @@ __all__ = [
     "MIN_SHIFT_MS",
     "Pipeline",
     "PipelineConfig",
+    "SNAPSHOT_VERSION",
     "SensitivityPoint",
     "ShardedPipeline",
+    "SnapshotError",
     "TrackedLinkPoint",
     "UNRESPONSIVE",
     "alarm_graph",
     "analyze_campaign",
     "component_of",
+    "config_fingerprint",
     "correlate_events",
     "components_by_size",
     "create_pipeline",
@@ -138,14 +156,18 @@ __all__ = [
     "evaluate_resolution",
     "extract_bin",
     "forwarding_patterns",
+    "load_snapshot",
     "partition_observations",
     "partition_patterns",
     "resolve_aliases",
     "responsibility_scores",
+    "run_checkpointed",
+    "save_snapshot",
     "sensitivity_point",
     "sensitivity_table",
     "shard_layout",
     "shard_of",
+    "source_digest_of",
     "stable_hash64",
     "summarize_component",
 ]

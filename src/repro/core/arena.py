@@ -248,6 +248,76 @@ class DelayArena:
         self._ensure_capacity(len(self.interner))
         return ids
 
+    # -- checkpointing ------------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """Copy out every link's state in canonical (checkpoint) form.
+
+        Returns first-seen-ordered parallel columns: ``links`` plus the
+        reference/counter arrays trimmed to the live row count, and the
+        §4.2.4 warm-up buffers compacted into one flat ``warm_values``
+        array — ``3 * warm_count`` values per *warming* link (component
+        major: medians, lowers, uppers), nothing for ready links, whose
+        buffer slots are dead storage.  The inverse of
+        :meth:`import_state`.
+        """
+        n = len(self.interner)
+        median = self._median[:n].copy()
+        warm_count = self._warm_count[:n].copy()
+        stored = np.where(np.isnan(median), warm_count, 0)
+        warm_values = np.empty(int(stored.sum()) * 3)
+        cursor = 0
+        for ident in np.flatnonzero(stored):
+            count = int(stored[ident])
+            warm_values[cursor : cursor + 3 * count] = self._warm[
+                ident, :, :count
+            ].ravel()
+            cursor += 3 * count
+        return {
+            "links": list(self.interner.keys),
+            "median": median,
+            "lower": self._lower[:n].copy(),
+            "upper": self._upper[:n].copy(),
+            "warm_count": warm_count,
+            "bins_seen": self._bins_seen[:n].copy(),
+            "alarms_raised": self._alarms_raised[:n].copy(),
+            "max_probes": self._max_probes[:n].copy(),
+            "warm_values": warm_values,
+        }
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        """Load canonical state (from :meth:`export_state`) into a fresh
+        arena.
+
+        The arena must be empty — checkpoints restore into newly built
+        engines, never merge into live state.  Every subsequent
+        :meth:`observe_bin` is bit-identical to one on the arena the
+        state was exported from.
+        """
+        if len(self.interner):
+            raise ValueError("import_state requires an empty arena")
+        links = state["links"]
+        self.intern_links(links)  # ids are dense 0..n-1 on an empty arena
+        n = len(links)
+        if not n:
+            return
+        self._median[:n] = state["median"]
+        self._lower[:n] = state["lower"]
+        self._upper[:n] = state["upper"]
+        self._warm_count[:n] = state["warm_count"]
+        self._bins_seen[:n] = state["bins_seen"]
+        self._alarms_raised[:n] = state["alarms_raised"]
+        self._max_probes[:n] = state["max_probes"]
+        warm_values = state["warm_values"]
+        stored = np.where(np.isnan(self._median[:n]), self._warm_count[:n], 0)
+        cursor = 0
+        for ident in np.flatnonzero(stored):
+            count = int(stored[ident])
+            self._warm[ident, :, :count] = np.reshape(
+                warm_values[cursor : cursor + 3 * count], (3, count)
+            )
+            cursor += 3 * count
+
     # -- the per-bin kernel -------------------------------------------------
 
     def observe_bin(
@@ -459,6 +529,72 @@ class ForwardingArena:
         if not self._references:
             return 0.0
         return self.next_hops_total() / len(self._references)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """Copy out every model's state in canonical (checkpoint) form.
+
+        First-seen-ordered parallel columns: ``keys``, the per-model
+        counters, and the smoothed reference patterns flattened into
+        ``ref_hops``/``ref_weights`` with ``ref_sizes[i]`` entries per
+        model.  Hops are emitted in sorted order so the canonical form
+        is independent of the process hash seed (reference dict order is
+        never semantics-bearing — every consumer sorts before reducing).
+        The inverse of :meth:`import_state`.
+        """
+        sizes = np.fromiter(
+            (len(reference) for reference in self._references),
+            dtype=np.int64,
+            count=len(self._references),
+        )
+        hops: List[str] = []
+        weights: List[float] = []
+        for reference in self._references:
+            for hop in sorted(reference):
+                hops.append(hop)
+                weights.append(reference[hop])
+        return {
+            "keys": list(self.interner.keys),
+            "bins_seen": np.asarray(self._bins_seen, dtype=np.int64),
+            "alarms_raised": np.asarray(self._alarms_raised, dtype=np.int64),
+            "ref_sizes": sizes,
+            "ref_hops": hops,
+            "ref_weights": np.asarray(weights, dtype=np.float64),
+        }
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        """Load canonical state (from :meth:`export_state`) into a fresh
+        arena.
+
+        The arena must be empty.  Restored reference dicts are built in
+        sorted-hop order; subsequent :meth:`observe_bin` calls are
+        bit-identical to ones on the exporting arena (all reference
+        consumers align on sorted key order, so insertion order is
+        irrelevant).
+        """
+        if len(self.interner):
+            raise ValueError("import_state requires an empty arena")
+        keys = state["keys"]
+        hops = state["ref_hops"]
+        weights = state["ref_weights"]
+        cursor = 0
+        for key, size in zip(keys, state["ref_sizes"]):
+            self.interner.intern(key)
+            self._routers.add(key[0])
+            size = int(size)
+            self._references.append(
+                {
+                    hop: float(weight)
+                    for hop, weight in zip(
+                        hops[cursor : cursor + size],
+                        weights[cursor : cursor + size],
+                    )
+                }
+            )
+            cursor += size
+        self._bins_seen = [int(count) for count in state["bins_seen"]]
+        self._alarms_raised = [int(count) for count in state["alarms_raised"]]
 
     # -- the per-bin kernel -------------------------------------------------
 

@@ -72,6 +72,20 @@ class DiversityFilter:
         digest = hashlib.blake2b(key, digest_size=8).digest()
         return np.random.default_rng(int.from_bytes(digest, "big"))
 
+    def export_rounds(self) -> Dict[object, int]:
+        """Copy of the per-link evaluation-round counters.
+
+        The counters seed the rebalancing RNG streams, so a checkpoint
+        must carry them: a resumed run re-evaluating a link must draw
+        from the *next* round's stream, exactly as the uninterrupted run
+        would.
+        """
+        return dict(self._rounds)
+
+    def restore_rounds(self, rounds: Dict[object, int]) -> None:
+        """Replace the round counters (checkpoint restore)."""
+        self._rounds = dict(rounds)
+
     def evaluate(self, observations: LinkObservations) -> DiversityVerdict:
         """Filter one link's observations; never mutates the input."""
         link = observations.link

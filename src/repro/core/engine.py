@@ -47,7 +47,7 @@ import numpy as np
 
 from repro.atlas.columnar import NO_INT, NO_IP, BatchView, TracerouteBatch
 from repro.atlas.model import Traceroute
-from repro.atlas.stream import TimeBinner
+from repro.atlas.stream import binned_payloads
 from repro.core.alarms import (
     UNRESPONSIVE,
     DelayAlarm,
@@ -55,6 +55,14 @@ from repro.core.alarms import (
     Link,
 )
 from repro.core.arena import DelayArena, ForwardingArena
+from repro.core.checkpoint import (
+    DelayTable,
+    EngineSnapshot,
+    ForwardingTable,
+    SnapshotError,
+    config_fingerprint,
+    prepare_resume,
+)
 from repro.core.diffrtt import LinkObservations
 from repro.core.diversity import DiversityFilter, DiversityVerdict
 from repro.core.forwarding import ModelKey, Pattern
@@ -71,6 +79,7 @@ from repro.core.sharding import (
     shard_layout,
     shard_of,
 )
+from repro.stats.smoothing import SEED_BINS
 from repro.stats.wilson import (
     WilsonInterval,
     median_confidence_interval,
@@ -739,6 +748,25 @@ class _ShardCore:
             tracked={link: list(points) for link, points in self.tracked.items()},
         )
 
+    def export_state(self) -> dict:
+        """This shard's full durable state in canonical checkpoint form."""
+        return {
+            "rounds": self.diversity.export_rounds(),
+            "delay": self.delay_arena.export_state(),
+            "forwarding": self.forwarding_arena.export_state(),
+            "tracked": {
+                link: list(points) for link, points in self.tracked.items()
+            },
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Load one shard's canonical state into this (fresh) core."""
+        self.diversity.restore_rounds(state["rounds"])
+        self.delay_arena.import_state(state["delay"])
+        self.forwarding_arena.import_state(state["forwarding"])
+        for link, points in state["tracked"].items():
+            self.tracked[link] = list(points)
+
 
 def _tracked_partition(
     config: PipelineConfig, n_shards: int
@@ -773,6 +801,13 @@ class _SerialBackend:
 
     def snapshots(self) -> List[_ShardSnapshot]:
         return [core.snapshot() for core in self.cores]
+
+    def export_states(self) -> List[dict]:
+        return [core.export_state() for core in self.cores]
+
+    def import_states(self, parts: List[dict]) -> None:
+        for core, part in zip(self.cores, parts):
+            core.import_state(part)
 
     def close(self) -> None:  # nothing to release
         pass
@@ -834,6 +869,15 @@ def _worker_main(connection, shard_ids, config, tracked_by_shard) -> None:
                 connection.send(
                     ("ok", [cores[shard].snapshot() for shard in shard_ids])
                 )
+            elif tag == "export":
+                connection.send(
+                    ("ok", [cores[shard].export_state() for shard in shard_ids])
+                )
+            elif tag == "import":
+                _, parts = message
+                for shard in shard_ids:
+                    cores[shard].import_state(parts[shard])
+                connection.send(("ok", None))
             elif tag == "stop":
                 connection.send(("ok", None))
                 break
@@ -913,6 +957,22 @@ class _ProcessBackend:
             worker["pipe"].send(("snapshot",))
         return [snap for payload in self._collect() for snap in payload]
 
+    def export_states(self) -> List[dict]:
+        for worker in self.workers:
+            worker["pipe"].send(("export",))
+        states: List[Tuple[int, dict]] = []
+        for worker, payload in zip(self.workers, self._collect()):
+            states.extend(zip(worker["shards"], payload))
+        states.sort(key=lambda item: item[0])
+        return [state for _, state in states]
+
+    def import_states(self, parts: List[dict]) -> None:
+        for worker in self.workers:
+            worker["pipe"].send(
+                ("import", {shard: parts[shard] for shard in worker["shards"]})
+            )
+        self._collect()
+
     def close(self) -> None:
         for worker in self.workers:
             process, pipe = worker["process"], worker["pipe"]
@@ -966,6 +1026,7 @@ class ShardedPipeline:
         self._links_seen: Set[Link] = set()
         self._bins = 0
         self._traceroutes = 0
+        self._last_timestamp: Optional[int] = None
         self._snapshot_cache: Optional[Tuple[int, List[_ShardSnapshot]]] = None
         self._closed = False
         # Links and routers recur bin after bin; remembering their shard
@@ -1047,6 +1108,7 @@ class ShardedPipeline:
         )
         self._bins += 1
         self._traceroutes += len(traceroutes)
+        self._last_timestamp = timestamp
         self._snapshot_cache = None
         return BinResult(
             timestamp=timestamp,
@@ -1064,20 +1126,231 @@ class ShardedPipeline:
     def run(
         self,
         traceroutes: Union[Iterable[Traceroute], TracerouteBatch, BatchView],
+        resume_from: Optional[EngineSnapshot] = None,
     ) -> List[BinResult]:
         """Bin a traceroute iterable or columnar batch; process every bin.
 
         Columnar input stays columnar end to end: the binner yields
         :class:`~repro.atlas.columnar.BatchView` index windows and each
         bin is extracted straight from the flat arrays.
+
+        With *resume_from* (an :class:`~repro.core.checkpoint.EngineSnapshot`)
+        the engine restores the snapshot's detector state first (when it
+        has not already been restored), skips every bin the snapshot
+        already covers, and prepends the snapshot's stored per-bin
+        results — so feeding the same campaign yields the exact result
+        list an uninterrupted run produces.
         """
-        binner = TimeBinner(bin_s=self.config.bin_s, dense=True)
-        results = []
-        for start, payload in binner.bins(traceroutes):
-            if not isinstance(payload, BatchView):
-                payload = list(payload)
+        results: List[BinResult] = []
+        skip: Optional[int] = None
+        if resume_from is not None:
+            results, skip = prepare_resume(self, resume_from)
+        for start, payload in binned_payloads(
+            traceroutes, bin_s=self.config.bin_s, skip_through=skip
+        ):
             results.append(self.process_bin(start, payload))
         return results
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(
+        self, results: Optional[List[BinResult]] = None
+    ) -> EngineSnapshot:
+        """Canonical durable state, merged deterministically across shards.
+
+        Per-shard arena/diversity/tracked state is exported wherever the
+        cores live (inline, threads, or worker processes) and merged
+        shard-major into the engine-agnostic canonical form of
+        :class:`~repro.core.checkpoint.EngineSnapshot` — restorable into
+        any shard count or executor, or into the serial reference
+        pipeline.  Pass *results* to embed the per-bin results produced
+        so far (the resumable driver does; a long-running monitor should
+        not, to keep snapshots bounded).
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed; snapshot before close()")
+        states = self._backend.export_states()
+
+        delay_parts = [state["delay"] for state in states]
+        delay_links = [
+            link for part in delay_parts for link in part["links"]
+        ]
+        median = np.concatenate([part["median"] for part in delay_parts])
+        warm_count = np.concatenate(
+            [part["warm_count"] for part in delay_parts]
+        )
+        stored = np.where(np.isnan(median), warm_count, 0)
+        warm_offsets = np.zeros(len(delay_links) + 1, dtype=np.int64)
+        np.cumsum(3 * stored, out=warm_offsets[1:])
+        delay = DelayTable(
+            links=delay_links,
+            median=median,
+            lower=np.concatenate([part["lower"] for part in delay_parts]),
+            upper=np.concatenate([part["upper"] for part in delay_parts]),
+            warm_count=warm_count,
+            bins_seen=np.concatenate(
+                [part["bins_seen"] for part in delay_parts]
+            ),
+            alarms_raised=np.concatenate(
+                [part["alarms_raised"] for part in delay_parts]
+            ),
+            max_probes=np.concatenate(
+                [part["max_probes"] for part in delay_parts]
+            ),
+            warm_offsets=warm_offsets,
+            warm_values=np.concatenate(
+                [part["warm_values"] for part in delay_parts]
+            ),
+            seed_bins=SEED_BINS,
+        )
+
+        fwd_parts = [state["forwarding"] for state in states]
+        keys = [key for part in fwd_parts for key in part["keys"]]
+        sizes = np.concatenate([part["ref_sizes"] for part in fwd_parts])
+        ref_offsets = np.zeros(len(keys) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=ref_offsets[1:])
+        forwarding = ForwardingTable(
+            keys=keys,
+            bins_seen=np.concatenate(
+                [part["bins_seen"] for part in fwd_parts]
+            ),
+            alarms_raised=np.concatenate(
+                [part["alarms_raised"] for part in fwd_parts]
+            ),
+            ref_offsets=ref_offsets,
+            ref_hops=[
+                hop for part in fwd_parts for hop in part["ref_hops"]
+            ],
+            ref_weights=np.concatenate(
+                [part["ref_weights"] for part in fwd_parts]
+            ),
+        )
+
+        rounds: Dict[Link, int] = {}
+        tracked: Dict[Link, List[TrackedLinkPoint]] = {}
+        for state in states:
+            rounds.update(state["rounds"])
+            tracked.update(state["tracked"])
+        return EngineSnapshot(
+            fingerprint=config_fingerprint(self.config),
+            bins_processed=self._bins,
+            traceroutes_processed=self._traceroutes,
+            last_timestamp=self._last_timestamp,
+            links_seen=sorted(self._links_seen),
+            rounds={link: rounds[link] for link in sorted(rounds)},
+            delay=delay,
+            forwarding=forwarding,
+            tracked={link: tracked[link] for link in sorted(tracked)},
+            results=list(results) if results is not None else [],
+        )
+
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        """Load a snapshot into this fresh engine, repartitioned by shard.
+
+        Canonical per-link/per-model state is sliced back onto this
+        engine's shard layout with the same consistent hash that routes
+        live bins, so a snapshot taken at any shard count restores into
+        any other.  Raises :class:`~repro.core.checkpoint.SnapshotError`
+        when the engine already holds state or the snapshot was taken
+        under a different detection configuration.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed; create a new one")
+        if self._bins or self._links_seen:
+            raise SnapshotError("restore requires a fresh engine")
+        if snapshot.fingerprint != config_fingerprint(self.config):
+            raise SnapshotError(
+                "snapshot fingerprint does not match this configuration"
+            )
+        if snapshot.delay.seed_bins != SEED_BINS:
+            raise SnapshotError(
+                f"snapshot seed_bins {snapshot.delay.seed_bins} != "
+                f"{SEED_BINS}"
+            )
+        n_shards = self.n_shards
+        table = snapshot.delay
+        link_shards = np.fromiter(
+            (shard_of(link, n_shards) for link in table.links),
+            dtype=np.int64,
+            count=len(table.links),
+        )
+        key_shards = np.fromiter(
+            (
+                shard_of(key[0], n_shards)
+                for key in snapshot.forwarding.keys
+            ),
+            dtype=np.int64,
+            count=len(snapshot.forwarding.keys),
+        )
+        fwd = snapshot.forwarding
+        fwd_sizes = np.diff(fwd.ref_offsets)
+        parts: List[dict] = []
+        for shard in range(n_shards):
+            rows = np.flatnonzero(link_shards == shard)
+            warm_values = (
+                np.concatenate(
+                    [
+                        table.warm_values[
+                            table.warm_offsets[row] : table.warm_offsets[
+                                row + 1
+                            ]
+                        ]
+                        for row in rows
+                    ]
+                )
+                if rows.size
+                else np.empty(0)
+            )
+            delay_part = {
+                "links": [table.links[row] for row in rows],
+                "median": table.median[rows],
+                "lower": table.lower[rows],
+                "upper": table.upper[rows],
+                "warm_count": table.warm_count[rows],
+                "bins_seen": table.bins_seen[rows],
+                "alarms_raised": table.alarms_raised[rows],
+                "max_probes": table.max_probes[rows],
+                "warm_values": warm_values,
+            }
+            krows = np.flatnonzero(key_shards == shard)
+            ref_hops: List[str] = []
+            weight_slices = []
+            for row in krows:
+                start, stop = int(fwd.ref_offsets[row]), int(
+                    fwd.ref_offsets[row + 1]
+                )
+                ref_hops.extend(fwd.ref_hops[start:stop])
+                weight_slices.append(fwd.ref_weights[start:stop])
+            fwd_part = {
+                "keys": [fwd.keys[row] for row in krows],
+                "bins_seen": fwd.bins_seen[krows],
+                "alarms_raised": fwd.alarms_raised[krows],
+                "ref_sizes": fwd_sizes[krows],
+                "ref_hops": ref_hops,
+                "ref_weights": (
+                    np.concatenate(weight_slices)
+                    if weight_slices
+                    else np.empty(0)
+                ),
+            }
+            parts.append(
+                {
+                    "rounds": {},
+                    "delay": delay_part,
+                    "forwarding": fwd_part,
+                    "tracked": {},
+                }
+            )
+        for link, count in snapshot.rounds.items():
+            parts[shard_of(link, n_shards)]["rounds"][link] = count
+        for link, points in snapshot.tracked.items():
+            parts[shard_of(link, n_shards)]["tracked"][link] = points
+        self._backend.import_states(parts)
+        self._links_seen = set(snapshot.links_seen)
+        self._bins = snapshot.bins_processed
+        self._traceroutes = snapshot.traceroutes_processed
+        self._last_timestamp = snapshot.last_timestamp
+        self._snapshot_cache = None
 
     # -- statistics --------------------------------------------------------
 

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.atlas.columnar import BatchView, TracerouteBatch
 from repro.atlas.model import Traceroute
-from repro.atlas.stream import DEFAULT_BIN_S, TimeBinner
+from repro.atlas.stream import DEFAULT_BIN_S, binned_payloads
 from repro.core.alarms import DelayAlarm, ForwardingAlarm, Link
 from repro.core.delaydetector import (
     MIN_SHIFT_MS,
@@ -191,6 +191,7 @@ class Pipeline:
         self._probes_per_link: Dict[Link, int] = {}
         self._bins = 0
         self._traceroutes = 0
+        self._last_timestamp: Optional[int] = None
 
     # -- per-bin processing ------------------------------------------------
 
@@ -262,6 +263,7 @@ class Pipeline:
 
         self._bins += 1
         self._traceroutes += len(traceroutes)
+        self._last_timestamp = timestamp
         return BinResult(
             timestamp=timestamp,
             n_traceroutes=len(traceroutes),
@@ -308,21 +310,222 @@ class Pipeline:
     # -- whole-campaign driving ----------------------------------------------
 
     def run(
-        self, traceroutes: Iterable[Traceroute]
+        self,
+        traceroutes: Iterable[Traceroute],
+        resume_from: Optional["EngineSnapshot"] = None,
     ) -> List[BinResult]:
         """Bin an unbounded traceroute iterable and process every bin.
 
         Columnar input is accepted (bins arrive as views and are
         materialised per bin by :meth:`process_bin`); object input is
         binned exactly as before.
+
+        With *resume_from* (an
+        :class:`~repro.core.checkpoint.EngineSnapshot`) the pipeline
+        restores the snapshot's detector state first (when not already
+        restored), skips every bin the snapshot already covers, and
+        prepends the snapshot's stored per-bin results — feeding the
+        same campaign yields exactly the uninterrupted run's results.
         """
-        binner = TimeBinner(bin_s=self.config.bin_s, dense=True)
-        results = []
-        for start, payload in binner.bins(traceroutes):
-            if not isinstance(payload, BatchView):
-                payload = list(payload)
+        results: List[BinResult] = []
+        skip: Optional[int] = None
+        if resume_from is not None:
+            from repro.core.checkpoint import prepare_resume
+
+            results, skip = prepare_resume(self, resume_from)
+        for start, payload in binned_payloads(
+            traceroutes, bin_s=self.config.bin_s, skip_through=skip
+        ):
             results.append(self.process_bin(start, payload))
         return results
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(
+        self, results: Optional[List[BinResult]] = None
+    ) -> "EngineSnapshot":
+        """Canonical durable state of this pipeline (sorted by key).
+
+        Converts the scalar detectors' per-link smoothers and per-model
+        vector smoothers into the engine-agnostic canonical form of
+        :class:`~repro.core.checkpoint.EngineSnapshot` — restorable into
+        this pipeline *or* into a :class:`~repro.core.engine.ShardedPipeline`
+        at any shard count.  Pass *results* to embed the per-bin results
+        produced so far.
+        """
+        from repro.core.checkpoint import (
+            DelayTable,
+            EngineSnapshot,
+            ForwardingTable,
+            config_fingerprint,
+        )
+
+        detector = self.delay_detector
+        seed_bins = detector.seed_bins
+        links = sorted(detector._states)
+        n = len(links)
+        median = np.full(n, np.nan)
+        lower = np.full(n, np.nan)
+        upper = np.full(n, np.nan)
+        warm_count = np.zeros(n, dtype=np.int64)
+        bins_seen = np.zeros(n, dtype=np.int64)
+        alarms_raised = np.zeros(n, dtype=np.int64)
+        max_probes = np.zeros(n, dtype=np.int64)
+        warm_offsets = np.zeros(n + 1, dtype=np.int64)
+        warm_chunks: List[float] = []
+        for row, link in enumerate(links):
+            state = detector._states[link]
+            if state.median.ready:
+                median[row] = state.median.value
+                lower[row] = state.lower.value
+                upper[row] = state.upper.value
+                warm_count[row] = seed_bins
+            else:
+                count = len(state.median._warmup)
+                warm_count[row] = count
+                warm_chunks.extend(state.median._warmup)
+                warm_chunks.extend(state.lower._warmup)
+                warm_chunks.extend(state.upper._warmup)
+            bins_seen[row] = state.bins_seen
+            alarms_raised[row] = state.alarms_raised
+            max_probes[row] = self._probes_per_link.get(link, 0)
+            warm_offsets[row + 1] = len(warm_chunks)
+        delay = DelayTable(
+            links=links,
+            median=median,
+            lower=lower,
+            upper=upper,
+            warm_count=warm_count,
+            bins_seen=bins_seen,
+            alarms_raised=alarms_raised,
+            max_probes=max_probes,
+            warm_offsets=warm_offsets,
+            warm_values=np.asarray(warm_chunks, dtype=np.float64),
+            seed_bins=seed_bins,
+        )
+
+        keys = sorted(self.forwarding_detector._states)
+        m = len(keys)
+        fwd_bins = np.zeros(m, dtype=np.int64)
+        fwd_alarms = np.zeros(m, dtype=np.int64)
+        ref_offsets = np.zeros(m + 1, dtype=np.int64)
+        ref_hops: List[str] = []
+        ref_weights: List[float] = []
+        for row, key in enumerate(keys):
+            state = self.forwarding_detector._states[key]
+            fwd_bins[row] = state.bins_seen
+            fwd_alarms[row] = state.alarms_raised
+            reference = state.smoother._weights
+            for hop in sorted(reference):
+                ref_hops.append(hop)
+                ref_weights.append(reference[hop])
+            ref_offsets[row + 1] = len(ref_hops)
+        forwarding = ForwardingTable(
+            keys=keys,
+            bins_seen=fwd_bins,
+            alarms_raised=fwd_alarms,
+            ref_offsets=ref_offsets,
+            ref_hops=ref_hops,
+            ref_weights=np.asarray(ref_weights, dtype=np.float64),
+        )
+
+        rounds = self.diversity.export_rounds()
+        return EngineSnapshot(
+            fingerprint=config_fingerprint(self.config),
+            bins_processed=self._bins,
+            traceroutes_processed=self._traceroutes,
+            last_timestamp=self._last_timestamp,
+            links_seen=sorted(self._links_seen),
+            rounds={link: rounds[link] for link in sorted(rounds)},
+            delay=delay,
+            forwarding=forwarding,
+            tracked={
+                link: list(points)
+                for link, points in sorted(self.tracked.items())
+            },
+            results=list(results) if results is not None else [],
+        )
+
+    def restore(self, snapshot: "EngineSnapshot") -> None:
+        """Load a snapshot into this fresh pipeline.
+
+        Rebuilds the scalar per-link smoothers and per-model vector
+        smoothers from the canonical state — regardless of whether the
+        snapshot came from a serial or a sharded run — so every
+        subsequent bin is processed bit-identically to the uninterrupted
+        run.  Raises :class:`~repro.core.checkpoint.SnapshotError` when
+        the pipeline already holds state or the snapshot was taken under
+        a different detection configuration.
+        """
+        from repro.core.checkpoint import SnapshotError, config_fingerprint
+        from repro.core.delaydetector import LinkDelayState
+
+        if self._bins or self._links_seen or self.delay_detector._states:
+            raise SnapshotError("restore requires a fresh pipeline")
+        if snapshot.fingerprint != config_fingerprint(self.config):
+            raise SnapshotError(
+                "snapshot fingerprint does not match this configuration"
+            )
+        detector = self.delay_detector
+        if snapshot.delay.seed_bins != detector.seed_bins:
+            raise SnapshotError(
+                f"snapshot seed_bins {snapshot.delay.seed_bins} != "
+                f"{detector.seed_bins}"
+            )
+        table = snapshot.delay
+        for row, link in enumerate(table.links):
+            state = LinkDelayState.create(detector.alpha, detector.seed_bins)
+            if not np.isnan(table.median[row]):
+                state.median._value = float(table.median[row])
+                state.lower._value = float(table.lower[row])
+                state.upper._value = float(table.upper[row])
+            else:
+                start, stop = (
+                    int(table.warm_offsets[row]),
+                    int(table.warm_offsets[row + 1]),
+                )
+                count = (stop - start) // 3
+                chunk = table.warm_values[start:stop]
+                state.median._warmup = [float(v) for v in chunk[:count]]
+                state.lower._warmup = [
+                    float(v) for v in chunk[count : 2 * count]
+                ]
+                state.upper._warmup = [float(v) for v in chunk[2 * count :]]
+            state.bins_seen = int(table.bins_seen[row])
+            state.alarms_raised = int(table.alarms_raised[row])
+            detector._states[link] = state
+            self._links_analyzed.add(link)
+            if state.alarms_raised > 0:
+                self._links_alarmed.add(link)
+            self._probes_per_link[link] = int(table.max_probes[row])
+        fwd = snapshot.forwarding
+        from repro.core.forwarding import ForwardingModelState
+        from repro.stats.smoothing import VectorSmoother
+
+        for row, key in enumerate(fwd.keys):
+            smoother = VectorSmoother(self.forwarding_detector.alpha)
+            start, stop = (
+                int(fwd.ref_offsets[row]),
+                int(fwd.ref_offsets[row + 1]),
+            )
+            smoother._weights = {
+                hop: float(weight)
+                for hop, weight in zip(
+                    fwd.ref_hops[start:stop], fwd.ref_weights[start:stop]
+                )
+            }
+            smoother._updates = int(fwd.bins_seen[row])
+            state = ForwardingModelState(
+                smoother, alarms_raised=int(fwd.alarms_raised[row])
+            )
+            self.forwarding_detector._states[key] = state
+        self.diversity.restore_rounds(snapshot.rounds)
+        for link, points in snapshot.tracked.items():
+            self.tracked[link] = list(points)
+        self._links_seen = set(snapshot.links_seen)
+        self._bins = snapshot.bins_processed
+        self._traceroutes = snapshot.traceroutes_processed
+        self._last_timestamp = snapshot.last_timestamp
 
     # -- statistics -------------------------------------------------------------
 
@@ -366,6 +569,9 @@ def analyze_campaign(
     mapper: AsMapper,
     config: Optional[PipelineConfig] = None,
     start: Optional[int] = None,
+    checkpoint_path: Optional[object] = None,
+    checkpoint_every: int = 1,
+    checkpoint_source: Optional[object] = None,
 ) -> CampaignAnalysis:
     """Convenience driver: pipeline + AS aggregation in one call.
 
@@ -377,13 +583,32 @@ def analyze_campaign(
     :class:`~repro.atlas.columnar.TracerouteBatch` (e.g. from the bin
     cache): the sharded engine then consumes the columns directly and
     the serial pipeline materialises objects per bin.
+
+    With ``checkpoint_path`` the campaign runs through the resumable
+    driver (:func:`~repro.core.checkpoint.run_checkpointed`): detector
+    state and accumulated results are snapshotted to that path every
+    ``checkpoint_every`` bins, and an interrupted analysis restarted
+    with the same arguments resumes from the newest valid checkpoint —
+    producing bit-identical results either way.  ``checkpoint_source``
+    (the campaign file *traceroutes* came from, when there is one)
+    binds the checkpoint to its input so a reused checkpoint path never
+    silently merges two campaigns.
     """
     # Imported here, not at module level: the engine imports this module
     # for the result types, so a top-level import would be circular.
     from repro.core.engine import ShardedPipeline, create_pipeline
 
     pipeline = create_pipeline(config)
-    bin_results = pipeline.run(traceroutes)
+    if checkpoint_path is not None:
+        from repro.core.checkpoint import run_checkpointed
+
+        bin_results, _ = run_checkpointed(
+            pipeline, traceroutes, checkpoint_path,
+            every_bins=checkpoint_every,
+            source_path=checkpoint_source,
+        )
+    else:
+        bin_results = pipeline.run(traceroutes)
     if isinstance(pipeline, ShardedPipeline):
         pipeline.close()  # caches final stats/tracked, frees any workers
     anchor = start

@@ -1,6 +1,9 @@
 """Reporting layer: IHR-style summaries and text figure rendering."""
 
 from repro.reporting.export import (
+    bin_event_record,
+    delay_alarm_record,
+    forwarding_alarm_record,
     write_alarm_graph,
     write_distribution,
     write_magnitude_series,
@@ -19,7 +22,10 @@ from repro.reporting.render import (
 __all__ = [
     "AsCondition",
     "InternetHealthReport",
+    "bin_event_record",
+    "delay_alarm_record",
     "format_table",
+    "forwarding_alarm_record",
     "hours_axis",
     "render_cdf",
     "render_qq",

@@ -103,6 +103,73 @@ def write_distribution(
     return int(array.size)
 
 
+def delay_alarm_record(alarm) -> dict:
+    """One delay alarm as a JSON-serialisable dict (monitor feed line).
+
+    The record carries everything an operator needs to triage without
+    the binary state: the link, both intervals, Eq. 6 deviation,
+    direction and the probe/AS support behind the observation.
+    """
+    return {
+        "kind": "delay",
+        "timestamp": alarm.timestamp,
+        "link": list(alarm.link),
+        "observed": {
+            "median": alarm.observed.median,
+            "lower": alarm.observed.lower,
+            "upper": alarm.observed.upper,
+            "n": alarm.observed.n,
+        },
+        "reference": {
+            "median": alarm.reference.median,
+            "lower": alarm.reference.lower,
+            "upper": alarm.reference.upper,
+            "n": alarm.reference.n,
+        },
+        "deviation": alarm.deviation,
+        "direction": alarm.direction,
+        "median_shift_ms": alarm.median_shift_ms,
+        "n_probes": alarm.n_probes,
+        "n_asns": alarm.n_asns,
+    }
+
+
+def forwarding_alarm_record(alarm) -> dict:
+    """One forwarding alarm as a JSON-serialisable dict (monitor feed line)."""
+    return {
+        "kind": "forwarding",
+        "timestamp": alarm.timestamp,
+        "router_ip": alarm.router_ip,
+        "destination": alarm.destination,
+        "correlation": alarm.correlation,
+        "responsibilities": dict(alarm.responsibilities),
+        "pattern": dict(alarm.pattern),
+        "reference": dict(alarm.reference),
+    }
+
+
+def bin_event_record(result) -> dict:
+    """One closed bin's monitor output as a JSON-serialisable dict.
+
+    The ``monitor`` CLI emits one of these per closed time bin (JSONL
+    mode); alarms ride along as :func:`delay_alarm_record` /
+    :func:`forwarding_alarm_record` entries.
+    """
+    return {
+        "bin": result.timestamp,
+        "n_traceroutes": result.n_traceroutes,
+        "n_links_observed": result.n_links_observed,
+        "n_links_analyzed": result.n_links_analyzed,
+        "delay_alarms": [
+            delay_alarm_record(alarm) for alarm in result.delay_alarms
+        ],
+        "forwarding_alarms": [
+            forwarding_alarm_record(alarm)
+            for alarm in result.forwarding_alarms
+        ],
+    }
+
+
 def write_alarm_graph(path: PathLike, graph: nx.Graph) -> int:
     """Write an alarm graph edge list (Figure 8/12 material)."""
     rows = 0

@@ -210,6 +210,79 @@ class TestTracerouteStream:
         assert stream.dropped_late == 2  # bin 3600 was drained too
 
 
+class TestDenseTracerouteStream:
+    """The live path's dense clock and resume semantics."""
+
+    def test_dense_fills_gap_between_closed_bins(self):
+        """A multi-bin silence emits empty bins, exactly like the
+        batch binner's dense mode — the per-bin reference clock the
+        incremental engine depends on stays uniform."""
+        stream = TracerouteStream(bin_s=3600, lateness_bins=0, dense=True)
+        stream.push(_tr(100))
+        closed = stream.push(_tr(5 * 3600 + 10))  # closes bin 0, gap 1-4
+        assert [start for start, _ in closed] == [0]
+        closed = stream.drain()
+        assert [start for start, _ in closed] == [
+            3600, 7200, 10800, 14400, 18000,
+        ]
+        assert [len(members) for _, members in closed] == [0, 0, 0, 0, 1]
+
+    def test_dense_gap_spanning_push_and_drain(self):
+        """Gap bins are emitted exactly once even when the closing spans
+        several pushes."""
+        stream = TracerouteStream(bin_s=3600, lateness_bins=1, dense=True)
+        stream.push(_tr(100))
+        closed = stream.push(_tr(3 * 3600 + 5))
+        assert [start for start, _ in closed] == [0]
+        closed = stream.push(_tr(6 * 3600 + 5))
+        assert [start for start, _ in closed] == [3600, 7200, 10800]
+        assert [len(members) for _, members in closed] == [0, 0, 1]
+        assert [start for start, _ in stream.drain()] == [14400, 18000, 21600]
+
+    def test_dense_without_gaps_matches_sparse(self):
+        stream = TracerouteStream(bin_s=3600, lateness_bins=0, dense=True)
+        out = []
+        for ts in (100, 3700, 7300):
+            out += stream.push(_tr(ts))
+        out += stream.drain()
+        assert [start for start, _ in out] == [0, 3600, 7200]
+        assert all(members for _, members in out)
+
+    def test_start_after_drops_replayed_not_late(self):
+        """Re-reading a feed after a checkpoint: everything at or before
+        start_after is replay, everything newly late still counts as
+        late."""
+        stream = TracerouteStream(
+            bin_s=3600, lateness_bins=0, start_after=7200
+        )
+        assert stream.push(_tr(100)) == []
+        assert stream.push(_tr(7300)) == []
+        assert stream.dropped_replayed == 2
+        assert stream.dropped_late == 0
+        assert stream.push(_tr(10900)) == []  # bin 10800 opens
+        closed = stream.push(_tr(14500))  # closes bin 10800
+        assert [start for start, _ in closed] == [10800]
+        assert stream.push(_tr(10950)) == []  # genuinely late now
+        assert stream.dropped_late == 1
+        assert stream.dropped_replayed == 2
+
+    def test_start_after_with_dense_fills_from_checkpoint(self):
+        """A resumed dense stream emits the empty bins between the
+        checkpointed bin and the first new data."""
+        stream = TracerouteStream(
+            bin_s=3600, lateness_bins=0, dense=True, start_after=3600
+        )
+        stream.push(_tr(4 * 3600 + 10))
+        closed = stream.drain()
+        assert [start for start, _ in closed] == [7200, 10800, 14400]
+        assert [len(members) for _, members in closed] == [0, 0, 1]
+
+    def test_start_after_must_be_aligned(self):
+        with pytest.raises(ValueError):
+            TracerouteStream(bin_s=3600, start_after=100)
+        TracerouteStream(bin_s=3600, start_after=-3600)  # aligned: fine
+
+
 class TestJsonlIO:
     def test_roundtrip(self, tmp_path):
         path = tmp_path / "results.jsonl"

@@ -96,6 +96,176 @@ class TestGenerateAnalyze:
         assert f"bin cache hit: {cache}" in capsys.readouterr().out
 
 
+class TestAnalyzeCheckpoint:
+    @pytest.fixture(scope="class")
+    def campaign_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-ckpt") / "campaign.jsonl"
+        assert main(
+            [
+                "generate", "--hours", "2", "--seed", "3", "--probes", "12",
+                "--no-anchoring", "--out", str(path),
+            ]
+        ) == 0
+        return path
+
+    def test_checkpointed_analyze_matches_and_resumes(
+        self, campaign_path, tmp_path, capsys
+    ):
+        """--checkpoint writes a resumable snapshot; the rerun resumes
+        from it and prints the identical JSON report."""
+        base = ["analyze", str(campaign_path), "--seed", "3",
+                "--probes", "12", "--json"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        ckpt = tmp_path / "state.ckpt"
+        argv = base + ["--checkpoint", str(ckpt), "--checkpoint-every", "1"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert ckpt.exists()
+        assert main(argv) == 0  # resumed run: every bin already covered
+        second = capsys.readouterr().out
+        assert first == second == plain
+
+    def test_checkpoint_every_requires_checkpoint(self, campaign_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "analyze", str(campaign_path), "--seed", "3",
+                    "--probes", "12", "--checkpoint-every", "2",
+                ]
+            )
+
+
+class TestMonitor:
+    @pytest.fixture(scope="class")
+    def feed_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-monitor") / "feed.jsonl"
+        assert main(
+            [
+                "generate", "--hours", "3", "--seed", "3", "--probes", "12",
+                "--no-anchoring", "--out", str(path),
+            ]
+        ) == 0
+        return path
+
+    def test_monitor_emits_closed_bins(self, feed_path, capsys):
+        assert main(["monitor", str(feed_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("bin ") == 3
+        assert "monitor done: 3 bins" in out
+
+    def test_monitor_json_mode(self, feed_path, capsys):
+        import json
+
+        assert main(["monitor", str(feed_path), "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [record["bin"] for record in records] == [0, 3600, 7200]
+        assert all("delay_alarms" in record for record in records)
+        assert sum(record["n_traceroutes"] for record in records) > 0
+
+    def test_monitor_checkpoint_and_resume(
+        self, feed_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "mon.ckpt"
+        argv = ["monitor", str(feed_path), "--checkpoint", str(ckpt)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "monitor done: 3 bins" in first
+        assert ckpt.exists()
+        # Rerun over the same feed: everything is replay, nothing is
+        # processed twice.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "resumed from checkpoint: 3 bins" in second
+        assert "monitor done: 0 bins" in second
+        assert "replayed results skipped" in second
+
+    def test_monitor_checkpoint_resume_after_feed_grows(
+        self, feed_path, tmp_path, capsys
+    ):
+        """New lines appended after the checkpoint are processed; the
+        old prefix is dropped as replay."""
+        import shutil
+
+        feed = tmp_path / "grow.jsonl"
+        lines = feed_path.read_text().strip().splitlines()
+        # First two hours only.
+        import json as _json
+
+        first_part = [
+            line for line in lines
+            if _json.loads(line)["timestamp"] < 2 * 3600
+        ]
+        feed.write_text("\n".join(first_part) + "\n")
+        ckpt = tmp_path / "mon.ckpt"
+        argv = ["monitor", str(feed), "--checkpoint", str(ckpt)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        shutil.copy(feed_path, feed)  # the feed grew to three hours
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint" in out
+        # Bins 0 (only bin closed before drain in run 1) .. more bins now.
+        assert "monitor done:" in out
+
+    def test_monitor_skips_undecodable_lines(self, feed_path, tmp_path,
+                                             capsys):
+        feed = tmp_path / "dirty.jsonl"
+        feed.write_text(
+            "not json\n" + feed_path.read_text() + "{\"half\": true}\n"
+        )
+        assert main(["monitor", str(feed)]) == 0
+        out = capsys.readouterr().out
+        assert "2 undecodable lines skipped" in out
+
+    def test_monitor_max_bins_stops_early(self, feed_path, capsys):
+        assert main(["monitor", str(feed_path), "--max-bins", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "monitor done: 1 bins" in out
+
+    def test_monitor_corrupt_checkpoint_starts_fresh(
+        self, feed_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "mon.ckpt"
+        ckpt.write_bytes(b"garbage that is not a checkpoint")
+        assert main(
+            ["monitor", str(feed_path), "--checkpoint", str(ckpt)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "checkpoint ignored" in captured.err
+        assert "monitor done: 3 bins" in captured.out
+
+    def test_monitor_checkpoint_of_other_feed_ignored(
+        self, feed_path, tmp_path, capsys
+    ):
+        """A checkpoint taken on one feed must not resume on another."""
+        other = tmp_path / "other.jsonl"
+        assert main(
+            [
+                "generate", "--hours", "2", "--seed", "9", "--probes", "12",
+                "--no-anchoring", "--out", str(other),
+            ]
+        ) == 0
+        ckpt = tmp_path / "mon.ckpt"
+        assert main(
+            ["monitor", str(other), "--checkpoint", str(ckpt)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["monitor", str(feed_path), "--checkpoint", str(ckpt)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "different feed" in captured.err
+        assert "monitor done: 3 bins" in captured.out
+
+    def test_monitor_sharded_engine(self, feed_path, capsys):
+        assert main(
+            ["monitor", str(feed_path), "--shards", "2", "--jobs", "1"]
+        ) == 0
+        assert "monitor done: 3 bins" in capsys.readouterr().out
+
+
 class TestReplay:
     def test_replay_outage_detects_event(self, capsys):
         code = main(["replay", "outage", "--hours", "24", "--seed", "1"])
