@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: help test bench bench-engine bench-ingest bench-detect bench-stream docs doclint
+.PHONY: help test bench bench-engine bench-ingest bench-detect bench-stream bench-serve docs doclint
 
 help:
 	@echo "targets:"
@@ -15,6 +15,7 @@ help:
 	@echo "  bench-ingest columnar ingestion benchmark (BENCH_ingest.json)"
 	@echo "  bench-detect detection-kernel benchmark (BENCH_detect.json)"
 	@echo "  bench-stream checkpoint-overhead benchmark (BENCH_stream.json)"
+	@echo "  bench-serve  alarm-store serving benchmark (BENCH_serve.json)"
 	@echo "  docs         docstring lint + pointers to docs/"
 	@echo "  doclint      docstring lint only"
 
@@ -37,6 +38,9 @@ bench-detect:
 
 bench-stream:
 	$(PYTHON) -m pytest -q benchmarks/bench_stream.py -s
+
+bench-serve:
+	$(PYTHON) -m pytest -q benchmarks/bench_serve.py -s
 
 doclint:
 	$(PYTHON) tools/doclint.py

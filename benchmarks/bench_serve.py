@@ -1,0 +1,266 @@
+"""Serving-layer benchmark: hot IHR queries must not rebuild the report.
+
+The alarm store exists so that operator queries (paper §8: the IHR
+website/API) are answered from mmapped columns and per-generation
+caches instead of re-scanning Python alarm objects.  This benchmark
+holds three claims:
+
+1. **equivalence** — every query the serving layer answers (per-AS
+   health, link drill-down, top-K rankings, events, alarm retrieval) is
+   bit-identical to :class:`InternetHealthReport` over the same
+   campaign;
+2. **speedup** — answering repeated per-AS queries from a warm
+   :class:`StoreQuery` is **≥ 10x** faster than the naive baseline of
+   rebuilding ``InternetHealthReport`` per query (what ``reporting/ihr``
+   alone offers a long-running API process);
+3. **service** — the live HTTP server sustains the measured request
+   rate, with response-cache hits and ETag revalidation observable.
+
+Timings land in ``BENCH_serve.json`` at the repository root.  Set
+``REPRO_BENCH_SMOKE=1`` (the CI smoke mode) to run a shortened campaign
+and skip the speedup floor while keeping every equivalence assertion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import analyze_campaign
+from repro.reporting import InternetHealthReport, format_table
+from repro.service import StoreQuery, append_analysis, make_server
+from repro.simulation import (
+    AtlasPlatform,
+    CampaignConfig,
+    CompositeScenario,
+    DdosScenario,
+    IxpOutageScenario,
+    TopologyParams,
+    build_topology,
+)
+
+#: CI smoke mode: shortened campaign, no speedup floor (equivalence only).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Campaign length in hours; events keep the equivalence non-vacuous.
+DURATION_H = 5 if SMOKE else 8
+
+#: Magnitude window (bins) for both the report and the store engine.
+WINDOW_BINS = 4
+
+#: Repeated per-AS queries for the naive-vs-warm comparison.
+QUERY_ROUNDS = 20 if SMOKE else 120
+
+#: Fresh-engine (cold) queries and sustained HTTP requests.
+COLD_QUERIES = 5 if SMOKE else 20
+HTTP_REQUESTS = 50 if SMOKE else 300
+
+#: Hard floor on the warm-store speedup over per-query IHR rebuilds.
+MIN_SPEEDUP = 10.0
+
+#: Machine-readable results land here.
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _build_analysis():
+    topology = build_topology(TopologyParams.case_study(), seed=1)
+    kroot = topology.services["K-root"]
+    outage_window = (4 * 3600, 5 * 3600) if SMOKE else (5 * 3600, 6 * 3600)
+    ddos_windows = (
+        [(4 * 3600, 5 * 3600)] if SMOKE else [(6 * 3600, 8 * 3600)]
+    )
+    scenario = CompositeScenario(
+        [
+            IxpOutageScenario(topology, ixp_asn=1200, window=outage_window),
+            DdosScenario(
+                topology,
+                "K-root",
+                [kroot.instances[0].node, kroot.instances[1].node],
+                windows=ddos_windows,
+                seed=3,
+            ),
+        ]
+    )
+    platform = AtlasPlatform(topology, scenario=scenario, seed=2)
+    traceroutes = list(
+        platform.run_campaign(CampaignConfig(duration_s=DURATION_H * 3600))
+    )
+    return analyze_campaign(traceroutes, platform.as_mapper())
+
+
+def _assert_equivalent(report, query, bin_results) -> None:
+    """The store must answer every IHR query bit-identically."""
+    assert query.monitored_asns() == report.monitored_asns()
+    for asn in report.monitored_asns() + [64512]:
+        assert query.as_condition(asn) == report.as_condition(asn)
+        assert query.links_of(asn) == report.links_of(asn)
+        for kind in ("delay", "forwarding"):
+            expected_ts, expected = report.magnitude_series(asn, kind)
+            actual_ts, actual = query.magnitude_series(asn, kind)
+            assert actual_ts == expected_ts
+            assert np.array_equal(actual, expected)
+    for kind in ("delay", "forwarding"):
+        assert query.top_events(kind, 2.0, 50) == report.top_events(
+            kind, 2.0, 50
+        )
+        assert query.top_asns(kind, 10) == report.top_asns(kind, 10)
+        end = bin_results[-1].timestamp + 3600
+        assert query.events_in(0, end, kind, 2.0) == report.events_in(
+            0, end, kind, 2.0
+        )
+    for result in bin_results:
+        assert query.alarms_at(result.timestamp) == report.alarms_at(
+            result.timestamp
+        )
+
+
+def _http_get(url: str, etag=None):
+    headers = {"If-None-Match": etag} if etag else {}
+    request = urllib.request.Request(url, headers=headers)
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, response.headers.get("ETag"), (
+                response.read()
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("ETag"), error.read()
+
+
+def test_serve_speedup_and_throughput(benchmark, tmp_path):
+    """Measure naive/cold/warm/HTTP query paths; assert the hard claims."""
+    analysis = _build_analysis()
+    assert analysis.delay_alarms and analysis.forwarding_alarms, (
+        "campaign produced no alarms; the benchmark would be vacuous"
+    )
+    report = InternetHealthReport(analysis, window_bins=WINDOW_BINS)
+    store_path = tmp_path / "alarms.store"
+    writer = append_analysis(store_path, analysis, segment_bins=2)
+    engine = StoreQuery(store_path, window_bins=WINDOW_BINS)
+    _assert_equivalent(report, engine, analysis.bin_results)
+    asns = report.monitored_asns()
+
+    # -- naive baseline: rebuild the in-memory report per query ----------
+    t0 = time.perf_counter()
+    for index in range(QUERY_ROUNDS):
+        fresh = InternetHealthReport(analysis, window_bins=WINDOW_BINS)
+        fresh.as_condition(asns[index % len(asns)])
+    naive_s = time.perf_counter() - t0
+
+    # -- cold store queries: fresh engine (manifest + segments) each -----
+    t0 = time.perf_counter()
+    for index in range(COLD_QUERIES):
+        StoreQuery(store_path, window_bins=WINDOW_BINS).as_condition(
+            asns[index % len(asns)]
+        )
+    cold_s = time.perf_counter() - t0
+
+    # -- warm store queries: one long-lived engine ----------------------
+    engine.as_condition(asns[0])  # prime the generation caches
+    t0 = time.perf_counter()
+    for index in range(QUERY_ROUNDS):
+        engine.as_condition(asns[index % len(asns)])
+    warm_s = time.perf_counter() - t0
+    speedup = (naive_s / QUERY_ROUNDS) / (warm_s / QUERY_ROUNDS)
+
+    # -- live HTTP service ----------------------------------------------
+    server = make_server(store_path, port=0, window_bins=WINDOW_BINS)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    urls = [f"{base}/health/{asn}" for asn in asns]
+    urls += [f"{base}/top?kind=delay&k=5", f"{base}/events?threshold=2.0"]
+    try:
+        t0 = time.perf_counter()
+        etags = {}
+        for url in urls:  # first touch: uncached (engine computes)
+            status, etag, _ = _http_get(url)
+            assert status == 200
+            etags[url] = etag
+        uncached_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for index in range(HTTP_REQUESTS):  # steady state: cache hits
+            status, _, _ = _http_get(urls[index % len(urls)])
+            assert status == 200
+        cached_s = time.perf_counter() - t0
+        status, _, body = _http_get(urls[0], etag=etags[urls[0]])
+        assert status == 304 and body == b""
+        cache_stats = server.cache.stats()
+    finally:
+        server.shutdown()
+        server.server_close()
+    requests_per_s = HTTP_REQUESTS / cached_s
+
+    # One canonical pytest-benchmark measurement: a warm per-AS query.
+    benchmark.pedantic(
+        lambda: engine.as_condition(asns[0]), rounds=1, iterations=1
+    )
+
+    mode = "smoke" if SMOKE else "full"
+    print(
+        f"\n=== serving layer ({DURATION_H}h campaign, "
+        f"{len(asns)} monitored ASes, generation "
+        f"{writer.generation}, {mode}) ==="
+    )
+    print(
+        format_table(
+            ["query path", "queries", "total s", "per query ms"],
+            [
+                ["rebuild IHR per query", QUERY_ROUNDS, f"{naive_s:.3f}",
+                 f"{1000 * naive_s / QUERY_ROUNDS:.3f}"],
+                ["store, cold engine", COLD_QUERIES, f"{cold_s:.3f}",
+                 f"{1000 * cold_s / COLD_QUERIES:.3f}"],
+                ["store, warm engine", QUERY_ROUNDS, f"{warm_s:.3f}",
+                 f"{1000 * warm_s / QUERY_ROUNDS:.3f}"],
+                ["HTTP, first touch", len(urls), f"{uncached_s:.3f}",
+                 f"{1000 * uncached_s / len(urls):.3f}"],
+                ["HTTP, cached", HTTP_REQUESTS, f"{cached_s:.3f}",
+                 f"{1000 * cached_s / HTTP_REQUESTS:.3f}"],
+            ],
+        )
+    )
+    print(
+        f"repeated-query speedup: {speedup:.1f}x (floor "
+        f"{MIN_SPEEDUP:.0f}x), HTTP {requests_per_s:.0f} req/s, "
+        f"cache hits {cache_stats['hits']}/{cache_stats['hits'] + cache_stats['misses']}"
+    )
+
+    payload = {
+        "campaign_hours": DURATION_H,
+        "smoke": SMOKE,
+        "monitored_asns": len(asns),
+        "store_generation": writer.generation,
+        "query_rounds": QUERY_ROUNDS,
+        "naive_s": naive_s,
+        "naive_per_query_ms": 1000 * naive_s / QUERY_ROUNDS,
+        "cold_queries": COLD_QUERIES,
+        "cold_s": cold_s,
+        "cold_per_query_ms": 1000 * cold_s / COLD_QUERIES,
+        "warm_s": warm_s,
+        "warm_per_query_ms": 1000 * warm_s / QUERY_ROUNDS,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "http_requests": HTTP_REQUESTS,
+        "http_uncached_per_request_ms": 1000 * uncached_s / len(urls),
+        "http_cached_per_request_ms": 1000 * cached_s / HTTP_REQUESTS,
+        "http_requests_per_s": requests_per_s,
+        "http_cache": cache_stats,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+    # Hard claim 2: >= 10x (skipped in smoke mode, where the campaign is
+    # too short for stable timings).
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"warm store speedup {speedup:.1f}x fell below the "
+            f"{MIN_SPEEDUP:.0f}x floor (naive {naive_s:.3f}s, "
+            f"warm {warm_s:.3f}s over {QUERY_ROUNDS} queries)"
+        )

@@ -22,6 +22,11 @@ Public API layout:
   forwarding patterns in a handful of numpy calls.
 * :mod:`repro.net` — IP/prefix utilities and longest-prefix IP→AS mapping.
 * :mod:`repro.reporting` — Internet-Health-Report-style summaries.
+* :mod:`repro.service` — the §8 serving layer: a persistent columnar
+  alarm store, a query engine answering IHR queries bit-identically
+  from mmapped columns, and a stdlib HTTP JSON API with
+  generation-keyed response caching (CLI: ``analyze/monitor --store``
+  and ``serve``).
 
 Quickstart::
 

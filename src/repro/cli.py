@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 * ``generate`` — run a measurement campaign on the synthetic Internet
   and store the traceroutes as JSONL (Atlas download format),
@@ -10,6 +10,8 @@ Four subcommands cover the common workflows:
   deployment tails the Atlas streaming API: close hourly bins as the
   stream moves past them, emit alarms per closed bin, and durably
   checkpoint detector state as it goes,
+* ``serve``   — expose a persistent alarm store over the IHR-style
+  HTTP JSON API (:mod:`repro.service`),
 * ``replay``  — regenerate one of the paper's case studies end to end.
 
 ``analyze`` and ``replay`` accept ``--shards N`` (and optionally
@@ -28,6 +30,12 @@ bit-identical output.  ``monitor`` shares the same snapshot format, so
 a crashed monitor restarted on the same feed continues where it left
 off, dropping the already-processed prefix as replay.
 
+``analyze --store DIR`` exports the campaign's alarms and AS events
+into a persistent alarm store; ``monitor --store DIR`` appends every
+closed bin to the store *while detection runs* (idempotently across
+checkpoint restarts).  ``serve DIR`` then answers IHR queries over
+HTTP from that store — no pipeline, no recomputation.
+
 Examples::
 
     python -m repro generate --hours 24 --seed 42 --out campaign.jsonl
@@ -35,7 +43,10 @@ Examples::
     python -m repro analyze campaign.jsonl --shards 8 --jobs 4
     python -m repro analyze campaign.jsonl --bin-cache --shards 8
     python -m repro analyze campaign.jsonl --checkpoint state.ckpt
-    python -m repro monitor feed.jsonl --follow --checkpoint mon.ckpt
+    python -m repro analyze campaign.jsonl --store alarms.store
+    python -m repro monitor feed.jsonl --follow --checkpoint mon.ckpt \\
+        --store alarms.store
+    python -m repro serve alarms.store --port 8080
     python -m repro replay ddos
 """
 
@@ -128,6 +139,11 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--checkpoint-every", type=_positive_int, default=None, metavar="N",
         help="bins between checkpoints (default 1; requires --checkpoint)")
+    analyze.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="export the campaign's alarms and per-AS events into the "
+             "persistent alarm store at DIR (recreated each run), ready "
+             "for 'repro serve'")
     _add_engine_flags(analyze)
 
     monitor = sub.add_parser(
@@ -166,7 +182,38 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument(
         "--json", action="store_true",
         help="emit one JSON object per closed bin instead of text")
+    monitor.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="append closed bins' alarms and per-AS events to the "
+             "persistent alarm store at DIR (created on first use; "
+             "batched per --checkpoint-every bins; already-stored bins "
+             "are skipped on restart)")
+    monitor.add_argument(
+        "--seed", type=int, default=0,
+        help="topology seed used at generation time (builds the "
+             "IP-to-AS table for --store; default 0)")
+    monitor.add_argument("--probes", type=int, default=None,
+                         help="override the number of probes (for the "
+                              "--store IP-to-AS table)")
     _add_engine_flags(monitor)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a persistent alarm store over the IHR-style HTTP "
+             "JSON API",
+    )
+    serve.add_argument("store", help="alarm store directory "
+                                     "(from analyze/monitor --store)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (default 8080; 0 = ephemeral)")
+    serve.add_argument(
+        "--cache-size", type=_positive_int, default=256, metavar="N",
+        help="response cache entries (default 256)")
+    serve.add_argument(
+        "--window-bins", type=_positive_int, default=None, metavar="N",
+        help="magnitude window in bins (default: one week)")
 
     replay = sub.add_parser(
         "replay", help="replay one of the paper's case studies"
@@ -263,6 +310,23 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _warn_if_unattributed_store(writer, store_path) -> None:
+    """Flag a store whose alarms all failed IP→AS attribution.
+
+    The usual cause is a mapper built from the wrong topology: the
+    ``--seed``/``--probes`` passed to analyze/monitor must match the
+    ones the feed was generated with, or every alarm IP resolves to no
+    AS and the serving layer answers "healthy" for everything.
+    """
+    if writer.total_alarms and not writer.total_events:
+        print(
+            f"repro: warning: {store_path} holds {writer.total_alarms} "
+            "alarms but none mapped to any AS — do --seed/--probes "
+            "match the campaign that produced this feed?",
+            file=sys.stderr,
+        )
+
+
 def _cmd_analyze(args) -> int:
     topology = _topology(args.seed, args.probes)
     platform = AtlasPlatform(topology, seed=args.seed)
@@ -286,6 +350,17 @@ def _cmd_analyze(args) -> int:
         checkpoint_source=args.path if args.checkpoint else None,
     )
     report = InternetHealthReport(analysis)
+    if args.store:
+        from repro.service import append_analysis
+
+        writer = append_analysis(args.store, analysis)
+        _warn_if_unattributed_store(writer, args.store)
+        if not args.json:
+            print(
+                f"alarm store updated: {args.store} "
+                f"(generation {writer.generation}, "
+                f"{len(analysis.bin_results)} bins)"
+            )
     if args.json:
         print(report.to_json())
         return 0
@@ -431,9 +506,20 @@ def _cmd_monitor(args) -> int:
             snapshot.last_timestamp if snapshot is not None else None
         ),
     )
+    store_writer = None
+    if args.store:
+        from repro.service import AlarmStoreWriter
+
+        store_platform = AtlasPlatform(
+            _topology(args.seed, args.probes), seed=args.seed
+        )
+        store_writer = AlarmStoreWriter.open_or_create(
+            args.store, store_platform.as_mapper(), bin_s=config.bin_s
+        )
     closed_bins = 0
     pending = 0
     skipped_lines = 0
+    store_buffer: List = []
 
     def checkpoint() -> None:
         """Write a state-only snapshot bound to this feed."""
@@ -441,12 +527,26 @@ def _cmd_monitor(args) -> int:
         state.source_digest = feed_digest
         save_snapshot(args.checkpoint, state)
 
+    def flush_store() -> None:
+        """Publish buffered bins as one store segment (one generation)."""
+        if store_writer is not None and store_buffer:
+            store_writer.append_bins(store_buffer)
+            store_buffer.clear()
+
     def handle(closed) -> bool:
         """Process closed bins; True once --max-bins is reached."""
         nonlocal closed_bins, pending
         for start, traceroutes in closed:
             result = pipeline.process_bin(start, traceroutes)
             _emit_bin(result, args.json)
+            if store_writer is not None:
+                # Batched on the checkpoint cadence: one segment (and
+                # one cache-invalidating generation) per N bins, not
+                # one per bin.  Unflushed bins are re-derived from the
+                # feed replay after a crash, so nothing is lost.
+                store_buffer.append(result)
+                if len(store_buffer) >= every:
+                    flush_store()
             closed_bins += 1
             pending += 1
             if args.checkpoint and pending >= every:
@@ -474,18 +574,51 @@ def _cmd_monitor(args) -> int:
                 break
         if not stopped:
             handle(stream.drain())
+        flush_store()
         if args.checkpoint and pending:
             checkpoint()
     finally:
         if isinstance(pipeline, ShardedPipeline):
             pipeline.close()
+    if store_writer is not None:
+        _warn_if_unattributed_store(store_writer, args.store)
     if not args.json:
+        if store_writer is not None:
+            print(
+                f"alarm store: {args.store} "
+                f"(generation {store_writer.generation})"
+            )
         print(
             f"monitor done: {closed_bins} bins, "
             f"{stream.dropped_late} late results dropped, "
             f"{stream.dropped_replayed} replayed results skipped, "
             f"{skipped_lines} undecodable lines skipped"
         )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Body of the ``serve`` subcommand (HTTP API over an alarm store)."""
+    from repro.service import StoreError, make_server, serve_forever
+
+    try:
+        server = make_server(
+            args.store,
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+            window_bins=args.window_bins,
+        )
+    except StoreError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+    host, port = server.server_address[:2]
+    print(
+        f"serving {args.store} on http://{host}:{port} "
+        f"(store generation {server.engine.generation})",
+        flush=True,
+    )
+    serve_forever(server)
     return 0
 
 
@@ -546,6 +679,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,
         "monitor": _cmd_monitor,
+        "serve": _cmd_serve,
         "replay": _cmd_replay,
     }
     return handlers[args.command](args)

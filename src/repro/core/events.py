@@ -204,7 +204,10 @@ class AlarmAggregator:
 
         Delay events are positive peaks; forwarding events are usually
         negative (devalued hops), so the absolute value is thresholded
-        and the signed magnitude reported.
+        and the signed magnitude reported.  Ordering is fully
+        deterministic: severity first, ties broken by (ASN, timestamp) —
+        never by dict insertion order, so two runs (or the on-disk store
+        and the in-memory report) always agree on rankings.
         """
         if threshold <= 0:
             raise ValueError(f"threshold must be positive: {threshold}")
@@ -217,9 +220,9 @@ class AlarmAggregator:
         else:
             raise ValueError(f"kind must be 'delay' or 'forwarding': {kind}")
         events = []
-        for asn, series_magnitudes in magnitudes.items():
+        for asn in sorted(magnitudes):
             series = table[asn]
-            for index, magnitude in enumerate(series_magnitudes):
+            for index, magnitude in enumerate(magnitudes[asn]):
                 if abs(magnitude) > threshold:
                     events.append(
                         DetectedEvent(
@@ -229,5 +232,5 @@ class AlarmAggregator:
                             kind=kind,
                         )
                     )
-        events.sort(key=lambda e: -abs(e.magnitude))
+        events.sort(key=lambda e: (-abs(e.magnitude), e.asn, e.timestamp))
         return events

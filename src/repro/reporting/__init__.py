@@ -1,15 +1,22 @@
 """Reporting layer: IHR-style summaries and text figure rendering."""
 
 from repro.reporting.export import (
+    BIN_EVENT_FIELDS,
+    DELAY_ALARM_FIELDS,
+    FORWARDING_ALARM_FIELDS,
+    SCHEMA_VERSION,
     bin_event_record,
+    bin_result_from_record,
+    delay_alarm_from_record,
     delay_alarm_record,
+    forwarding_alarm_from_record,
     forwarding_alarm_record,
     write_alarm_graph,
     write_distribution,
     write_magnitude_series,
     write_tracked_link,
 )
-from repro.reporting.ihr import AsCondition, InternetHealthReport
+from repro.reporting.ihr import AsCondition, InternetHealthReport, LinkHealth
 from repro.reporting.render import (
     format_table,
     hours_axis,
@@ -21,10 +28,18 @@ from repro.reporting.render import (
 
 __all__ = [
     "AsCondition",
+    "BIN_EVENT_FIELDS",
+    "DELAY_ALARM_FIELDS",
+    "FORWARDING_ALARM_FIELDS",
     "InternetHealthReport",
+    "LinkHealth",
+    "SCHEMA_VERSION",
     "bin_event_record",
+    "bin_result_from_record",
+    "delay_alarm_from_record",
     "delay_alarm_record",
     "format_table",
+    "forwarding_alarm_from_record",
     "forwarding_alarm_record",
     "hours_axis",
     "render_cdf",

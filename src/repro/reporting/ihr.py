@@ -22,7 +22,12 @@ from repro.core.pipeline import CampaignAnalysis
 
 @dataclass(frozen=True)
 class AsCondition:
-    """One AS's health summary over the analyzed period."""
+    """One AS's health summary over the analyzed period.
+
+    An AS the campaign never alarmed on — including every AS of an
+    entirely alarm-free (or empty) campaign — yields the explicit
+    healthy summary: zero counts, zero magnitudes, ``None`` hours.
+    """
 
     asn: int
     delay_alarm_count: int
@@ -41,8 +46,28 @@ class AsCondition:
         )
 
 
+@dataclass(frozen=True)
+class LinkHealth:
+    """Per-link delay-alarm drill-down for one AS (IHR link view)."""
+
+    link: Link
+    alarm_count: int
+    peak_deviation: float
+    total_deviation: float
+    last_timestamp: int
+
+
 class InternetHealthReport:
-    """Query layer over a completed campaign analysis."""
+    """Query layer over a completed campaign analysis.
+
+    Every ranking this report produces is deterministically ordered
+    (severity, then ASN/timestamp/link tie-breaks) and every query is
+    total: an empty or alarm-free campaign yields empty lists and
+    healthy :class:`AsCondition` summaries, never an exception.  The
+    on-disk serving layer (:mod:`repro.service`) answers the same
+    queries bit-identically from its persistent store, with this class
+    as the oracle.
+    """
 
     def __init__(
         self,
@@ -61,6 +86,14 @@ class InternetHealthReport:
         self._bin_s = analysis.aggregator.bin_s
 
     # -- per-AS queries -----------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the campaign raised no alarms of either kind."""
+        return (
+            not self.analysis.delay_alarms
+            and not self.analysis.forwarding_alarms
+        )
 
     def monitored_asns(self) -> List[int]:
         """Every AS with at least one alarm in either series."""
@@ -120,6 +153,69 @@ class InternetHealthReport:
             return [], np.array([])
         return series_table[asn].timestamps(), table[asn]
 
+    def links_of(self, asn: int) -> List[LinkHealth]:
+        """Per-link drill-down: this AS's delay alarms grouped by link.
+
+        Links are ordered most-alarmed first (ties: larger summed
+        deviation, then lexicographic link) — fully deterministic.
+        """
+        counts: Dict[Link, int] = {}
+        peaks: Dict[Link, float] = {}
+        totals: Dict[Link, float] = {}
+        last: Dict[Link, int] = {}
+        mapper = self.analysis.aggregator.mapper
+        for alarm in self.analysis.delay_alarms:
+            if asn not in mapper.asns_of_link(*alarm.link):
+                continue
+            link = alarm.link
+            counts[link] = counts.get(link, 0) + 1
+            peaks[link] = max(peaks.get(link, 0.0), alarm.deviation)
+            totals[link] = totals.get(link, 0.0) + alarm.deviation
+            last[link] = max(last.get(link, alarm.timestamp), alarm.timestamp)
+        summaries = [
+            LinkHealth(
+                link=link,
+                alarm_count=counts[link],
+                peak_deviation=peaks[link],
+                total_deviation=totals[link],
+                last_timestamp=last[link],
+            )
+            for link in counts
+        ]
+        summaries.sort(
+            key=lambda s: (-s.alarm_count, -s.total_deviation, s.link)
+        )
+        return summaries
+
+    def _magnitude_table(self, kind: str) -> Dict[int, np.ndarray]:
+        """The per-AS magnitude dict for *kind* (validates the kind)."""
+        if kind == "delay":
+            return self._delay_magnitudes
+        if kind == "forwarding":
+            return self._forwarding_magnitudes
+        raise ValueError(f"kind must be 'delay' or 'forwarding': {kind}")
+
+    def top_asns(
+        self, kind: str = "delay", k: int = 10
+    ) -> List[Tuple[int, float]]:
+        """The *k* most anomalous ASes: (ASN, peak signed magnitude).
+
+        Ranked by |peak magnitude| descending, ties broken by ASN — the
+        IHR front page's "worst offenders" list.
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0: {k}")
+        ranking: List[Tuple[int, float]] = []
+        table = self._magnitude_table(kind)
+        for asn in sorted(table):
+            magnitudes = table[asn]
+            if not magnitudes.size:
+                continue
+            index = int(np.argmax(np.abs(magnitudes)))
+            ranking.append((asn, float(magnitudes[index])))
+        ranking.sort(key=lambda entry: (-abs(entry[1]), entry[0]))
+        return ranking[:k]
+
     # -- event queries ----------------------------------------------------------
 
     def top_events(
@@ -130,6 +226,26 @@ class InternetHealthReport:
             kind, threshold, self.window_bins
         )
         return events[:limit]
+
+    def events_in(
+        self,
+        start_timestamp: int,
+        end_timestamp: int,
+        kind: str = "delay",
+        threshold: float = 5.0,
+    ) -> List[DetectedEvent]:
+        """Events within ``[start, end)``, most severe first."""
+        if end_timestamp < start_timestamp:
+            raise ValueError(
+                f"end {end_timestamp} precedes start {start_timestamp}"
+            )
+        return [
+            event
+            for event in self.analysis.aggregator.detect_events(
+                kind, threshold, self.window_bins
+            )
+            if start_timestamp <= event.timestamp < end_timestamp
+        ]
 
     def alarms_at(
         self, timestamp: int
@@ -155,13 +271,23 @@ class InternetHealthReport:
     # -- export -------------------------------------------------------------------
 
     def to_json(self) -> str:
-        """Serialise the per-AS summary as the IHR API would."""
+        """Serialise the per-AS summary as the IHR API would.
+
+        An alarm-free campaign is an explicit healthy report (``empty``
+        true, no conditions) rather than an error.
+        """
         payload = {
+            "empty": self.is_empty,
             "monitored_asns": self.monitored_asns(),
             "stats": asdict(self.analysis.stats()),
             "conditions": [
-                asdict(self.as_condition(asn))
-                for asn in self.monitored_asns()
+                {
+                    **asdict(condition),
+                    "healthy": condition.healthy,
+                }
+                for condition in map(
+                    self.as_condition, self.monitored_asns()
+                )
             ],
         }
         return json.dumps(payload, indent=2, sort_keys=True)

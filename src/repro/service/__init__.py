@@ -1,0 +1,37 @@
+"""Serving layer: persistent alarm store, query engine and HTTP API.
+
+The paper's §8 deployment serves detection results to operators through
+the Internet Health Report website and API.  This package is that
+subsystem: :mod:`repro.service.store` persists alarms and AS-level
+events in an append-only columnar binary store,
+:mod:`repro.service.query` answers IHR queries from mmapped columns
+bit-identically to the in-memory
+:class:`~repro.reporting.ihr.InternetHealthReport`, and
+:mod:`repro.service.http` exposes the IHR-style JSON routes over a
+stdlib threading HTTP server with generation-keyed response caching
+(:mod:`repro.service.cache`).
+"""
+
+from repro.service.cache import CachedResponse, ResponseCache
+from repro.service.http import make_server, serve_forever
+from repro.service.query import StoreQuery
+from repro.service.store import (
+    AlarmStore,
+    AlarmStoreWriter,
+    StoreError,
+    append_analysis,
+    read_manifest,
+)
+
+__all__ = [
+    "AlarmStore",
+    "AlarmStoreWriter",
+    "CachedResponse",
+    "ResponseCache",
+    "StoreError",
+    "StoreQuery",
+    "append_analysis",
+    "make_server",
+    "read_manifest",
+    "serve_forever",
+]

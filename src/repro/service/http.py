@@ -1,0 +1,286 @@
+"""Stdlib HTTP JSON API over the alarm store (IHR-style routes, §8).
+
+The paper's results reach operators through the Internet Health Report
+API; this module is the equivalent for the on-disk store — a
+dependency-free :class:`~http.server.ThreadingHTTPServer` exposing:
+
+========================  ====================================================
+route                     answer
+========================  ====================================================
+``/``                     store metadata + cache statistics
+``/health/{asn}``         the AS's :class:`~repro.reporting.ihr.AsCondition`
+``/links/{asn}``          per-link delay drill-down for the AS
+``/events``               magnitude events (``kind``, ``threshold``,
+                          ``limit``, optional ``start``/``end`` range)
+``/top``                  top-K anomalous ASes (``kind``, ``k``)
+========================  ====================================================
+
+Every answer is produced by :class:`~repro.service.query.StoreQuery`
+(bit-identical to the in-memory IHR) and rendered to canonical JSON.
+Responses are memoised in a :class:`~repro.service.cache.ResponseCache`
+keyed by (route, params, store generation): a writer appending a
+segment bumps the generation, implicitly invalidating every cached
+answer.  Strong ETags plus ``If-None-Match`` give clients free ``304``
+revalidation.  Queries against the shared engine are serialised by a
+lock (its per-generation caches are plain dicts); cache hits bypass the
+engine entirely, so the hot path stays concurrent.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.atlas.io import PathLike
+from repro.service.cache import (
+    DEFAULT_CACHE_SIZE,
+    CachedResponse,
+    ResponseCache,
+    make_etag,
+)
+from repro.service.query import StoreQuery
+from repro.service.store import StoreError
+
+#: Default bind address for :func:`make_server`.
+DEFAULT_HOST = "127.0.0.1"
+
+
+class _BadRequest(ValueError):
+    """A request parameter failed validation (rendered as HTTP 400)."""
+
+
+def _json_body(payload) -> bytes:
+    """Canonical JSON rendering (sorted keys, compact separators)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def _int_param(params: Dict[str, str], name: str, default: int) -> int:
+    raw = params.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise _BadRequest(f"parameter {name!r} must be an integer: {raw!r}")
+
+
+def _float_param(
+    params: Dict[str, str], name: str, default: float
+) -> float:
+    raw = params.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise _BadRequest(f"parameter {name!r} must be a number: {raw!r}")
+
+
+def _kind_param(params: Dict[str, str]) -> str:
+    kind = params.get("kind", "delay")
+    if kind not in ("delay", "forwarding"):
+        raise _BadRequest(
+            f"parameter 'kind' must be 'delay' or 'forwarding': {kind!r}"
+        )
+    return kind
+
+
+class AlarmServiceHandler(BaseHTTPRequestHandler):
+    """Routes GET requests to the store query engine (see module docs)."""
+
+    server_version = "repro-ihr/1.0"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr logging (tests and benchmarks)."""
+
+    def _send(self, response: CachedResponse) -> None:
+        if (
+            response.status == 200
+            and self.headers.get("If-None-Match") == response.etag
+        ):
+            self.send_response(304)
+            self.send_header("ETag", response.etag)
+            self.end_headers()
+            return
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        if response.status == 200:
+            self.send_header("ETag", response.etag)
+            self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def _error(self, status: int, message: str, generation) -> CachedResponse:
+        body = _json_body({"error": message})
+        return CachedResponse(status, body, make_etag(body, generation))
+
+    # -- request handling ----------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """Answer one GET request (cache first, engine on miss)."""
+        server: AlarmServiceServer = self.server  # type: ignore[assignment]
+        parsed = urlsplit(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        params = dict(parse_qsl(parsed.query))
+        try:
+            with server.engine_lock:
+                server.engine.refresh()
+                # Epoch-qualified: a recreated store restarts its
+                # generation counter but changes this token, so stale
+                # cache entries and ETags can never match it.
+                generation = server.engine.cache_token
+        except StoreError as exc:
+            self._send(self._error(503, f"store unavailable: {exc}", "-"))
+            return
+        key = (route, tuple(sorted(params.items())), generation)
+        cacheable = route != "/"
+        if cacheable:
+            entry = server.cache.get(key)
+            if entry is not None:
+                self._send(entry)
+                return
+        try:
+            with server.engine_lock:
+                payload = self._answer(server, route, params)
+        except _BadRequest as exc:
+            self._send(self._error(400, str(exc), generation))
+            return
+        except StoreError as exc:
+            self._send(self._error(503, f"store unavailable: {exc}", generation))
+            return
+        if payload is None:
+            self._send(self._error(404, f"no such route: {route}", generation))
+            return
+        body = _json_body(payload)
+        entry = CachedResponse(200, body, make_etag(body, generation))
+        if cacheable:
+            server.cache.put(key, entry)
+        self._send(entry)
+
+    def _answer(
+        self, server: "AlarmServiceServer", route: str, params: Dict[str, str]
+    ):
+        """Compute the JSON payload for *route*; None for unknown routes."""
+        engine = server.engine
+        if route == "/":
+            return {
+                "store": engine.meta(),
+                "cache": server.cache.stats(),
+                "routes": ["/health/{asn}", "/links/{asn}", "/events", "/top"],
+            }
+        parts = route.strip("/").split("/")
+        if parts[0] == "health" and len(parts) == 2:
+            asn = self._asn_of(parts[1])
+            condition = engine.as_condition(asn)
+            return {**asdict(condition), "healthy": condition.healthy}
+        if parts[0] == "links" and len(parts) == 2:
+            asn = self._asn_of(parts[1])
+            return [
+                {
+                    "link": list(summary.link),
+                    "alarm_count": summary.alarm_count,
+                    "peak_deviation": summary.peak_deviation,
+                    "total_deviation": summary.total_deviation,
+                    "last_timestamp": summary.last_timestamp,
+                }
+                for summary in engine.links_of(asn)
+            ]
+        if route == "/events":
+            kind = _kind_param(params)
+            threshold = _float_param(params, "threshold", 5.0)
+            limit = _int_param(params, "limit", 10)
+            if threshold <= 0:
+                raise _BadRequest(
+                    f"parameter 'threshold' must be positive: {threshold}"
+                )
+            if limit < 0:
+                raise _BadRequest(f"parameter 'limit' must be >= 0: {limit}")
+            if "start" in params or "end" in params:
+                start = _int_param(params, "start", 0)
+                end = _int_param(params, "end", 2**62)
+                if end < start:
+                    raise _BadRequest(
+                        f"parameter 'end' precedes 'start': {end} < {start}"
+                    )
+                events = engine.events_in(start, end, kind, threshold)[:limit]
+            else:
+                events = engine.top_events(kind, threshold, limit)
+            return [asdict(event) for event in events]
+        if route == "/top":
+            kind = _kind_param(params)
+            k = _int_param(params, "k", 10)
+            if k < 0:
+                raise _BadRequest(f"parameter 'k' must be >= 0: {k}")
+            return [
+                {"asn": asn, "magnitude": magnitude}
+                for asn, magnitude in engine.top_asns(kind, k)
+            ]
+        return None
+
+    @staticmethod
+    def _asn_of(raw: str) -> int:
+        """Parse an ASN path component (accepts a leading ``AS``)."""
+        text = raw[2:] if raw.upper().startswith("AS") else raw
+        try:
+            asn = int(text)
+        except ValueError:
+            raise _BadRequest(f"bad ASN: {raw!r}")
+        if asn < 0:
+            raise _BadRequest(f"bad ASN: {raw!r}")
+        return asn
+
+
+class AlarmServiceServer(ThreadingHTTPServer):
+    """Threading HTTP server bundling the query engine and its cache."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        engine: StoreQuery,
+        cache: ResponseCache,
+    ) -> None:
+        super().__init__(address, AlarmServiceHandler)
+        self.engine = engine
+        self.cache = cache
+        self.engine_lock = threading.Lock()
+
+
+def make_server(
+    store_path: PathLike,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    window_bins: Optional[int] = None,
+) -> AlarmServiceServer:
+    """Build a ready-to-run server for the store at *store_path*.
+
+    ``port=0`` binds an ephemeral port (see ``server.server_address``).
+    The store must exist; a missing or corrupt manifest raises
+    :class:`~repro.service.store.StoreError` here rather than on the
+    first request.
+    """
+    engine = StoreQuery(store_path, window_bins=window_bins)
+    return AlarmServiceServer(
+        (host, port), engine, ResponseCache(cache_size)
+    )
+
+
+def serve_forever(server: AlarmServiceServer) -> None:
+    """Run *server* until interrupted (Ctrl-C returns cleanly)."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()

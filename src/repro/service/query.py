@@ -1,0 +1,462 @@
+"""Query engine over the on-disk alarm store (IHR answers, no objects).
+
+:class:`StoreQuery` answers the Internet-Health-Report queries —
+per-AS condition summaries, magnitude series, event lists, top-K
+rankings, link drill-down, alarm retrieval — **bit-identically** to
+:class:`~repro.reporting.ihr.InternetHealthReport` computed over the
+equivalent in-memory campaign, but from NumPy scans of the store's
+mmapped columns instead of Python object traversal:
+
+* per-AS severity series are rebuilt by scattering the store's AS-event
+  journal (``np.add.at`` in row order — the exact accumulation order of
+  :class:`~repro.core.events.AlarmAggregator`, so every float is
+  identical), then scored with the same
+  :func:`~repro.stats.robust.sliding_magnitude`;
+* alarm objects are materialised only for the rows a query actually
+  returns, through the canonical record constructors of
+  :mod:`repro.reporting.export`;
+* per-segment ASN/time min-max indexes prune segments before their
+  columns are touched.
+
+Hot queries are cached per store *generation*: magnitude series and AS
+tables computed once are reused until :meth:`StoreQuery.refresh`
+observes that a writer published a new generation, at which point every
+derived cache is dropped.  All public query methods refresh first, so a
+long-lived engine (e.g. under the HTTP server) always serves the
+current generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.atlas.io import PathLike
+from repro.core.alarms import DelayAlarm, ForwardingAlarm
+from repro.core.events import DetectedEvent
+from repro.reporting.export import (
+    delay_alarm_from_record,
+    forwarding_alarm_from_record,
+)
+from repro.reporting.ihr import AsCondition, LinkHealth
+from repro.service.store import (
+    KIND_DELAY,
+    KIND_FORWARDING,
+    AlarmSegment,
+    AlarmStore,
+)
+from repro.stats.robust import sliding_magnitude, weekly_window_bins
+
+_KINDS = {"delay": KIND_DELAY, "forwarding": KIND_FORWARDING}
+
+
+class StoreQuery:
+    """IHR-equivalent query engine over an :class:`AlarmStore`.
+
+    *window_bins* mirrors the ``InternetHealthReport`` constructor
+    argument (default: the paper's one-week Eq. 10 window).
+    """
+
+    def __init__(
+        self,
+        store: Union[AlarmStore, PathLike],
+        window_bins: Optional[int] = None,
+    ) -> None:
+        self.store = (
+            store if isinstance(store, AlarmStore) else AlarmStore(store)
+        )
+        self.window_bins = window_bins
+        self._cached_token: Optional[str] = None
+        self._asn_sets: Dict[str, frozenset] = {}
+        self._series: Dict[Tuple[str, int], Optional[np.ndarray]] = {}
+        self._magnitudes: Dict[Tuple[str, int], Optional[np.ndarray]] = {}
+
+    # -- generation tracking -------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The store generation the engine's caches are valid for."""
+        return self.store.generation
+
+    @property
+    def cache_token(self) -> str:
+        """Epoch-qualified generation (unique across store recreations).
+
+        Response caches and ETags must key on this, not on the bare
+        generation: a recreated store restarts its generation counter,
+        but draws a fresh epoch id.
+        """
+        return self.store.manifest.token
+
+    def refresh(self) -> bool:
+        """Pick up a newer store state; True when caches were dropped."""
+        changed = self.store.refresh()
+        if changed or self._cached_token != self.cache_token:
+            self._asn_sets = {}
+            self._series = {}
+            self._magnitudes = {}
+            self._cached_token = self.cache_token
+            return True
+        return False
+
+    # -- derived state (cached per generation) -------------------------------
+
+    def _window(self) -> int:
+        if self.window_bins is not None:
+            return self.window_bins
+        return weekly_window_bins(self.store.bin_s)
+
+    def _asns(self, kind: str) -> frozenset:
+        """Every AS with at least one severity contribution of *kind*."""
+        cached = self._asn_sets.get(kind)
+        if cached is None:
+            code = _KINDS[kind]
+            seen: set = set()
+            for segment in self.store.segments():
+                mask = segment.e_kind == code
+                if mask.any():
+                    seen.update(
+                        int(asn) for asn in np.unique(segment.e_asn[mask])
+                    )
+            cached = frozenset(seen)
+            self._asn_sets[kind] = cached
+        return cached
+
+    def _series_values(self, kind: str, asn: int) -> Optional[np.ndarray]:
+        """The dense severity series of (kind, asn); None when absent.
+
+        Reconstructed from the AS-event journal in append order, so the
+        floating-point accumulation matches the in-memory aggregator's
+        bit for bit.
+        """
+        key = (kind, asn)
+        if key in self._series:
+            return self._series[key]
+        values: Optional[np.ndarray] = None
+        if asn in self._asns(kind):
+            manifest = self.store.manifest
+            code = _KINDS[kind]
+            values = np.zeros(manifest.n_bins, dtype=np.float64)
+            for segment in self.store.segments(asn=asn):
+                mask = (segment.e_kind == code) & (segment.e_asn == asn)
+                if not mask.any():
+                    continue
+                indexes = (
+                    segment.e_ts[mask] - manifest.start
+                ) // manifest.bin_s
+                np.add.at(values, indexes, segment.e_value[mask])
+        self._series[key] = values
+        return values
+
+    def _magnitude_values(self, kind: str, asn: int) -> Optional[np.ndarray]:
+        """Eq. 10 magnitudes of (kind, asn); None when the AS is absent."""
+        key = (kind, asn)
+        if key in self._magnitudes:
+            return self._magnitudes[key]
+        values = self._series_values(kind, asn)
+        magnitudes: Optional[np.ndarray] = None
+        if values is not None:
+            if values.size:
+                magnitudes = sliding_magnitude(values, window=self._window())
+            else:  # pragma: no cover - a store never has empty series
+                magnitudes = np.array([])
+        self._magnitudes[key] = magnitudes
+        return magnitudes
+
+    def _hour_of(self, index: int) -> int:
+        return (index * self.store.bin_s) // 3600
+
+    # -- per-AS queries ------------------------------------------------------
+
+    def monitored_asns(self) -> List[int]:
+        """Every AS with at least one alarm in either series."""
+        self.refresh()
+        return sorted(self._asns("delay") | self._asns("forwarding"))
+
+    def as_condition(self, asn: int) -> AsCondition:
+        """Summarise one AS (zeros if the AS never raised alarms)."""
+        self.refresh()
+        delay = self._magnitude_values("delay", asn)
+        forwarding = self._magnitude_values("forwarding", asn)
+        peak_value, peak_hour = 0.0, None
+        if delay is not None and delay.size:
+            index = int(np.argmax(delay))
+            peak_value, peak_hour = float(delay[index]), self._hour_of(index)
+        trough_value, trough_hour = 0.0, None
+        if forwarding is not None and forwarding.size:
+            index = int(np.argmin(forwarding))
+            trough_value = float(forwarding[index])
+            trough_hour = self._hour_of(index)
+        delay_count = 0
+        forwarding_count = 0
+        for segment in self.store.segments(asn=asn):
+            delay_count += int(
+                np.count_nonzero(
+                    (segment.e_kind == KIND_DELAY) & (segment.e_asn == asn)
+                )
+            )
+            forwarding_count += int(
+                np.count_nonzero(segment.f_router_asn == asn)
+            )
+        return AsCondition(
+            asn=asn,
+            delay_alarm_count=delay_count,
+            forwarding_alarm_count=forwarding_count,
+            peak_delay_magnitude=peak_value,
+            peak_delay_hour=peak_hour,
+            trough_forwarding_magnitude=trough_value,
+            trough_forwarding_hour=trough_hour,
+        )
+
+    def magnitude_series(
+        self, asn: int, kind: str = "delay"
+    ) -> Tuple[List[int], np.ndarray]:
+        """(timestamps, magnitudes) for one AS; empty when unknown."""
+        self.refresh()
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be 'delay' or 'forwarding': {kind}")
+        magnitudes = self._magnitude_values(kind, asn)
+        if magnitudes is None:
+            return [], np.array([])
+        manifest = self.store.manifest
+        timestamps = [
+            manifest.start + index * manifest.bin_s
+            for index in range(manifest.n_bins)
+        ]
+        return timestamps, magnitudes
+
+    def links_of(self, asn: int) -> List[LinkHealth]:
+        """Per-link drill-down: this AS's delay alarms grouped by link.
+
+        Same grouping, accumulation order and sort as
+        :meth:`InternetHealthReport.links_of`.
+        """
+        self.refresh()
+        counts: Dict[Tuple[str, str], int] = {}
+        peaks: Dict[Tuple[str, str], float] = {}
+        totals: Dict[Tuple[str, str], float] = {}
+        last: Dict[Tuple[str, str], int] = {}
+        for segment in self.store.segments(asn=asn):
+            mask = (segment.e_kind == KIND_DELAY) & (segment.e_asn == asn)
+            for row in np.nonzero(mask)[0]:
+                link = (
+                    segment.strings[segment.e_near[row]],
+                    segment.strings[segment.e_far[row]],
+                )
+                deviation = float(segment.e_value[row])
+                timestamp = int(segment.e_ts[row])
+                counts[link] = counts.get(link, 0) + 1
+                peaks[link] = max(peaks.get(link, 0.0), deviation)
+                totals[link] = totals.get(link, 0.0) + deviation
+                last[link] = max(last.get(link, timestamp), timestamp)
+        summaries = [
+            LinkHealth(
+                link=link,
+                alarm_count=counts[link],
+                peak_deviation=peaks[link],
+                total_deviation=totals[link],
+                last_timestamp=last[link],
+            )
+            for link in counts
+        ]
+        summaries.sort(
+            key=lambda s: (-s.alarm_count, -s.total_deviation, s.link)
+        )
+        return summaries
+
+    def top_asns(
+        self, kind: str = "delay", k: int = 10
+    ) -> List[Tuple[int, float]]:
+        """The *k* most anomalous ASes: (ASN, peak signed magnitude)."""
+        self.refresh()
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be 'delay' or 'forwarding': {kind}")
+        if k < 0:
+            raise ValueError(f"k must be >= 0: {k}")
+        ranking: List[Tuple[int, float]] = []
+        for asn in sorted(self._asns(kind)):
+            magnitudes = self._magnitude_values(kind, asn)
+            if magnitudes is None or not magnitudes.size:
+                continue
+            index = int(np.argmax(np.abs(magnitudes)))
+            ranking.append((asn, float(magnitudes[index])))
+        ranking.sort(key=lambda entry: (-abs(entry[1]), entry[0]))
+        return ranking[:k]
+
+    # -- event queries -------------------------------------------------------
+
+    def _detect_events(self, kind: str, threshold: float) -> List[DetectedEvent]:
+        """Mirror of :meth:`AlarmAggregator.detect_events` on the store."""
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive: {threshold}")
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be 'delay' or 'forwarding': {kind}")
+        manifest = self.store.manifest
+        events: List[DetectedEvent] = []
+        for asn in sorted(self._asns(kind)):
+            magnitudes = self._magnitude_values(kind, asn)
+            if magnitudes is None:
+                continue
+            for index in np.nonzero(np.abs(magnitudes) > threshold)[0]:
+                events.append(
+                    DetectedEvent(
+                        asn=asn,
+                        timestamp=manifest.start + int(index) * manifest.bin_s,
+                        magnitude=float(magnitudes[index]),
+                        kind=kind,
+                    )
+                )
+        events.sort(key=lambda e: (-abs(e.magnitude), e.asn, e.timestamp))
+        return events
+
+    def top_events(
+        self, kind: str = "delay", threshold: float = 5.0, limit: int = 10
+    ) -> List[DetectedEvent]:
+        """Most severe magnitude excursions, like the IHR front page."""
+        self.refresh()
+        return self._detect_events(kind, threshold)[:limit]
+
+    def events_in(
+        self,
+        start_timestamp: int,
+        end_timestamp: int,
+        kind: str = "delay",
+        threshold: float = 5.0,
+    ) -> List[DetectedEvent]:
+        """Events within ``[start, end)``, most severe first."""
+        self.refresh()
+        if end_timestamp < start_timestamp:
+            raise ValueError(
+                f"end {end_timestamp} precedes start {start_timestamp}"
+            )
+        return [
+            event
+            for event in self._detect_events(kind, threshold)
+            if start_timestamp <= event.timestamp < end_timestamp
+        ]
+
+    # -- alarm retrieval -----------------------------------------------------
+
+    def _delay_alarm(self, segment: AlarmSegment, row: int) -> DelayAlarm:
+        """Materialise one delay alarm row via the canonical record."""
+        strings = segment.strings
+        return delay_alarm_from_record(
+            {
+                "timestamp": int(segment.d_ts[row]),
+                "link": [
+                    strings[segment.d_near[row]],
+                    strings[segment.d_far[row]],
+                ],
+                "observed": {
+                    "median": float(segment.d_obs_median[row]),
+                    "lower": float(segment.d_obs_lower[row]),
+                    "upper": float(segment.d_obs_upper[row]),
+                    "n": int(segment.d_obs_n[row]),
+                },
+                "reference": {
+                    "median": float(segment.d_ref_median[row]),
+                    "lower": float(segment.d_ref_lower[row]),
+                    "upper": float(segment.d_ref_upper[row]),
+                    "n": int(segment.d_ref_n[row]),
+                },
+                "deviation": float(segment.d_deviation[row]),
+                "direction": int(segment.d_direction[row]),
+                "n_probes": int(segment.d_n_probes[row]),
+                "n_asns": int(segment.d_n_asns[row]),
+            }
+        )
+
+    def _forwarding_alarm(
+        self, segment: AlarmSegment, row: int
+    ) -> ForwardingAlarm:
+        """Materialise one forwarding alarm row via the canonical record."""
+        strings = segment.strings
+
+        def hop_map(offsets, hops, values) -> Dict[str, float]:
+            lo, hi = int(offsets[row]), int(offsets[row + 1])
+            return {
+                strings[hops[i]]: float(values[i]) for i in range(lo, hi)
+            }
+
+        return forwarding_alarm_from_record(
+            {
+                "timestamp": int(segment.f_ts[row]),
+                "router_ip": strings[segment.f_router[row]],
+                "destination": strings[segment.f_dest[row]],
+                "correlation": float(segment.f_correlation[row]),
+                "responsibilities": hop_map(
+                    segment.f_resp_offsets,
+                    segment.f_resp_hop,
+                    segment.f_resp_value,
+                ),
+                "pattern": hop_map(
+                    segment.f_pat_offsets,
+                    segment.f_pat_hop,
+                    segment.f_pat_value,
+                ),
+                "reference": hop_map(
+                    segment.f_ref_offsets,
+                    segment.f_ref_hop,
+                    segment.f_ref_value,
+                ),
+            }
+        )
+
+    def alarms_at(
+        self, timestamp: int
+    ) -> Tuple[List[DelayAlarm], List[ForwardingAlarm]]:
+        """Both alarm lists for the bin containing *timestamp*."""
+        self.refresh()
+        bin_s = self.store.bin_s
+        bin_start = (timestamp // bin_s) * bin_s
+        delay: List[DelayAlarm] = []
+        forwarding: List[ForwardingAlarm] = []
+        for segment in self.store.segments(t0=bin_start, t1=bin_start + bin_s):
+            for row in np.nonzero(
+                (segment.d_ts // bin_s) * bin_s == bin_start
+            )[0]:
+                delay.append(self._delay_alarm(segment, int(row)))
+            for row in np.nonzero(
+                (segment.f_ts // bin_s) * bin_s == bin_start
+            )[0]:
+                forwarding.append(self._forwarding_alarm(segment, int(row)))
+        return delay, forwarding
+
+    def alarms_involving(self, ip: str) -> List[DelayAlarm]:
+        """Delay alarms naming *ip* (e.g. all K-root pairs, §7.1)."""
+        self.refresh()
+        alarms: List[DelayAlarm] = []
+        for segment in self.store.segments():
+            identifier = segment.id_of(ip)
+            if identifier is None:
+                continue
+            mask = (segment.d_near == identifier) | (
+                segment.d_far == identifier
+            )
+            for row in np.nonzero(mask)[0]:
+                alarms.append(self._delay_alarm(segment, int(row)))
+        return alarms
+
+    # -- store metadata ------------------------------------------------------
+
+    def meta(self) -> Dict[str, object]:
+        """Store-level summary for the HTTP index route."""
+        self.refresh()
+        manifest = self.store.manifest
+        return {
+            "generation": manifest.generation,
+            "bin_s": manifest.bin_s,
+            "start": manifest.start,
+            "end": manifest.end if manifest.start is not None else None,
+            "n_bins": manifest.n_bins,
+            "n_segments": len(manifest.segments),
+            "n_delay_alarms": sum(m.n_delay for m in manifest.segments),
+            "n_forwarding_alarms": sum(
+                m.n_forwarding for m in manifest.segments
+            ),
+            "n_events": sum(m.n_events for m in manifest.segments),
+            "monitored_asns": len(
+                self._asns("delay") | self._asns("forwarding")
+            ),
+        }

@@ -266,6 +266,91 @@ class TestMonitor:
         assert "monitor done: 3 bins" in capsys.readouterr().out
 
 
+class TestAlarmStore:
+    @pytest.fixture(scope="class")
+    def campaign_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-store") / "campaign.jsonl"
+        assert main(
+            [
+                "generate", "--hours", "3", "--seed", "3", "--probes", "12",
+                "--no-anchoring", "--out", str(path),
+            ]
+        ) == 0
+        return path
+
+    def test_analyze_store_export(self, campaign_path, tmp_path, capsys):
+        from repro.service import StoreQuery
+
+        store = tmp_path / "alarms.store"
+        assert main(
+            [
+                "analyze", str(campaign_path), "--seed", "3",
+                "--probes", "12", "--store", str(store),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"alarm store updated: {store}" in out
+        query = StoreQuery(store)
+        assert query.store.manifest.n_bins == 3
+        # Re-running recreates the store deterministically.
+        assert main(
+            [
+                "analyze", str(campaign_path), "--seed", "3",
+                "--probes", "12", "--store", str(store),
+            ]
+        ) == 0
+        assert StoreQuery(store).store.manifest.n_bins == 3
+
+    def test_monitor_store_appends_and_skips_replay(
+        self, campaign_path, tmp_path, capsys
+    ):
+        from repro.service import StoreQuery
+
+        store = tmp_path / "monitor.store"
+        argv = [
+            "monitor", str(campaign_path), "--seed", "3", "--probes", "12",
+            "--store", str(store),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"alarm store: {store}" in out
+        generation = StoreQuery(store).generation
+        assert generation >= 1
+        # A rerun replays the same feed; the store must not grow.
+        assert main(argv) == 0
+        assert StoreQuery(store).generation == generation
+        assert StoreQuery(store).store.manifest.n_bins == 3
+
+    def test_monitor_store_matches_analyze_store(
+        self, campaign_path, tmp_path, capsys
+    ):
+        from repro.service import StoreQuery
+
+        analyzed = tmp_path / "a.store"
+        monitored = tmp_path / "m.store"
+        assert main(
+            [
+                "analyze", str(campaign_path), "--seed", "3",
+                "--probes", "12", "--store", str(analyzed),
+            ]
+        ) == 0
+        assert main(
+            [
+                "monitor", str(campaign_path), "--seed", "3",
+                "--probes", "12", "--store", str(monitored),
+            ]
+        ) == 0
+        capsys.readouterr()
+        one, two = StoreQuery(analyzed), StoreQuery(monitored)
+        assert one.monitored_asns() == two.monitored_asns()
+        for asn in one.monitored_asns():
+            assert one.as_condition(asn) == two.as_condition(asn)
+
+    def test_serve_missing_store_fails_cleanly(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope.store")]) == 1
+        assert "repro: error:" in capsys.readouterr().err
+
+
 class TestReplay:
     def test_replay_outage_detects_event(self, capsys):
         code = main(["replay", "outage", "--hours", "24", "--seed", "1"])

@@ -20,6 +20,7 @@ class TestPackageSurface:
         import repro.core
         import repro.net
         import repro.reporting
+        import repro.service
         import repro.simulation
         import repro.stats
 
@@ -28,10 +29,12 @@ class TestPackageSurface:
         import repro.core as core
         import repro.net as net
         import repro.reporting as reporting
+        import repro.service as service
         import repro.simulation as simulation
         import repro.stats as stats
 
-        for module in (atlas, core, net, reporting, simulation, stats):
+        modules = (atlas, core, net, reporting, service, simulation, stats)
+        for module in modules:
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"
 

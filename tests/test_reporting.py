@@ -163,3 +163,106 @@ class TestInternetHealthReport:
         assert payload["monitored_asns"] == [111, 222]
         assert payload["stats"]["links_analyzed"] == 1
         assert len(payload["conditions"]) == 2
+        assert payload["empty"] is False
+        assert all("healthy" in c for c in payload["conditions"])
+
+    # -- deterministic orderings (regression: ties must not depend on
+    # dict insertion order) -------------------------------------------------
+
+    def test_tied_events_ordered_by_asn_then_time(self, report):
+        """AS 111 and 222 get identical magnitudes from the same link's
+        alarms — ties must break by (ASN, timestamp), deterministically."""
+        events = report.top_events("delay", threshold=1.0, limit=50)
+        assert len(events) >= 2
+        keys = [(-abs(e.magnitude), e.asn, e.timestamp) for e in events]
+        assert keys == sorted(keys)
+        top_two = {events[0], events[1]}
+        assert {e.asn for e in top_two} == {111, 222}
+        assert events[0].asn == 111  # the tie breaks toward the lower ASN
+
+    def test_top_asns_ranking_and_ties(self, report):
+        ranking = report.top_asns("delay", k=10)
+        assert [asn for asn, _ in ranking] == [111, 222]
+        assert ranking[0][1] == ranking[1][1]  # a genuine tie
+        assert report.top_asns("delay", k=1) == ranking[:1]
+        with pytest.raises(ValueError):
+            report.top_asns("delay", k=-1)
+
+    def test_links_of_groups_alarms(self, report):
+        links = report.links_of(111)
+        assert len(links) == 1
+        summary = links[0]
+        assert summary.link == ("10.1.0.1", "10.2.0.1")
+        assert summary.alarm_count == 2
+        assert summary.peak_deviation > 0
+        assert summary.total_deviation >= summary.peak_deviation
+        assert summary.last_timestamp // 3600 == 9
+        assert report.links_of(99999) == []
+
+    def test_events_in_window(self, report):
+        everything = report.top_events("delay", threshold=1.0, limit=50)
+        windowed = report.events_in(8 * 3600, 10 * 3600, "delay", 1.0)
+        assert windowed
+        assert all(
+            8 * 3600 <= e.timestamp < 10 * 3600 for e in windowed
+        )
+        assert set(windowed) <= set(everything)
+        assert report.events_in(0, 3600, "delay", 1.0) == []
+        with pytest.raises(ValueError):
+            report.events_in(10, 5, "delay", 1.0)
+
+
+class TestEmptyCampaign:
+    """No alarms must mean a healthy report, never an exception."""
+
+    @pytest.fixture(scope="class")
+    def empty_report(self):
+        mapper = AsMapper([("10.1.0.0", 16, 111)])
+        return InternetHealthReport(analyze_campaign([], mapper))
+
+    def test_is_empty_and_monitored(self, empty_report):
+        assert empty_report.is_empty
+        assert empty_report.monitored_asns() == []
+
+    def test_conditions_are_healthy(self, empty_report):
+        condition = empty_report.as_condition(111)
+        assert condition.healthy
+        assert condition.delay_alarm_count == 0
+        assert condition.peak_delay_hour is None
+
+    def test_event_queries_are_empty(self, empty_report):
+        assert empty_report.top_events("delay", threshold=1.0) == []
+        assert empty_report.top_asns("forwarding") == []
+        assert empty_report.events_in(0, 10**9, "delay", 1.0) == []
+        assert empty_report.links_of(111) == []
+        delay, forwarding = empty_report.alarms_at(0)
+        assert delay == [] and forwarding == []
+        assert empty_report.alarms_involving("10.1.0.1") == []
+
+    def test_magnitude_series_empty(self, empty_report):
+        timestamps, magnitudes = empty_report.magnitude_series(111)
+        assert timestamps == [] and magnitudes.size == 0
+
+    def test_json_is_explicit_healthy_report(self, empty_report):
+        payload = json.loads(empty_report.to_json())
+        assert payload["empty"] is True
+        assert payload["monitored_asns"] == []
+        assert payload["conditions"] == []
+
+    def test_alarm_free_campaign_with_traffic(self):
+        """Traceroutes but zero alarms is also an explicit healthy report."""
+        from repro.atlas import make_traceroute
+
+        traceroutes = [
+            make_traceroute(
+                probe, f"s{probe}", "dst", 0,
+                [[("10.1.0.1", 10.0)], [("10.2.0.1", 15.0)]],
+                from_asn=65001 + probe,
+            )
+            for probe in range(3)
+        ]
+        mapper = AsMapper([("10.1.0.0", 16, 111)])
+        report = InternetHealthReport(analyze_campaign(traceroutes, mapper))
+        assert report.is_empty
+        assert report.monitored_asns() == []
+        assert report.as_condition(111).healthy

@@ -1,0 +1,257 @@
+"""Tests for the serving layer's HTTP API and response cache."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    AlarmStoreWriter,
+    CachedResponse,
+    ResponseCache,
+    StoreQuery,
+    make_server,
+)
+from repro.service.cache import make_etag
+
+from tests.test_service_store import (
+    analysis_of,
+    build_store,
+    make_mapper,
+    synthetic_bins,
+)
+
+
+class TestResponseCache:
+    def _entry(self, tag: str) -> CachedResponse:
+        body = tag.encode()
+        return CachedResponse(200, body, make_etag(body, 1))
+
+    def test_hit_miss_counters(self):
+        cache = ResponseCache(4)
+        key = ("/health/1", (), 0)
+        assert cache.get(key) is None
+        cache.put(key, self._entry("a"))
+        assert cache.get(key).body == b"a"
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction(self):
+        cache = ResponseCache(2)
+        keys = [(f"/r{i}", (), 0) for i in range(3)]
+        for index, key in enumerate(keys):
+            cache.put(key, self._entry(str(index)))
+        assert cache.get(keys[0]) is None  # oldest evicted
+        assert cache.get(keys[2]) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_recently_used_survives(self):
+        cache = ResponseCache(2)
+        keys = [(f"/r{i}", (), 0) for i in range(3)]
+        cache.put(keys[0], self._entry("0"))
+        cache.put(keys[1], self._entry("1"))
+        cache.get(keys[0])  # refresh key 0
+        cache.put(keys[2], self._entry("2"))
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+
+    def test_generation_in_key_separates_entries(self):
+        cache = ResponseCache(4)
+        cache.put(("/r", (), 0), self._entry("old"))
+        cache.put(("/r", (), 1), self._entry("new"))
+        assert cache.get(("/r", (), 0)).body == b"old"
+        assert cache.get(("/r", (), 1)).body == b"new"
+
+    def test_clear(self):
+        cache = ResponseCache(4)
+        cache.put(("/r", (), 0), self._entry("x"))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ResponseCache(0)
+
+    def test_etag_tracks_body_and_generation(self):
+        assert make_etag(b"a", 1) == make_etag(b"a", 1)
+        assert make_etag(b"a", 1) != make_etag(b"b", 1)
+        assert make_etag(b"a", 1) != make_etag(b"a", 2)
+
+
+@pytest.fixture(scope="module")
+def served_store(tmp_path_factory):
+    """A store with alarms, its writer, and a live HTTP server."""
+    directory = tmp_path_factory.mktemp("http") / "store"
+    mapper = make_mapper()
+    bins = synthetic_bins(6, seed=13)
+    build_store(directory, bins, mapper, chunk=2)
+    server = make_server(directory, port=0, window_bins=4)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield {
+        "base": f"http://{host}:{port}",
+        "server": server,
+        "directory": directory,
+        "mapper": mapper,
+        "bins": bins,
+    }
+    server.shutdown()
+    server.server_close()
+
+
+def _get(url: str, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+class TestRoutes:
+    def test_health_matches_engine(self, served_store):
+        query = StoreQuery(served_store["directory"], window_bins=4)
+        asn = query.monitored_asns()[0]
+        status, headers, body = _get(f"{served_store['base']}/health/{asn}")
+        assert status == 200
+        payload = json.loads(body)
+        condition = query.as_condition(asn)
+        assert payload["asn"] == asn
+        assert payload["delay_alarm_count"] == condition.delay_alarm_count
+        assert payload["peak_delay_magnitude"] == (
+            condition.peak_delay_magnitude
+        )
+        assert payload["healthy"] == condition.healthy
+
+    def test_health_accepts_as_prefix(self, served_store):
+        status, _, body = _get(f"{served_store['base']}/health/AS65001")
+        assert status == 200
+        assert json.loads(body)["asn"] == 65001
+
+    def test_unknown_as_is_healthy(self, served_store):
+        status, _, body = _get(f"{served_store['base']}/health/99999")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["healthy"] is True
+        assert payload["delay_alarm_count"] == 0
+
+    def test_links_route(self, served_store):
+        query = StoreQuery(served_store["directory"], window_bins=4)
+        asn = query.monitored_asns()[0]
+        status, _, body = _get(f"{served_store['base']}/links/{asn}")
+        assert status == 200
+        payload = json.loads(body)
+        expected = query.links_of(asn)
+        assert len(payload) == len(expected)
+        if expected:
+            assert payload[0]["link"] == list(expected[0].link)
+            assert payload[0]["alarm_count"] == expected[0].alarm_count
+
+    def test_events_route(self, served_store):
+        status, _, body = _get(
+            f"{served_store['base']}/events?kind=delay&threshold=0.5&limit=3"
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert len(payload) <= 3
+        query = StoreQuery(served_store["directory"], window_bins=4)
+        expected = query.top_events("delay", 0.5, 3)
+        assert payload == [
+            {
+                "asn": e.asn, "timestamp": e.timestamp,
+                "magnitude": e.magnitude, "kind": e.kind,
+            }
+            for e in expected
+        ]
+
+    def test_events_route_with_range(self, served_store):
+        status, _, body = _get(
+            f"{served_store['base']}/events"
+            f"?kind=delay&threshold=0.5&limit=50&start=0&end=7200"
+        )
+        assert status == 200
+        assert all(
+            0 <= event["timestamp"] < 7200 for event in json.loads(body)
+        )
+
+    def test_top_route(self, served_store):
+        status, _, body = _get(f"{served_store['base']}/top?kind=delay&k=2")
+        assert status == 200
+        payload = json.loads(body)
+        query = StoreQuery(served_store["directory"], window_bins=4)
+        assert payload == [
+            {"asn": asn, "magnitude": magnitude}
+            for asn, magnitude in query.top_asns("delay", 2)
+        ]
+
+    def test_index_route(self, served_store):
+        status, _, body = _get(served_store["base"] + "/")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["store"]["n_segments"] >= 1
+        assert "cache" in payload and "routes" in payload
+
+    def test_unknown_route_404(self, served_store):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(served_store["base"] + "/nonsense")
+        assert excinfo.value.code == 404
+
+    def test_bad_params_400(self, served_store):
+        for url in (
+            "/events?kind=bogus",
+            "/events?threshold=-1",
+            "/events?limit=nope",
+            "/top?k=-2",
+            "/health/notanumber",
+        ):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(served_store["base"] + url)
+            assert excinfo.value.code == 400, url
+
+
+class TestCachingBehaviour:
+    def test_repeat_request_hits_cache(self, served_store):
+        server = served_store["server"]
+        url = f"{served_store['base']}/top?kind=forwarding&k=3"
+        _get(url)
+        hits_before = server.cache.stats()["hits"]
+        _, headers1, body1 = _get(url)
+        _, headers2, body2 = _get(url)
+        assert body1 == body2
+        assert headers1["ETag"] == headers2["ETag"]
+        assert server.cache.stats()["hits"] >= hits_before + 2
+
+    def test_if_none_match_revalidates_304(self, served_store):
+        url = f"{served_store['base']}/events?kind=delay&threshold=0.5"
+        _, headers, _ = _get(url)
+        etag = headers["ETag"]
+        request = urllib.request.Request(
+            url, headers={"If-None-Match": etag}
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 304
+        assert excinfo.value.read() == b""
+        assert excinfo.value.headers["ETag"] == etag
+
+    def test_append_invalidates_cache(self, served_store):
+        """A writer publishing a new generation changes the answers."""
+        url = served_store["base"] + "/"
+        _, _, before = _get(url)
+        generation_before = json.loads(before)["store"]["generation"]
+        writer = AlarmStoreWriter.open_or_create(
+            served_store["directory"], served_store["mapper"], bin_s=3600
+        )
+        extra = synthetic_bins(8, seed=14)[len(served_store["bins"]):]
+        assert writer.append_bins(extra) == len(extra)
+        _, _, after = _get(url)
+        assert json.loads(after)["store"]["generation"] > generation_before
+        # A cached per-AS answer is refreshed too: its ETag embeds the
+        # new epoch-qualified generation token.
+        asn_url = f"{served_store['base']}/health/65001"
+        _, headers, _ = _get(asn_url)
+        token = served_store["server"].engine.cache_token
+        assert token.startswith(
+            f"{json.loads(after)['store']['generation']}."
+        )
+        assert f"g{token}-" in headers["ETag"]
