@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: help test bench bench-engine bench-ingest bench-detect bench-stream bench-serve docs doclint
+.PHONY: help test bench bench-engine bench-ingest bench-detect bench-stream bench-serve bench-quality docs doclint
 
 help:
 	@echo "targets:"
@@ -16,6 +16,7 @@ help:
 	@echo "  bench-detect detection-kernel benchmark (BENCH_detect.json)"
 	@echo "  bench-stream checkpoint-overhead benchmark (BENCH_stream.json)"
 	@echo "  bench-serve  alarm-store serving benchmark (BENCH_serve.json)"
+	@echo "  bench-quality detection-quality regression bench (BENCH_quality.json)"
 	@echo "  docs         docstring lint + pointers to docs/"
 	@echo "  doclint      docstring lint only"
 
@@ -41,6 +42,9 @@ bench-stream:
 
 bench-serve:
 	$(PYTHON) -m pytest -q benchmarks/bench_serve.py -s
+
+bench-quality:
+	$(PYTHON) -m pytest -q benchmarks/bench_quality.py -s
 
 doclint:
 	$(PYTHON) tools/doclint.py

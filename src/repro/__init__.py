@@ -21,6 +21,11 @@ Public API layout:
   :func:`~repro.stats.pearson_correlation_batch` correlates all judged
   forwarding patterns in a handful of numpy calls.
 * :mod:`repro.net` — IP/prefix utilities and longest-prefix IP→AS mapping.
+* :mod:`repro.quality` — ground-truth labels and detection-quality
+  scoring: every simulation scenario emits the labels of what it
+  perturbed, and :func:`~repro.quality.score_alarms` turns raised
+  alarms into per-event precision/recall/F1/time-to-detection
+  (regression-checked by ``benchmarks/bench_quality.py``).
 * :mod:`repro.reporting` — Internet-Health-Report-style summaries.
 * :mod:`repro.service` — the §8 serving layer: a persistent columnar
   alarm store, a query engine answering IHR queries bit-identically

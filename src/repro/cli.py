@@ -84,12 +84,30 @@ from repro.reporting import (
 )
 from repro.simulation import (
     AtlasPlatform,
+    BgpHijackScenario,
     CampaignConfig,
+    CatchmentShiftScenario,
     DdosScenario,
+    DiurnalCongestionScenario,
     IxpOutageScenario,
+    ProbeChurnScenario,
     RouteLeakScenario,
+    ScenarioFuzzer,
     TopologyParams,
     build_topology,
+)
+
+#: event scenarios ``generate --scenario`` can inject (window mid-campaign).
+SCENARIO_CHOICES = (
+    "ddos",
+    "leak",
+    "outage",
+    "catchment",
+    "hijack-subprefix",
+    "hijack-exact",
+    "diurnal",
+    "churn",
+    "fuzz",
 )
 
 
@@ -112,6 +130,15 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="override the number of probes")
     generate.add_argument("--no-anchoring", action="store_true")
     generate.add_argument("--out", required=True, help="output .jsonl[.gz]")
+    generate.add_argument(
+        "--scenario", choices=SCENARIO_CHOICES, default=None,
+        help="inject a labeled event scenario mid-campaign",
+    )
+    generate.add_argument(
+        "--labels", metavar="PATH", default=None,
+        help="write the scenario's ground-truth labels as JSON "
+             "(requires --scenario)",
+    )
 
     analyze = sub.add_parser(
         "analyze", help="run the detection pipeline over stored traceroutes"
@@ -296,9 +323,62 @@ def _topology(seed: int, probes: Optional[int]):
     return build_topology(params, seed=seed)
 
 
+def _scenario_for(name: str, topology, duration_s: int, seed: int):
+    """Build the named labeled scenario with its window mid-campaign."""
+    start = (duration_s * 5 // 12) // 3600 * 3600
+    window = (start, start + 2 * 3600)
+    if name == "ddos":
+        kroot = topology.services["K-root"]
+        attacked = [kroot.instances[0].node, kroot.instances[-1].node]
+        return DdosScenario(
+            topology, "K-root", attacked, windows=[window], seed=seed
+        )
+    if name == "leak":
+        return RouteLeakScenario(
+            topology,
+            leak_waypoint=topology.routers_of_as(4788)[0],
+            leak_entry=topology.routers_of_as(3549)[0],
+            leaked_targets={a.name for a in topology.anchors[:3]},
+            window=window,
+            seed=seed,
+        )
+    if name == "outage":
+        return IxpOutageScenario(topology, ixp_asn=1200, window=window)
+    if name == "catchment":
+        return CatchmentShiftScenario.largest_shift(
+            topology, "K-root", window
+        )
+    if name in ("hijack-subprefix", "hijack-exact"):
+        return BgpHijackScenario(
+            topology,
+            hijacker=topology.routers_of_as(174)[0],
+            target_names=[a.name for a in topology.anchors[:2]],
+            window=window,
+            mode=name.split("-", 1)[1],
+        )
+    if name == "diurnal":
+        return DiurnalCongestionScenario(
+            topology, windows=[window], asn=174, seed=seed
+        )
+    if name == "churn":
+        return ProbeChurnScenario(topology, windows=[window], seed=seed)
+    # fuzz: compose three random labeled events inside the campaign
+    horizon = (duration_s // 4, max(duration_s * 3 // 4, duration_s // 4 + 3700))
+    return ScenarioFuzzer(topology, horizon_s=horizon, seed=seed).sample(3)
+
+
 def _cmd_generate(args) -> int:
+    if args.labels and not args.scenario:
+        print("repro: --labels requires --scenario", file=sys.stderr)
+        return 2
     topology = _topology(args.seed, args.probes)
-    platform = AtlasPlatform(topology, seed=args.seed)
+    scenario = None
+    if args.scenario:
+        scenario = _scenario_for(
+            args.scenario, topology, args.hours * 3600, args.seed
+        )
+        print(f"injecting scenario {scenario.name}")
+    platform = AtlasPlatform(topology, scenario=scenario, seed=args.seed)
     config = CampaignConfig(
         duration_s=args.hours * 3600,
         include_anchoring=not args.no_anchoring,
@@ -307,6 +387,14 @@ def _cmd_generate(args) -> int:
     print(f"generating {total} traceroutes over {args.hours}h ...")
     written = write_traceroutes(args.out, platform.run_campaign(config))
     print(f"wrote {written} traceroutes to {args.out}")
+    if args.labels:
+        truth = scenario.ground_truth()
+        Path(args.labels).write_text(truth.to_json())
+        print(
+            f"wrote {truth.n_labels} ground-truth labels "
+            f"({len(truth.delay)} delay, {len(truth.forwarding)} "
+            f"forwarding) to {args.labels}"
+        )
     return 0
 
 

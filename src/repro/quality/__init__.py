@@ -1,0 +1,45 @@
+"""Detection-quality layer: ground-truth labels and alarm scoring.
+
+The simulation's scenarios know exactly what they perturbed, so they can
+emit :class:`GroundTruth` label sets (:mod:`repro.quality.labels`);
+:mod:`repro.quality.scoring` matches pipeline alarms against those
+labels with a configurable bin tolerance and computes per-scenario
+precision, recall, F1 and time-to-detection.  ``benchmarks/
+bench_quality.py`` runs the full scenario matrix through the sharded
+engine and asserts per-scenario floors, writing ``BENCH_quality.json``.
+
+Typical use::
+
+    from repro.quality import MatchConfig, score_bin_results
+
+    truth = scenario.ground_truth()
+    results = pipeline.run(binned)
+    report = score_bin_results(truth, results, MatchConfig(bin_s=3600))
+    print(report.precision, report.recall, report.f1, report.ttd_bins)
+"""
+
+from repro.quality.labels import (
+    SCHEMA,
+    DelayLabel,
+    ForwardingLabel,
+    GroundTruth,
+)
+from repro.quality.scoring import (
+    EventQuality,
+    MatchConfig,
+    QualityReport,
+    score_alarms,
+    score_bin_results,
+)
+
+__all__ = [
+    "SCHEMA",
+    "DelayLabel",
+    "EventQuality",
+    "ForwardingLabel",
+    "GroundTruth",
+    "MatchConfig",
+    "QualityReport",
+    "score_alarms",
+    "score_bin_results",
+]

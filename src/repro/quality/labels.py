@@ -1,0 +1,228 @@
+"""Machine-readable ground-truth labels for simulated events.
+
+Every :class:`~repro.simulation.scenarios.Scenario` knows exactly which
+perturbation it applied — which directed topology edges, which windows,
+which reroutes — so it can emit a :class:`GroundTruth`: the set of
+(link, bin) delay anomalies and (model-key, bin) forwarding anomalies a
+perfect detector *should* report.  The scoring module
+(:mod:`repro.quality.scoring`) matches pipeline alarms against these
+labels to compute precision / recall / F1 / time-to-detection.
+
+Labels live at the **interface-IP level**, the coordinate system of the
+detectors: a delay shift applied to directed edge ``(u, v)`` manifests
+on every observed IP link whose far end is the ingress interface of
+``(u, v)``; a loss blackhole on ``(u, v)`` manifests in the forwarding
+pattern of the router *before* ``u`` whose next-hop bucket holds that
+ingress IP; a reroute manifests at the divergence router where the old
+and new paths split.  Each label also retains the topology ``edge`` (or
+``None`` for pure reroutes) so property tests can verify that labels
+exactly cover the perturbations that produced them.
+
+This module is dependency-free (stdlib only): the simulation layer
+imports it to *emit* labels and the scoring layer to *consume* them,
+without either pulling in the other.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: JSON schema tag written by :meth:`GroundTruth.to_json`.
+SCHEMA = "repro-ground-truth-v1"
+
+Edge = Tuple[str, str]
+Window = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DelayLabel:
+    """One expected delay anomaly: an IP link shifted during a window.
+
+    ``edge`` is the directed topology edge the shift was applied to and
+    ``ip`` the ingress interface where it manifests: any delay alarm
+    whose link contains ``ip`` during ``[start, end)`` is a true
+    positive for this label.  ``shift_ms`` records the applied (peak)
+    magnitude, for reporting.
+    """
+
+    edge: Edge
+    ip: str
+    start: int
+    end: int
+    shift_ms: float
+    event: str
+
+    @property
+    def window(self) -> Window:
+        """The label's ``[start, end)`` event window."""
+        return (self.start, self.end)
+
+
+@dataclass(frozen=True)
+class ForwardingLabel:
+    """One expected forwarding anomaly.
+
+    ``kind`` is ``"loss"`` (a blackholed edge: the upstream pattern's
+    next-hop bucket ``ip`` collapses into ``*``) or ``"reroute"`` (a
+    path change: the pattern owned by router ``ip`` flips next hops).
+    A forwarding alarm matches when ``ip`` is its router or appears in
+    its responsibilities, its destination matches (``""`` = any), and
+    its bin falls inside ``[start, end)`` within tolerance.  ``edge``
+    retains the blackholed topology edge for loss labels and is ``None``
+    for reroutes (which perturb paths, not a fixed edge).
+    """
+
+    ip: str
+    start: int
+    end: int
+    kind: str
+    event: str
+    edge: Optional[Edge] = None
+    destination: str = ""
+
+    @property
+    def window(self) -> Window:
+        """The label's ``[start, end)`` event window."""
+        return (self.start, self.end)
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """The complete expected-anomaly label set of one scenario."""
+
+    delay: Tuple[DelayLabel, ...] = ()
+    forwarding: Tuple[ForwardingLabel, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.delay or self.forwarding)
+
+    @property
+    def n_labels(self) -> int:
+        """Total number of labels, both methods."""
+        return len(self.delay) + len(self.forwarding)
+
+    def events(self) -> List[str]:
+        """Sorted unique event names appearing in the labels."""
+        names = {label.event for label in self.delay}
+        names |= {label.event for label in self.forwarding}
+        return sorted(names)
+
+    def windows(self) -> List[Window]:
+        """Sorted unique label windows (both methods)."""
+        spans = {label.window for label in self.delay}
+        spans |= {label.window for label in self.forwarding}
+        return sorted(spans)
+
+    def rename_events(self, mapping: Mapping[str, str]) -> "GroundTruth":
+        """Copy with event names translated through *mapping*.
+
+        Names absent from the mapping are kept; used by
+        ``CompositeScenario`` to disambiguate duplicate member names.
+        """
+        return GroundTruth(
+            delay=tuple(
+                replace(lbl, event=mapping.get(lbl.event, lbl.event))
+                for lbl in self.delay
+            ),
+            forwarding=tuple(
+                replace(lbl, event=mapping.get(lbl.event, lbl.event))
+                for lbl in self.forwarding
+            ),
+        )
+
+    @staticmethod
+    def merged(truths: Sequence["GroundTruth"]) -> "GroundTruth":
+        """Concatenate several label sets, disambiguating event names.
+
+        When two members share an event name (e.g. a fuzzer composing
+        two DDoS attacks on the same service), the later one is suffixed
+        ``#2``, ``#3``, ... so per-event metrics stay separable.
+        """
+        used: set = set()
+        delay: List[DelayLabel] = []
+        forwarding: List[ForwardingLabel] = []
+        for truth in truths:
+            mapping: Dict[str, str] = {}
+            for event in truth.events():
+                name, k = event, 2
+                while name in used:
+                    name = f"{event}#{k}"
+                    k += 1
+                used.add(name)
+                mapping[event] = name
+            renamed = truth.rename_events(mapping)
+            delay.extend(renamed.delay)
+            forwarding.extend(renamed.forwarding)
+        return GroundTruth(tuple(delay), tuple(forwarding))
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (``generate --labels`` writes this shape)."""
+        return {
+            "schema": SCHEMA,
+            "delay": [
+                {
+                    "edge": list(lbl.edge),
+                    "ip": lbl.ip,
+                    "start": lbl.start,
+                    "end": lbl.end,
+                    "shift_ms": lbl.shift_ms,
+                    "event": lbl.event,
+                }
+                for lbl in self.delay
+            ],
+            "forwarding": [
+                {
+                    "edge": list(lbl.edge) if lbl.edge else None,
+                    "ip": lbl.ip,
+                    "destination": lbl.destination,
+                    "start": lbl.start,
+                    "end": lbl.end,
+                    "kind": lbl.kind,
+                    "event": lbl.event,
+                }
+                for lbl in self.forwarding
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "GroundTruth":
+        """Inverse of :meth:`to_dict` (schema-checked)."""
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(f"not a {SCHEMA} payload: {payload.get('schema')!r}")
+        delay = tuple(
+            DelayLabel(
+                edge=tuple(row["edge"]),
+                ip=row["ip"],
+                start=int(row["start"]),
+                end=int(row["end"]),
+                shift_ms=float(row["shift_ms"]),
+                event=row["event"],
+            )
+            for row in payload.get("delay", ())
+        )
+        forwarding = tuple(
+            ForwardingLabel(
+                edge=tuple(row["edge"]) if row.get("edge") else None,
+                ip=row["ip"],
+                destination=row.get("destination", ""),
+                start=int(row["start"]),
+                end=int(row["end"]),
+                kind=row["kind"],
+                event=row["event"],
+            )
+            for row in payload.get("forwarding", ())
+        )
+        return cls(delay=delay, forwarding=forwarding)
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise to a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "GroundTruth":
+        """Parse a document produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

@@ -5,7 +5,11 @@ we generate statistically equivalent traceroute campaigns: an AS-level
 topology with asymmetric routing, a per-packet delay/loss model with
 heavy-tailed noise, anycast root services, Atlas-like builtin/anchoring
 schedules, and scenario injection reproducing the paper's three case
-studies (DDoS on DNS roots, BGP route leak, IXP outage).
+studies (DDoS on DNS roots, BGP route leak, IXP outage) plus
+beyond-the-paper events (anycast catchment shifts, BGP hijacks, diurnal
+congestion ramps, probe churn) and a seeded :class:`ScenarioFuzzer`.
+Every scenario emits a machine-readable ground-truth label set
+(:meth:`Scenario.ground_truth`) scored by :mod:`repro.quality`.
 """
 
 from repro.simulation.delays import DelaySampler, NoiseParams, combined_loss
@@ -17,12 +21,18 @@ from repro.simulation.platform import (
 )
 from repro.simulation.routing import NoRouteError, RoutingEngine
 from repro.simulation.scenarios import (
+    LOSS_LABEL_FLOOR,
+    BgpHijackScenario,
+    CatchmentShiftScenario,
     CompositeScenario,
     DdosScenario,
+    DiurnalCongestionScenario,
     IxpOutageScenario,
     LinkPerturbation,
+    ProbeChurnScenario,
     RouteLeakScenario,
     Scenario,
+    ScenarioFuzzer,
     WindowedLinkScenario,
 )
 from repro.simulation.topology import (
@@ -51,22 +61,28 @@ __all__ = [
     "AnycastService",
     "AsInfo",
     "AtlasPlatform",
+    "BgpHijackScenario",
     "CampaignConfig",
+    "CatchmentShiftScenario",
     "CompositeScenario",
     "DdosScenario",
     "DelaySampler",
+    "DiurnalCongestionScenario",
     "IXP_ASES",
     "IxpOutageScenario",
     "LEAKER_AS",
+    "LOSS_LABEL_FLOOR",
     "LinkPerturbation",
     "NoRouteError",
     "NoiseParams",
     "Probe",
+    "ProbeChurnScenario",
     "ROOT_SERVICES",
     "RouteLeakScenario",
     "RouterInfo",
     "RoutingEngine",
     "Scenario",
+    "ScenarioFuzzer",
     "TIER1_ASES",
     "TargetSpec",
     "Topology",

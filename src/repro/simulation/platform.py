@@ -115,7 +115,13 @@ class AtlasPlatform:
     # -- campaign execution -------------------------------------------------
 
     def run_campaign(self, config: CampaignConfig) -> Iterator[Traceroute]:
-        """Yield every traceroute of the campaign in timestamp order."""
+        """Yield every traceroute of the campaign in timestamp order.
+
+        Scheduled jobs whose probe is disconnected at launch time
+        (:meth:`Scenario.probe_active`, e.g. under
+        :class:`~repro.simulation.scenarios.ProbeChurnScenario`) are
+        skipped, like a real probe missing its measurement slot.
+        """
         probes = self._probes(config.probe_ids)
         if not probes:
             raise ValueError("campaign has no probes")
@@ -135,7 +141,10 @@ class AtlasPlatform:
                 self._schedule(probes, targets, config.anchoring_spec, config)
             )
         jobs.sort(key=lambda job: (job[0], job[1]))
+        scenario = self.engine.scenario
         for timestamp, _, probe, target in jobs:
+            if not scenario.probe_active(probe.probe_id, timestamp):
+                continue
             yield self.engine.run(probe, target, timestamp)
 
     def _schedule(self, probes, targets, spec: MeasurementSpec, config):
@@ -152,7 +161,11 @@ class AtlasPlatform:
         return jobs
 
     def campaign_size(self, config: CampaignConfig) -> int:
-        """Number of traceroutes the campaign will produce (no execution)."""
+        """Number of traceroutes the campaign will produce (no execution).
+
+        An upper bound when the scenario churns probes: jobs skipped for
+        disconnected probes are still counted.
+        """
         probes = len(self._probes(config.probe_ids))
         total = 0
         if config.include_builtin:

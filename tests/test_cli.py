@@ -30,6 +30,39 @@ class TestGenerateAnalyze:
         record = json.loads(lines[0])
         assert "prb_id" in record and "result" in record
 
+    def test_generate_scenario_writes_labels(self, tmp_path):
+        from repro.quality import GroundTruth
+
+        out = tmp_path / "campaign.jsonl"
+        labels = tmp_path / "truth.json"
+        code = main(
+            [
+                "generate",
+                "--hours", "6",
+                "--seed", "3",
+                "--probes", "12",
+                "--no-anchoring",
+                "--scenario", "ddos",
+                "--labels", str(labels),
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        truth = GroundTruth.from_json(labels.read_text())
+        assert truth.delay
+        assert truth.events() == ["ddos:K-root"]
+
+    def test_generate_labels_require_scenario(self, tmp_path):
+        code = main(
+            [
+                "generate",
+                "--hours", "2",
+                "--labels", str(tmp_path / "truth.json"),
+                "--out", str(tmp_path / "campaign.jsonl"),
+            ]
+        )
+        assert code == 2
+
     def test_analyze_table_output(self, campaign_path, capsys):
         code = main(
             ["analyze", str(campaign_path), "--seed", "3", "--probes", "12"]

@@ -19,6 +19,7 @@ class TestPackageSurface:
         import repro.atlas
         import repro.core
         import repro.net
+        import repro.quality
         import repro.reporting
         import repro.service
         import repro.simulation
@@ -28,12 +29,13 @@ class TestPackageSurface:
         import repro.atlas as atlas
         import repro.core as core
         import repro.net as net
+        import repro.quality as quality
         import repro.reporting as reporting
         import repro.service as service
         import repro.simulation as simulation
         import repro.stats as stats
 
-        modules = (atlas, core, net, reporting, service, simulation, stats)
+        modules = (atlas, core, net, quality, reporting, service, simulation, stats)
         for module in modules:
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,250 @@
+"""Ground-truth label emission tests, including the coverage property.
+
+Every scenario class must emit labels derived from exactly the
+perturbation it applies.  The Hypothesis property builds random
+``CompositeScenario``s out of fuzzer-sampled members and checks the
+emitted labels *exactly* cover the union of the members' perturbation
+windows/edges: no label outside a member window, no perturbed
+(edge, window) unlabeled.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quality import GroundTruth
+from repro.simulation import (
+    LOSS_LABEL_FLOOR,
+    BgpHijackScenario,
+    CatchmentShiftScenario,
+    CompositeScenario,
+    DdosScenario,
+    DiurnalCongestionScenario,
+    IxpOutageScenario,
+    ProbeChurnScenario,
+    RouteLeakScenario,
+    Scenario,
+    ScenarioFuzzer,
+    WindowedLinkScenario,
+)
+from repro.simulation import build_topology
+
+WINDOW = (10 * 3600, 12 * 3600)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(seed=21)
+
+
+class TestPerScenarioEmission:
+    def test_neutral_is_unlabeled(self):
+        assert Scenario().ground_truth() == GroundTruth()
+
+    def test_ddos_labels_every_perturbed_edge(self, topo):
+        kroot = topo.services["K-root"]
+        windows = [WINDOW, (16 * 3600, 17 * 3600)]
+        ddos = DdosScenario(
+            topo, "K-root", [kroot.instances[0].node], windows=windows, seed=3
+        )
+        truth = ddos.ground_truth()
+        assert truth.forwarding == ()  # 5% loss is below the label floor
+        assert len(truth.delay) == len(ddos.perturbed_edges) * len(windows)
+        assert all(lbl.ip for lbl in truth.delay)
+        assert all(lbl.shift_ms > 0 for lbl in truth.delay)
+        assert truth.events() == [ddos.name]
+        assert set(truth.windows()) == set(map(tuple, windows))
+
+    def test_outage_labels_are_loss_forwarding(self, topo):
+        outage = IxpOutageScenario(topo, ixp_asn=1200, window=WINDOW)
+        truth = outage.ground_truth()
+        assert truth.delay == ()
+        assert len(truth.forwarding) == len(outage.perturbed_edges)
+        assert all(lbl.kind == "loss" for lbl in truth.forwarding)
+        assert all(lbl.ip for lbl in truth.forwarding)
+
+    def test_leak_emits_delay_and_reroute_labels(self, topo):
+        leak = RouteLeakScenario(
+            topo,
+            leak_waypoint=topo.routers_of_as(4788)[0],
+            leak_entry=topo.routers_of_as(3549)[0],
+            leaked_targets={a.name for a in topo.anchors[:3]},
+            window=WINDOW,
+            seed=5,
+        )
+        truth = leak.ground_truth()
+        assert len(truth.delay) == len(
+            [e for e in leak.perturbed_edges]
+        )
+        reroutes = [l for l in truth.forwarding if l.kind == "reroute"]
+        assert reroutes
+        anchor_ips = {a.ip for a in topo.anchors[:3]}
+        assert {l.destination for l in reroutes} <= anchor_ips
+        assert all(l.edge is None for l in reroutes)
+
+    def test_catchment_shift_is_forwarding_only(self, topo):
+        scenario = CatchmentShiftScenario.largest_shift(
+            topo, "K-root", WINDOW
+        )
+        truth = scenario.ground_truth()
+        assert scenario.shifted_probes
+        assert truth.delay == ()
+        assert truth.forwarding
+        service_ip = topo.services["K-root"].service_ip
+        assert all(l.destination == service_ip for l in truth.forwarding)
+
+    def test_hijack_exact_is_subset_of_subprefix(self, topo):
+        hijacker = topo.routers_of_as(174)[0]
+        targets = [topo.anchors[0].name]
+        sub = BgpHijackScenario(
+            topo, hijacker, targets, WINDOW, mode="subprefix"
+        )
+        exact = BgpHijackScenario(
+            topo, hijacker, targets, WINDOW, mode="exact"
+        )
+        name = targets[0]
+        assert exact.captured[name] <= sub.captured[name]
+        assert len(sub.captured[name]) == len(topo.probes)
+        assert sub.ground_truth().forwarding
+
+    def test_diurnal_labels_peak_and_cover_window(self, topo):
+        scenario = DiurnalCongestionScenario(
+            topo, windows=[WINDOW], asn=174, seed=2
+        )
+        truth = scenario.ground_truth()
+        assert len(truth.delay) == len(scenario.perturbed_edges)
+        mid = (WINDOW[0] + WINDOW[1]) // 2
+        for lbl in truth.delay:
+            assert lbl.window == WINDOW
+            assert lbl.shift_ms == scenario.peak_shift_ms(lbl.edge)
+            # The applied ramp never exceeds the labeled peak and hits
+            # it (within float error) at the window midpoint.
+            applied = scenario.extra_delay_ms(*lbl.edge, mid)
+            assert applied == pytest.approx(lbl.shift_ms, rel=1e-9)
+            assert scenario.extra_delay_ms(*lbl.edge, WINDOW[0]) == 0.0
+
+    def test_churn_is_unlabeled(self, topo):
+        scenario = ProbeChurnScenario(topo, windows=[WINDOW], seed=1)
+        assert scenario.ground_truth() == GroundTruth()
+        assert scenario.churned_probes
+
+    def test_composite_merges_and_disambiguates(self, topo):
+        kroot = topo.services["K-root"]
+        a = DdosScenario(
+            topo, "K-root", [kroot.instances[0].node], [WINDOW], seed=1
+        )
+        b = DdosScenario(
+            topo, "K-root", [kroot.instances[1].node], [WINDOW], seed=2
+        )
+        combo = CompositeScenario([a, b])
+        truth = combo.ground_truth()
+        assert truth.events() == ["ddos:K-root", "ddos:K-root#2"]
+        assert len(truth.delay) == len(a.ground_truth().delay) + len(
+            b.ground_truth().delay
+        )
+
+
+def _expected_perturbation_labels(member):
+    """(edge, window, magnitude) multisets a member's labels must cover."""
+    delay = Counter()
+    loss = Counter()
+    if isinstance(member, WindowedLinkScenario):
+        pert = member._perturbation
+        for window in member.windows():
+            for edge in pert.edges:
+                shift = pert.delay_shift_ms.get(edge, 0.0)
+                if shift > 0.0:
+                    delay[(edge, tuple(window), shift)] += 1
+                if pert.loss.get(edge, 0.0) >= LOSS_LABEL_FLOOR:
+                    loss[(edge, tuple(window))] += 1
+    elif isinstance(member, RouteLeakScenario):
+        for window in member.windows():
+            for edge in sorted(member.perturbed_edges):
+                shift = member._delay_shift.get(edge, 0.0)
+                if shift > 0.0:
+                    delay[(edge, tuple(window), shift)] += 1
+                if member._loss.get(edge, 0.0) >= LOSS_LABEL_FLOOR:
+                    loss[(edge, tuple(window))] += 1
+    elif isinstance(member, DiurnalCongestionScenario):
+        for window in member.windows():
+            for edge in sorted(member.perturbed_edges):
+                delay[(edge, tuple(window), member.peak_shift_ms(edge))] += 1
+    return delay, loss
+
+
+class TestCompositeCoverageProperty:
+    """Satellite: labels exactly cover member perturbation windows/edges."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10**6), n_members=st.integers(1, 4))
+    def test_labels_exactly_cover_member_perturbations(
+        self, topology_module, seed, n_members
+    ):
+        fuzzer = ScenarioFuzzer(topology_module, seed=seed)
+        members = [fuzzer.sample_member() for _ in range(n_members)]
+        composite = CompositeScenario(members)
+        truth = composite.ground_truth()
+
+        expected_delay = Counter()
+        expected_loss = Counter()
+        for member in members:
+            d, l = _expected_perturbation_labels(member)
+            expected_delay.update(d)
+            expected_loss.update(l)
+
+        # Every perturbed (edge, window) is labeled with the applied
+        # magnitude, and no delay label exists beyond the perturbations.
+        got_delay = Counter(
+            (lbl.edge, lbl.window, lbl.shift_ms) for lbl in truth.delay
+        )
+        assert got_delay == expected_delay
+
+        # Loss labels likewise; reroute labels carry no edge but must
+        # stay inside some member's windows.
+        got_loss = Counter(
+            (lbl.edge, lbl.window)
+            for lbl in truth.forwarding
+            if lbl.kind == "loss"
+        )
+        assert got_loss == expected_loss
+
+        member_windows = {
+            tuple(w) for member in members for w in member.windows()
+        }
+        for lbl in truth.forwarding:
+            if lbl.kind == "reroute":
+                assert lbl.window in member_windows
+                assert lbl.ip
+
+    @pytest.fixture(scope="class")
+    def topology_module(self):
+        return build_topology(seed=21)
+
+
+class TestFuzzerDeterminism:
+    def test_same_seed_same_scenarios(self, topo):
+        a = ScenarioFuzzer(topo, seed=99).sample(3)
+        b = ScenarioFuzzer(topo, seed=99).sample(3)
+        assert a.name == b.name
+        assert a.ground_truth() == b.ground_truth()
+
+    def test_different_seeds_differ(self, topo):
+        names = {
+            ScenarioFuzzer(topo, seed=s).sample(3).name for s in range(6)
+        }
+        assert len(names) > 1
+
+    def test_random_topology_fuzzer_is_labeled(self):
+        fuzzer = ScenarioFuzzer.on_random_topology(seed=5)
+        composite = fuzzer.sample(3)
+        # Churn members may be unlabeled; across three sampled events at
+        # least the windows must be present and consistent.
+        assert composite.windows()
+        truth = fuzzer.topology and composite.ground_truth()
+        assert isinstance(truth, GroundTruth)
+
+    def test_rejects_unknown_family(self, topo):
+        with pytest.raises(ValueError):
+            ScenarioFuzzer(topo, families=["nope"])

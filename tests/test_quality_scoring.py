@@ -1,0 +1,306 @@
+"""Exact-value tests for the quality scoring module.
+
+Hand-built alarm/label fixtures pin precision, recall, F1 and
+time-to-detection to known values, including the edge cases: zero
+alarms, zero labels, tolerance-boundary matches, duplicate alarms,
+strict vs default false-positive accounting, and JSON round-trips.
+"""
+
+import pytest
+
+from repro.core.alarms import DelayAlarm, ForwardingAlarm
+from repro.quality import (
+    DelayLabel,
+    ForwardingLabel,
+    GroundTruth,
+    MatchConfig,
+    score_alarms,
+    score_bin_results,
+)
+from repro.stats.wilson import WilsonInterval
+
+H = 3600
+
+
+def delay_alarm(timestamp, link):
+    """DelayAlarm with placeholder statistics (scoring ignores them)."""
+    obs = WilsonInterval(median=20.0, lower=18.0, upper=22.0, n=30)
+    ref = WilsonInterval(median=10.0, lower=9.0, upper=11.0, n=30)
+    return DelayAlarm(
+        timestamp=timestamp,
+        link=link,
+        observed=obs,
+        reference=ref,
+        deviation=5.0,
+        direction=1,
+        n_probes=5,
+        n_asns=4,
+    )
+
+
+def fwd_alarm(timestamp, router_ip, destination="198.18.0.1", resp=None):
+    """ForwardingAlarm with placeholder pattern statistics."""
+    return ForwardingAlarm(
+        timestamp=timestamp,
+        router_ip=router_ip,
+        destination=destination,
+        correlation=-0.8,
+        responsibilities=resp or {"10.0.0.9": -1.0, "*": 0.5},
+        pattern={"*": 3.0},
+        reference={"10.0.0.9": 3.0},
+    )
+
+
+def delay_label(ip="10.0.0.1", start=10 * H, end=12 * H, event="e1"):
+    return DelayLabel(
+        edge=("u", "v"), ip=ip, start=start, end=end, shift_ms=15.0,
+        event=event,
+    )
+
+
+class TestExactValues:
+    def test_perfect_detection(self):
+        """Alarms in every labeled bin: precision = recall = F1 = 1, TTD 0."""
+        truth = GroundTruth(delay=(delay_label(),))
+        alarms = [
+            delay_alarm(10 * H + 60, ("10.0.0.1", "10.0.0.2")),
+            delay_alarm(11 * H + 60, ("10.0.0.2", "10.0.0.1")),
+        ]
+        report = score_alarms(truth, alarms, [], MatchConfig(tolerance_bins=0))
+        assert report.true_positives == 2
+        assert report.false_positives == 0
+        assert report.n_units == 2  # bins 10 and 11
+        assert report.n_covered == 2
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+        assert report.ttd_bins == 0
+        assert report.events[0].event == "e1"
+        assert report.events[0].n_labels_matched == 1
+
+    def test_half_recall_and_ttd(self):
+        """One of two labeled bins covered, first match one bin late."""
+        truth = GroundTruth(delay=(delay_label(),))
+        alarms = [delay_alarm(11 * H + 5, ("10.0.0.1", "10.9.9.9"))]
+        report = score_alarms(truth, alarms, [], MatchConfig(tolerance_bins=0))
+        assert report.recall == 0.5
+        assert report.precision == 1.0
+        assert report.f1 == pytest.approx(2 * 0.5 / 1.5)
+        assert report.events[0].ttd_bins == 1
+
+    def test_false_positive_out_of_window(self):
+        """A quiet-period alarm on the labeled IP is a false positive."""
+        truth = GroundTruth(delay=(delay_label(),))
+        alarms = [
+            delay_alarm(10 * H, ("10.0.0.1", "x")),  # TP
+            delay_alarm(20 * H, ("10.0.0.1", "x")),  # FP: far outside
+        ]
+        report = score_alarms(truth, alarms, [], MatchConfig(tolerance_bins=0))
+        assert report.true_positives == 1
+        assert report.false_positives == 1
+        assert report.precision == 0.5
+
+    def test_wrong_ip_in_window_ignored_by_default(self):
+        """In-window alarms on unlabeled IPs are event collateral."""
+        truth = GroundTruth(delay=(delay_label(),))
+        alarms = [delay_alarm(10 * H, ("172.16.0.1", "172.16.0.2"))]
+        report = score_alarms(truth, alarms, [], MatchConfig(tolerance_bins=0))
+        assert report.ignored == 1
+        assert report.false_positives == 0
+        assert report.precision == 1.0  # nothing judged
+
+    def test_strict_mode_counts_collateral(self):
+        truth = GroundTruth(delay=(delay_label(),))
+        alarms = [delay_alarm(10 * H, ("172.16.0.1", "172.16.0.2"))]
+        report = score_alarms(
+            truth, alarms, [], MatchConfig(tolerance_bins=0, strict=True)
+        )
+        assert report.false_positives == 1
+        assert report.ignored == 0
+        assert report.precision == 0.0
+
+
+class TestEdgeCases:
+    def test_zero_alarms(self):
+        truth = GroundTruth(delay=(delay_label(),))
+        report = score_alarms(truth, [], [], MatchConfig())
+        assert report.precision == 1.0  # vacuous: nothing judged
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+        assert report.ttd_bins is None
+        assert not report.events[0].detected
+
+    def test_zero_labels(self):
+        """Unlabeled scenario (probe churn): every alarm is an FP."""
+        truth = GroundTruth()
+        alarms = [delay_alarm(5 * H, ("a", "b"))]
+        report = score_alarms(truth, alarms, [], MatchConfig(), n_bins=24)
+        assert report.recall == 1.0  # vacuous: nothing to find
+        assert report.precision == 0.0
+        assert report.false_positives == 1
+        assert report.false_alarm_rate == pytest.approx(1 / 24)
+        assert report.events == ()
+
+    def test_zero_labels_zero_alarms(self):
+        report = score_alarms(GroundTruth(), [], [], MatchConfig())
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_tolerance_boundary(self):
+        """An alarm exactly tolerance bins before the window matches."""
+        truth = GroundTruth(delay=(delay_label(start=10 * H, end=11 * H),))
+        early = delay_alarm(9 * H, ("10.0.0.1", "x"))  # bin 9, label bin 10
+        report0 = score_alarms(truth, [early], [], MatchConfig(tolerance_bins=0))
+        report1 = score_alarms(truth, [early], [], MatchConfig(tolerance_bins=1))
+        assert report0.true_positives == 0
+        assert report1.true_positives == 1
+        assert report1.recall == 1.0  # bin 10 covered within tolerance
+        assert report1.events[0].ttd_bins == 0  # clamped, never negative
+        too_early = delay_alarm(8 * H, ("10.0.0.1", "x"))
+        # Bin 8 is outside the padded span [10-1, 10+1]: a plain FP.
+        report2 = score_alarms(
+            truth, [too_early], [], MatchConfig(tolerance_bins=1)
+        )
+        assert report2.true_positives == 0
+        assert report2.false_positives == 1
+        assert report2.ignored == 0
+
+    def test_duplicate_alarms_each_count_once(self):
+        """Duplicates inflate TP but not covered units."""
+        truth = GroundTruth(delay=(delay_label(start=10 * H, end=11 * H),))
+        alarm = delay_alarm(10 * H, ("10.0.0.1", "x"))
+        report = score_alarms(
+            truth, [alarm, alarm, alarm], [], MatchConfig(tolerance_bins=0)
+        )
+        assert report.true_positives == 3
+        assert report.n_covered == 1
+        assert report.recall == 1.0
+        assert report.precision == 1.0
+
+    def test_window_to_bin_discretisation(self):
+        """[start, end) windows map to the bins they intersect."""
+        truth = GroundTruth(
+            delay=(delay_label(start=10 * H + 1800, end=11 * H + 1),)
+        )
+        report = score_alarms(truth, [], [], MatchConfig(tolerance_bins=0))
+        assert report.n_units == 2  # bins 10 and 11 both touched
+
+
+class TestForwardingMatching:
+    LABEL = ForwardingLabel(
+        ip="10.0.0.9", start=10 * H, end=11 * H, kind="loss", event="e1"
+    )
+
+    def test_matches_by_router_ip(self):
+        truth = GroundTruth(forwarding=(self.LABEL,))
+        alarms = [fwd_alarm(10 * H, router_ip="10.0.0.9", resp={"*": 1.0})]
+        report = score_alarms(truth, [], alarms, MatchConfig(tolerance_bins=0))
+        assert report.true_positives == 1
+
+    def test_matches_by_responsibility_hop(self):
+        truth = GroundTruth(forwarding=(self.LABEL,))
+        alarms = [fwd_alarm(10 * H, router_ip="10.0.0.1")]  # resp has .9
+        report = score_alarms(truth, [], alarms, MatchConfig(tolerance_bins=0))
+        assert report.true_positives == 1
+        assert report.recall_forwarding == 1.0
+        assert report.recall_delay is None
+
+    def test_destination_pinning(self):
+        pinned = ForwardingLabel(
+            ip="10.0.0.9", destination="198.18.0.1",
+            start=10 * H, end=11 * H, kind="reroute", event="e1",
+        )
+        truth = GroundTruth(forwarding=(pinned,))
+        hit = fwd_alarm(10 * H, "10.0.0.9", destination="198.18.0.1")
+        miss = fwd_alarm(10 * H, "10.0.0.9", destination="198.18.0.2")
+        report = score_alarms(
+            truth, [], [hit, miss], MatchConfig(tolerance_bins=0)
+        )
+        assert report.true_positives == 1
+        assert report.ignored == 1  # in-window, wrong destination
+
+
+class TestMultiEvent:
+    def test_per_event_rollup(self):
+        truth = GroundTruth(
+            delay=(
+                delay_label(ip="10.0.0.1", start=10 * H, end=11 * H, event="a"),
+                delay_label(ip="10.0.0.2", start=14 * H, end=15 * H, event="b"),
+            )
+        )
+        alarms = [delay_alarm(10 * H, ("10.0.0.1", "x"))]  # only event a
+        report = score_alarms(truth, alarms, [], MatchConfig(tolerance_bins=0))
+        by_name = {e.event: e for e in report.events}
+        assert by_name["a"].recall == 1.0
+        assert by_name["b"].recall == 0.0
+        assert by_name["a"].ttd_bins == 0
+        assert by_name["b"].ttd_bins is None
+        assert report.recall == 0.5
+        assert report.ttd_bins == 0  # mean over detected events only
+
+
+class TestConfigValidation:
+    def test_rejects_bad_bin(self):
+        with pytest.raises(ValueError):
+            MatchConfig(bin_s=0)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            MatchConfig(tolerance_bins=-1)
+
+
+class TestBinResults:
+    class _Bin:
+        def __init__(self, timestamp, delay, fwd):
+            self.timestamp = timestamp
+            self.delay_alarms = delay
+            self.forwarding_alarms = fwd
+
+    def test_scores_bin_result_stream(self):
+        truth = GroundTruth(delay=(delay_label(start=1 * H, end=2 * H),))
+        bins = [
+            self._Bin(0, [], []),
+            self._Bin(1 * H, [delay_alarm(1 * H, ("10.0.0.1", "x"))], []),
+            self._Bin(2 * H, [], []),
+        ]
+        report = score_bin_results(truth, bins, MatchConfig(tolerance_bins=0))
+        assert report.true_positives == 1
+        assert report.n_bins == 3
+        assert report.false_alarm_rate == 0.0
+
+    def test_report_to_dict_shape(self):
+        truth = GroundTruth(delay=(delay_label(),))
+        report = score_alarms(truth, [], [], MatchConfig(), scenario="ddos")
+        payload = report.to_dict()
+        assert payload["scenario"] == "ddos"
+        for key in ("precision", "recall", "f1", "ttd_bins", "events"):
+            assert key in payload
+
+
+class TestLabelSerialisation:
+    def test_round_trip(self):
+        truth = GroundTruth(
+            delay=(delay_label(),),
+            forwarding=(
+                ForwardingLabel(
+                    ip="10.0.0.9", destination="198.18.0.1",
+                    start=10 * H, end=12 * H, kind="reroute", event="e1",
+                ),
+                ForwardingLabel(
+                    ip="10.1.0.9", start=10 * H, end=12 * H, kind="loss",
+                    event="e2", edge=("a", "b"),
+                ),
+            ),
+        )
+        assert GroundTruth.from_json(truth.to_json()) == truth
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError):
+            GroundTruth.from_dict({"schema": "nope"})
+
+    def test_merged_disambiguates_events(self):
+        a = GroundTruth(delay=(delay_label(event="ddos"),))
+        b = GroundTruth(delay=(delay_label(ip="10.0.0.3", event="ddos"),))
+        merged = GroundTruth.merged([a, b])
+        assert merged.events() == ["ddos", "ddos#2"]

@@ -1,0 +1,155 @@
+"""Same-seed determinism for every scenario, in- and cross-process.
+
+Scenario constructors draw per-edge/per-probe randomness; if any draw
+iterated an unordered set, campaigns would differ between processes
+(Python randomises string hashing per process).  The regression here is
+two-fold: same seed twice in one process must reproduce the campaign
+bit-for-bit, and running this file as a script under different
+``PYTHONHASHSEED`` values must print identical campaign digests.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.simulation import (
+    AtlasPlatform,
+    BgpHijackScenario,
+    CampaignConfig,
+    CatchmentShiftScenario,
+    DdosScenario,
+    DiurnalCongestionScenario,
+    IxpOutageScenario,
+    ProbeChurnScenario,
+    RouteLeakScenario,
+    ScenarioFuzzer,
+    build_topology,
+)
+
+WINDOW = (2 * 3600, 3 * 3600)
+DURATION_S = 4 * 3600
+
+SCENARIO_BUILDERS = {
+    "ddos": lambda topo: DdosScenario(
+        topo,
+        "K-root",
+        [topo.services["K-root"].instances[0].node],
+        [WINDOW],
+        seed=3,
+    ),
+    "route-leak": lambda topo: RouteLeakScenario(
+        topo,
+        leak_waypoint=topo.routers_of_as(4788)[0],
+        leak_entry=topo.routers_of_as(3549)[0],
+        leaked_targets={a.name for a in topo.anchors[:2]},
+        window=WINDOW,
+        seed=5,
+    ),
+    "ixp-outage": lambda topo: IxpOutageScenario(
+        topo, ixp_asn=1200, window=WINDOW
+    ),
+    "catchment-shift": lambda topo: CatchmentShiftScenario.largest_shift(
+        topo, "K-root", WINDOW
+    ),
+    "hijack-subprefix": lambda topo: BgpHijackScenario(
+        topo,
+        topo.routers_of_as(174)[0],
+        [topo.anchors[0].name],
+        WINDOW,
+        mode="subprefix",
+    ),
+    "hijack-exact": lambda topo: BgpHijackScenario(
+        topo,
+        topo.routers_of_as(174)[0],
+        [topo.anchors[0].name],
+        WINDOW,
+        mode="exact",
+    ),
+    "diurnal": lambda topo: DiurnalCongestionScenario(
+        topo, [WINDOW], asn=174, seed=2
+    ),
+    "probe-churn": lambda topo: ProbeChurnScenario(
+        topo, [WINDOW], seed=1
+    ),
+    "fuzz": lambda topo: ScenarioFuzzer(topo, seed=7).sample(2),
+}
+
+
+def campaign_digest(topo, scenario, seed=7) -> str:
+    """Bit-stable digest of a small campaign under *scenario*."""
+    platform = AtlasPlatform(topo, scenario=scenario, seed=seed)
+    config = CampaignConfig(
+        start=0,
+        duration_s=DURATION_S,
+        probe_ids=[p.probe_id for p in topo.probes[:6]],
+        service_names=["K-root"],
+        anchor_names=[topo.anchors[0].name],
+    )
+    h = hashlib.blake2b(digest_size=16)
+    for traceroute in platform.run_campaign(config):
+        h.update(
+            json.dumps(traceroute.to_json(), sort_keys=True).encode()
+        )
+    return h.hexdigest()
+
+
+def truth_digest(scenario) -> str:
+    payload = json.dumps(scenario.ground_truth().to_dict(), sort_keys=True)
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(seed=21)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+def test_same_seed_same_campaign(topo, name):
+    build = SCENARIO_BUILDERS[name]
+    first, second = build(topo), build(topo)
+    assert first.ground_truth() == second.ground_truth()
+    assert campaign_digest(topo, first) == campaign_digest(topo, second)
+
+
+def test_cross_process_hash_seed_independence():
+    """Digests must not depend on the per-process string-hash seed."""
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    outputs = []
+    for hash_seed in ("0", "1"):
+        env["PYTHONHASHSEED"] = hash_seed
+        result = subprocess.run(
+            [sys.executable, os.path.abspath(__file__)],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=560,
+        )
+        outputs.append(result.stdout)
+    assert outputs[0] == outputs[1]
+    assert len(outputs[0].strip().splitlines()) == len(SCENARIO_BUILDERS)
+
+
+def _main() -> None:
+    """Script mode: print one digest line per scenario (see the test)."""
+    topology = build_topology(seed=21)
+    for name in sorted(SCENARIO_BUILDERS):
+        scenario = SCENARIO_BUILDERS[name](topology)
+        print(
+            name,
+            campaign_digest(topology, scenario),
+            truth_digest(scenario),
+        )
+
+
+if __name__ == "__main__":
+    _main()

@@ -238,3 +238,170 @@ class TestCompositeScenario:
         combo = CompositeScenario([])
         assert combo.name == "neutral"
         assert not combo.active(0)
+
+
+class TestCatchmentShiftScenario:
+    def test_shifted_probes_reach_other_instance(self, topo):
+        from repro.simulation import CatchmentShiftScenario, RoutingEngine
+
+        scenario = CatchmentShiftScenario.largest_shift(
+            topo, "K-root", WINDOW
+        )
+        routing = RoutingEngine(topo)
+        service = topo.services["K-root"]
+        probe = next(iter(scenario.shifted_probes))
+        src = next(
+            p.router for p in topo.probes if p.probe_id == probe
+        )
+        normal = routing.forward_path_to_service(src, service)
+        via = scenario.waypoint(probe, "K-root", WINDOW[0])
+        assert via is not None
+        shifted = routing.forward_path_via_to_service(src, via, service)
+        assert shifted[-1] != normal[-1]  # lands on another instance
+        # Outside the window (or for other targets) nothing moves.
+        assert scenario.waypoint(probe, "K-root", 0) is None
+        assert scenario.waypoint(probe, "other", WINDOW[0]) is None
+
+    def test_rejects_same_instance(self, topo):
+        from repro.simulation import CatchmentShiftScenario
+
+        service = topo.services["K-root"]
+        node = service.instances[0].node
+        with pytest.raises(ValueError):
+            CatchmentShiftScenario(topo, "K-root", node, node, WINDOW)
+
+
+class TestBgpHijackScenario:
+    def test_subprefix_captures_everyone(self, topo):
+        from repro.simulation import BgpHijackScenario
+
+        hijacker = topo.routers_of_as(174)[0]
+        target = topo.anchors[0].name
+        scenario = BgpHijackScenario(
+            topo, hijacker, [target], WINDOW, mode="subprefix"
+        )
+        for probe in topo.probes:
+            assert (
+                scenario.waypoint(probe.probe_id, target, WINDOW[0])
+                == (hijacker,)
+            )
+            assert scenario.waypoint(probe.probe_id, target, 0) is None
+
+    def test_exact_mode_honours_distance(self, topo):
+        from repro.simulation import BgpHijackScenario
+
+        hijacker = topo.routers_of_as(174)[0]
+        target = topo.anchors[0].name
+        scenario = BgpHijackScenario(
+            topo, hijacker, [target], WINDOW, mode="exact"
+        )
+        captured = scenario.captured[target]
+        for probe in topo.probes:
+            expected = (hijacker,) if probe.probe_id in captured else None
+            assert (
+                scenario.waypoint(probe.probe_id, target, WINDOW[0])
+                == expected
+            )
+
+    def test_rejects_bad_mode_and_targets(self, topo):
+        from repro.simulation import BgpHijackScenario
+
+        hijacker = topo.routers_of_as(174)[0]
+        with pytest.raises(ValueError):
+            BgpHijackScenario(
+                topo, hijacker, [topo.anchors[0].name], WINDOW, mode="nope"
+            )
+        with pytest.raises(ValueError):
+            BgpHijackScenario(topo, hijacker, ["missing"], WINDOW)
+        with pytest.raises(ValueError):
+            BgpHijackScenario(topo, hijacker, [], WINDOW)
+
+
+class TestProbeChurnScenario:
+    def test_campaign_skips_jobs_while_down(self, topo):
+        from repro.simulation import (
+            AtlasPlatform,
+            CampaignConfig,
+            ProbeChurnScenario,
+        )
+
+        scenario = ProbeChurnScenario(
+            topo, windows=[WINDOW], fraction=0.5, seed=1
+        )
+        platform = AtlasPlatform(topo, scenario=scenario, seed=2)
+        config = CampaignConfig(
+            duration_s=13 * 3600,
+            probe_ids=sorted(scenario.churned_probes)[:5],
+            include_anchoring=False,
+        )
+        produced = sum(1 for _ in platform.run_campaign(config))
+        assert produced < platform.campaign_size(config)
+
+    def test_flaps_only_inside_window(self, topo):
+        from repro.simulation import ProbeChurnScenario
+
+        scenario = ProbeChurnScenario(
+            topo, windows=[WINDOW], fraction=0.5, period_s=1800, seed=1
+        )
+        probe = sorted(scenario.churned_probes)[0]
+        assert scenario.probe_active(probe, 0)
+        assert scenario.probe_active(probe, WINDOW[1] + 10)
+        in_window = [
+            scenario.probe_active(probe, t)
+            for t in range(WINDOW[0], WINDOW[1], 60)
+        ]
+        assert not all(in_window)  # goes down at some point
+        assert any(in_window)  # but not for the whole window
+
+    def test_data_plane_untouched(self, topo):
+        from repro.simulation import ProbeChurnScenario
+
+        scenario = ProbeChurnScenario(topo, windows=[WINDOW], seed=1)
+        assert not scenario.active(WINDOW[0])
+        assert scenario.extra_delay_ms("a", "b", WINDOW[0]) == 0.0
+        assert scenario.extra_loss("a", "b", WINDOW[0]) == 0.0
+
+    def test_validates_parameters(self, topo):
+        from repro.simulation import ProbeChurnScenario
+
+        with pytest.raises(ValueError):
+            ProbeChurnScenario(topo, windows=[WINDOW], fraction=0.0)
+        with pytest.raises(ValueError):
+            ProbeChurnScenario(topo, windows=[WINDOW], period_s=0)
+        with pytest.raises(ValueError):
+            ProbeChurnScenario(
+                topo, windows=[WINDOW], period_s=600, down_time_s=601
+            )
+
+
+class TestDiurnalCongestionScenario:
+    def test_ramp_shape(self, topo):
+        from repro.simulation import DiurnalCongestionScenario
+
+        scenario = DiurnalCongestionScenario(
+            topo, windows=[WINDOW], asn=174, seed=2
+        )
+        edge = sorted(scenario.perturbed_edges)[0]
+        start, end = WINDOW
+        mid = (start + end) // 2
+        quarter = start + (end - start) // 4
+        assert scenario.extra_delay_ms(*edge, start) == 0.0
+        assert scenario.extra_delay_ms(*edge, mid) == pytest.approx(
+            scenario.peak_shift_ms(edge)
+        )
+        assert (
+            0.0
+            < scenario.extra_delay_ms(*edge, quarter)
+            < scenario.extra_delay_ms(*edge, mid)
+        )
+        assert scenario.extra_delay_ms(*edge, end + 1) == 0.0
+
+    def test_unperturbed_edges_untouched(self, topo):
+        from repro.simulation import DiurnalCongestionScenario
+
+        scenario = DiurnalCongestionScenario(
+            topo, windows=[WINDOW], asn=174, seed=2
+        )
+        mid = (WINDOW[0] + WINDOW[1]) // 2
+        assert scenario.extra_delay_ms("nope", "nada", mid) == 0.0
+        assert scenario.extra_loss("nope", "nada", mid) == 0.0
