@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: help test bench bench-engine bench-ingest bench-detect bench-stream bench-serve bench-quality docs doclint
+.PHONY: help test bench bench-engine bench-ingest bench-detect bench-stream bench-serve bench-quality bench-fetch fetch-smoke docs doclint
 
 help:
 	@echo "targets:"
@@ -17,6 +17,8 @@ help:
 	@echo "  bench-stream checkpoint-overhead benchmark (BENCH_stream.json)"
 	@echo "  bench-serve  alarm-store serving benchmark (BENCH_serve.json)"
 	@echo "  bench-quality detection-quality regression bench (BENCH_quality.json)"
+	@echo "  bench-fetch  connector-layer fetch benchmark (BENCH_fetch.json)"
+	@echo "  fetch-smoke  offline connector smoke: fixture fetch under faults"
 	@echo "  docs         docstring lint + pointers to docs/"
 	@echo "  doclint      docstring lint only"
 
@@ -45,6 +47,17 @@ bench-serve:
 
 bench-quality:
 	$(PYTHON) -m pytest -q benchmarks/bench_quality.py -s
+
+bench-fetch:
+	$(PYTHON) -m pytest -q benchmarks/bench_fetch.py -s
+
+# End-to-end connector smoke with zero network access: the CLI fetches a
+# recorded fixture through a 30 % injected-fault schedule and the
+# benchmark asserts byte-identity + exactly-once resume.
+fetch-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest -q benchmarks/bench_fetch.py -s
+	$(PYTHON) -m pytest -q tests/test_connector_fetch.py
+	$(PYTHON) examples/fetch_and_monitor.py
 
 doclint:
 	$(PYTHON) tools/doclint.py

@@ -1,0 +1,183 @@
+"""Connector-layer benchmark: fetch throughput, clean and under faults.
+
+``make fetch-smoke`` and CI run this as the end-to-end connector
+exercise: a recorded paginated "Atlas API" fixture is fetched through
+the full client stack (retry policy, token-bucket hooks, circuit
+breaker, durable cursor) with **zero network access**, and three hard
+claims are asserted:
+
+1. **byte-identity** — the fetched JSONL equals
+   :func:`repro.atlas.io.write_traceroutes` on the same campaign,
+   clean *and* through a 30 % injected-fault schedule (drops, 429s
+   with ``Retry-After``, flapping 5xx, truncated bodies);
+2. **exactly-once** — a fetch killed at a page boundary and resumed
+   through its cursor produces the identical bytes, with the resumed
+   leg fetching only the missing pages;
+3. **fault absorption** — every injected burst is absorbed within the
+   retry budget (the faulty fetch completes; retries observed > 0).
+
+Throughput (records/s, pages/s) for the clean and faulty paths lands
+in ``BENCH_fetch.json`` at the repository root.  Set
+``REPRO_BENCH_SMOKE=1`` (the CI smoke mode) for a shortened campaign
+with every assertion kept.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.atlas import make_traceroute, write_traceroutes
+from repro.atlas.connectors import (
+    FaultSchedule,
+    FaultTolerantClient,
+    RetryPolicy,
+    ScriptedTransport,
+    fetch_results,
+    paged_results_fixture,
+)
+
+#: CI smoke mode: shortened campaign, all assertions kept.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Campaign size and API chunking.
+N_RECORDS = 2_000 if SMOKE else 20_000
+PAGE_SIZE = 200 if SMOKE else 500
+
+#: Injected fault probability per request for the faulty path.
+FAULT_RATE = 0.3
+
+MSM = 5051
+BASE_URL = "https://atlas.example/api/v2"
+
+#: Machine-readable results land here.
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fetch.json"
+
+
+def _campaign():
+    traceroutes = []
+    for index in range(N_RECORDS):
+        probe = index % 50
+        traceroutes.append(
+            make_traceroute(
+                1000 + probe,
+                f"192.0.2.{probe % 250 + 1}",
+                f"198.51.100.{index % 9 + 1}",
+                3600 * (index // 600) + index % 600,
+                [
+                    [("10.0.0.1", 1.5 + probe % 7)],
+                    [("10.0.0.2", 7.5 + probe % 7)],
+                ],
+                from_asn=65000 + probe % 5,
+                msm_id=MSM,
+            )
+        )
+    return traceroutes
+
+
+def _client(pages, faults=None, max_attempts=8):
+    return FaultTolerantClient(
+        transport=ScriptedTransport(pages, faults=faults),
+        policy=RetryPolicy(max_attempts=max_attempts, seed=13),
+        sleep=lambda _s: None,  # injected faults, not real waiting
+    )
+
+
+def test_fetch_throughput_and_fault_absorption(benchmark, tmp_path):
+    """Fetch a recorded campaign clean, faulty, and interrupted."""
+    campaign = _campaign()
+    pages = paged_results_fixture(
+        campaign, MSM, page_size=PAGE_SIZE, base_url=BASE_URL
+    )
+    reference = tmp_path / "reference.jsonl"
+    write_traceroutes(reference, campaign)
+    expected = reference.read_bytes()
+    n_pages = len(pages)
+
+    # -- clean path ------------------------------------------------------
+    clean_out = tmp_path / "clean.jsonl"
+    t0 = time.perf_counter()
+    report = fetch_results(
+        _client(pages), MSM, clean_out,
+        base_url=BASE_URL, page_size=PAGE_SIZE,
+    )
+    clean_s = time.perf_counter() - t0
+    assert report.completed and report.pages == n_pages
+    assert clean_out.read_bytes() == expected
+
+    # -- faulty path: 30 % injected faults, still byte-identical ---------
+    faulty_out = tmp_path / "faulty.jsonl"
+    faulty_client = _client(
+        pages, faults=FaultSchedule.seeded(seed=29, rate=FAULT_RATE)
+    )
+    t0 = time.perf_counter()
+    report = fetch_results(
+        faulty_client, MSM, faulty_out,
+        base_url=BASE_URL, page_size=PAGE_SIZE,
+    )
+    faulty_s = time.perf_counter() - t0
+    assert report.completed
+    assert faulty_out.read_bytes() == expected
+    assert faulty_client.stats.retries > 0, (
+        "the fault schedule never fired; the absorption claim is vacuous"
+    )
+
+    # -- exactly-once: kill at a page boundary, resume through cursor ----
+    resumed_out = tmp_path / "resumed.jsonl"
+    cursor = tmp_path / "resumed.cursor"
+    boundary = n_pages // 2
+    first = fetch_results(
+        _client(pages), MSM, resumed_out, cursor_path=cursor,
+        base_url=BASE_URL, page_size=PAGE_SIZE, max_pages=boundary,
+    )
+    second = fetch_results(
+        _client(pages), MSM, resumed_out, cursor_path=cursor,
+        base_url=BASE_URL, page_size=PAGE_SIZE,
+    )
+    assert first.pages == boundary
+    assert second.resumed and second.completed
+    assert second.pages == n_pages - boundary
+    assert resumed_out.read_bytes() == expected
+
+    # One canonical pytest-benchmark measurement: a full clean fetch.
+    def _run():
+        out = tmp_path / "bench.jsonl"
+        fetch_results(
+            _client(pages), MSM, out,
+            base_url=BASE_URL, page_size=PAGE_SIZE,
+        )
+        out.unlink()
+
+    benchmark.pedantic(_run, rounds=1 if SMOKE else 3)
+
+    results = {
+        "smoke": SMOKE,
+        "records": N_RECORDS,
+        "pages": n_pages,
+        "page_size": PAGE_SIZE,
+        "clean_s": clean_s,
+        "clean_records_per_s": N_RECORDS / clean_s,
+        "faulty_rate": FAULT_RATE,
+        "faulty_s": faulty_s,
+        "faulty_records_per_s": N_RECORDS / faulty_s,
+        "faulty_attempts": faulty_client.stats.attempts,
+        "faulty_retries": faulty_client.stats.retries,
+        "byte_identical_clean": True,
+        "byte_identical_faulty": True,
+        "exactly_once_resume": True,
+    }
+    RESULT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True))
+    print("\nconnector fetch benchmark")
+    print(
+        f"  clean : {N_RECORDS} records / {n_pages} pages in "
+        f"{clean_s:.2f}s ({results['clean_records_per_s']:.0f} rec/s)"
+    )
+    print(
+        f"  faulty: rate {FAULT_RATE:.0%}, {faulty_s:.2f}s, "
+        f"{faulty_client.stats.retries} retries absorbed, "
+        f"output byte-identical"
+    )
+    print(f"  resume: killed at page {boundary}/{n_pages}, exactly-once")
+    print(f"  results -> {RESULT_PATH}")

@@ -54,6 +54,7 @@ from repro.atlas.validate import (
 )
 from repro.atlas.stream import (
     DEFAULT_BIN_S,
+    FeedTailer,
     TimeBinner,
     TracerouteStream,
     bin_start,
@@ -68,6 +69,7 @@ __all__ = [
     "CACHE_VERSION",
     "DEFAULT_BIN_S",
     "DecodeWarning",
+    "FeedTailer",
     "Hop",
     "IPInterner",
     "MAX_SANE_RTT_MS",

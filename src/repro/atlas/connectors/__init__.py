@@ -1,0 +1,128 @@
+"""Fault-tolerant RIPE Atlas connector layer (live-data ingestion).
+
+Everything else in the repository replays local JSONL files; this
+subpackage is the layer that turns the reproduction into a continuously
+running observatory against the real RIPE Atlas platform — and its
+spine is *fault tolerance*, not fetching:
+
+* :mod:`~repro.atlas.connectors.transport` — a stdlib-``urllib`` HTTP
+  transport behind a narrow injectable interface, a typed error
+  taxonomy (retryable 429/5xx/network vs fatal 4xx), exponential
+  backoff with deterministic seeded jitter, ``Retry-After`` honoured, a
+  token-bucket rate limiter, and a circuit breaker;
+* :mod:`~repro.atlas.connectors.cursors` — durable resumable
+  pagination cursors (bincache-idiom binary files) so a killed fetch
+  resumes its window exactly once;
+* :mod:`~repro.atlas.connectors.results` — the measurement-results
+  connector, normalizing API pages into the canonical traceroute JSONL
+  consumed by :class:`~repro.atlas.stream.TracerouteStream` and
+  ``monitor --follow``;
+* :mod:`~repro.atlas.connectors.probes` — the ``meta-latest`` probe
+  metadata connector: ASN→probe map, and live refresh of the IP→AS
+  prefix table;
+* :mod:`~repro.atlas.connectors.testing` — scripted fake transport,
+  record/replay fixtures and programmable fault schedules, so every
+  retry/backoff/cursor path is provable offline.
+"""
+
+from repro.atlas.connectors.cursors import (
+    CURSOR_VERSION,
+    CursorError,
+    FetchCursor,
+    cursor_key,
+    load_cursor,
+    save_cursor,
+)
+from repro.atlas.connectors.probes import (
+    META_LATEST_URL,
+    ProbeInfo,
+    ProbeSet,
+    asn_probe_map,
+    fetch_probes,
+    parse_probe_dump,
+    prefix_entries,
+    refresh_mapper,
+    usable_probes,
+)
+from repro.atlas.connectors.results import (
+    DEFAULT_BASE_URL,
+    DEFAULT_PAGE_SIZE,
+    FetchReport,
+    fetch_results,
+    results_url,
+)
+from repro.atlas.connectors.testing import (
+    Fault,
+    FaultSchedule,
+    ScriptedTransport,
+    load_fixture,
+    paged_results_fixture,
+    probe_dump_fixture,
+    write_fixture,
+)
+from repro.atlas.connectors.transport import (
+    API_KEY_ENV,
+    CircuitBreaker,
+    CircuitOpenError,
+    ClientStats,
+    FatalError,
+    FaultTolerantClient,
+    HttpResponse,
+    MalformedResponseError,
+    RetryableError,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    TokenBucket,
+    Transport,
+    TransportError,
+    UrllibTransport,
+    load_api_key,
+    parse_retry_after,
+)
+
+__all__ = [
+    "API_KEY_ENV",
+    "CURSOR_VERSION",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ClientStats",
+    "CursorError",
+    "DEFAULT_BASE_URL",
+    "DEFAULT_PAGE_SIZE",
+    "FatalError",
+    "Fault",
+    "FaultSchedule",
+    "FaultTolerantClient",
+    "FetchCursor",
+    "FetchReport",
+    "HttpResponse",
+    "META_LATEST_URL",
+    "MalformedResponseError",
+    "ProbeInfo",
+    "ProbeSet",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+    "RetryableError",
+    "ScriptedTransport",
+    "TokenBucket",
+    "Transport",
+    "TransportError",
+    "UrllibTransport",
+    "asn_probe_map",
+    "cursor_key",
+    "fetch_probes",
+    "fetch_results",
+    "load_api_key",
+    "load_cursor",
+    "load_fixture",
+    "paged_results_fixture",
+    "parse_probe_dump",
+    "parse_retry_after",
+    "prefix_entries",
+    "probe_dump_fixture",
+    "refresh_mapper",
+    "results_url",
+    "save_cursor",
+    "usable_probes",
+    "write_fixture",
+]

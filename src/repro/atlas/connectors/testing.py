@@ -1,0 +1,276 @@
+"""Scripted fake transport and fault injection for offline testing.
+
+Every retry, backoff, cursor and circuit-breaker path in the connector
+layer must be provable without network access.  This module supplies
+the pieces:
+
+* :class:`Fault` / :class:`FaultSchedule` — programmable fault
+  injection per request index: drop the request (network error),
+  answer 429 with a ``Retry-After``, answer a flapping 503, or return
+  a truncated body.  :meth:`FaultSchedule.seeded` derives the schedule
+  as a **pure function of (seed, request index)** via BLAKE2b, so an
+  injected-fault transcript is reproducible cross-process regardless
+  of ``PYTHONHASHSEED``;
+* :class:`ScriptedTransport` — an in-memory
+  :class:`~repro.atlas.connectors.transport.Transport` serving
+  recorded URL→response fixtures through the fault schedule, counting
+  every request it sees;
+* :func:`write_fixture` / :func:`load_fixture` — the record/replay
+  fixture file format (plain JSON, bodies UTF-8 or base64);
+* :func:`paged_results_fixture` — build an Atlas-style paginated
+  results envelope from simulator traceroutes, the standard way tests
+  and ``make fetch-smoke`` conjure an "API" from a local campaign;
+* :func:`probe_dump_fixture` — build a ``meta-latest``-shaped dump.
+"""
+
+from __future__ import annotations
+
+import base64
+import bz2
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.atlas.connectors.transport import (
+    FatalError,
+    HttpResponse,
+    RetryableError,
+    Transport,
+)
+from repro.atlas.io import PathLike
+from repro.atlas.model import Traceroute
+
+#: The fault kinds a schedule can inject.
+FAULT_KINDS = ("drop", "status", "truncate")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: what goes wrong with one request.
+
+    ``kind`` is one of :data:`FAULT_KINDS`: ``drop`` raises a network
+    error, ``status`` answers with ``status`` (429 carries
+    ``retry_after`` when set), ``truncate`` serves only the first half
+    of the body (a malformed-JSON page).
+    """
+
+    kind: str
+    status: int = 503
+    retry_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+
+
+class FaultSchedule:
+    """Maps request index → optional :class:`Fault` (deterministic).
+
+    Built either from an explicit ``{index: Fault}`` mapping or via
+    :meth:`seeded`, where ``fault_for(index)`` is a pure function of
+    ``(seed, index)`` — same seed, same transcript, in any process.
+    """
+
+    def __init__(self, faults: Optional[Mapping[int, Fault]] = None) -> None:
+        self._explicit = dict(faults or {})
+        self._seed: Optional[int] = None
+        self._rate = 0.0
+        self._kinds: Sequence[str] = FAULT_KINDS
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        rate: float,
+        kinds: Sequence[str] = FAULT_KINDS,
+    ) -> "FaultSchedule":
+        """A schedule injecting faults at *rate* as f(seed, index)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1]: {rate}")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind: {kind!r}")
+        schedule = cls()
+        schedule._seed = seed
+        schedule._rate = rate
+        schedule._kinds = tuple(kinds)
+        return schedule
+
+    def fault_for(self, index: int) -> Optional[Fault]:
+        """The fault injected into request number *index*, if any."""
+        if index in self._explicit:
+            return self._explicit[index]
+        if self._seed is None or self._rate == 0.0:
+            return None
+        digest = hashlib.blake2b(
+            f"fault|{self._seed}|{index}".encode("utf-8"), digest_size=8
+        ).digest()
+        rng = random.Random(int.from_bytes(digest, "little"))
+        if rng.random() >= self._rate:
+            return None
+        kind = rng.choice(list(self._kinds))
+        if kind == "status":
+            status = rng.choice([429, 500, 502, 503])
+            retry_after = (
+                float(rng.randint(1, 5)) if status == 429 else None
+            )
+            return Fault(kind="status", status=status, retry_after=retry_after)
+        return Fault(kind=kind)
+
+
+class ScriptedTransport(Transport):
+    """In-memory transport: recorded pages behind a fault schedule.
+
+    *pages* maps URL → body ``bytes`` (status 200).  Each call consults
+    the schedule with its global request index first; an unknown URL is
+    a 404 :class:`~repro.atlas.connectors.transport.FatalError`.  The
+    transcript of ``(url, fault-or-None)`` lands in :attr:`calls`, and
+    request headers are kept in :attr:`last_headers` so tests can
+    assert the Authorization header is (or is not) sent.
+    """
+
+    def __init__(
+        self,
+        pages: Mapping[str, bytes],
+        faults: Optional[FaultSchedule] = None,
+    ) -> None:
+        self.pages = dict(pages)
+        self.faults = faults if faults is not None else FaultSchedule()
+        self.requests = 0
+        self.calls: List[tuple] = []
+        self.last_headers: Dict[str, str] = {}
+
+    def request(
+        self, url: str, headers: Optional[Mapping[str, str]] = None
+    ) -> HttpResponse:
+        """Serve one scripted response (or injected fault) for *url*."""
+        index = self.requests
+        self.requests += 1
+        self.last_headers = dict(headers or {})
+        fault = self.faults.fault_for(index)
+        self.calls.append((url, fault.kind if fault else None))
+        if fault is not None:
+            if fault.kind == "drop":
+                raise RetryableError(
+                    f"injected network drop (request {index}) for {url}"
+                )
+            if fault.kind == "status":
+                if fault.status == 429 or fault.status >= 500:
+                    raise RetryableError(
+                        f"injected HTTP {fault.status} (request {index}) "
+                        f"for {url}",
+                        status=fault.status,
+                        retry_after=fault.retry_after,
+                    )
+                raise FatalError(
+                    f"injected HTTP {fault.status} (request {index}) "
+                    f"for {url}",
+                    status=fault.status,
+                )
+        if url not in self.pages:
+            raise FatalError(f"HTTP 404 from {url} (no fixture)", status=404)
+        body = self.pages[url]
+        if fault is not None and fault.kind == "truncate":
+            body = body[: max(1, len(body) // 2)]
+        return HttpResponse(
+            url=url,
+            status=200,
+            headers={"Content-Type": "application/json"},
+            body=body,
+        )
+
+
+def write_fixture(path: PathLike, pages: Mapping[str, bytes]) -> int:
+    """Persist URL→body fixture *pages* as JSON; returns page count.
+
+    Bodies that decode as UTF-8 are stored as text, binary bodies
+    (e.g. a bz2 probe dump) as base64 — the file stays reviewable.
+    """
+    rendered = {}
+    for url, body in sorted(pages.items()):
+        try:
+            rendered[url] = {"text": body.decode("utf-8")}
+        except UnicodeDecodeError:
+            rendered[url] = {
+                "base64": base64.b64encode(body).decode("ascii")
+            }
+    Path(path).write_text(
+        json.dumps(rendered, indent=1, sort_keys=True), encoding="utf-8"
+    )
+    return len(rendered)
+
+
+def load_fixture(path: PathLike) -> Dict[str, bytes]:
+    """Load a :func:`write_fixture` file back into URL→body bytes."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    pages: Dict[str, bytes] = {}
+    for url, entry in data.items():
+        if "text" in entry:
+            pages[url] = entry["text"].encode("utf-8")
+        else:
+            pages[url] = base64.b64decode(entry["base64"])
+    return pages
+
+
+def paged_results_fixture(
+    traceroutes: Iterable[Traceroute],
+    msm_id: int,
+    page_size: int = 50,
+    base_url: str = "https://atlas.example/api/v2",
+    start: Optional[int] = None,
+    stop: Optional[int] = None,
+    fetch_page_size: Optional[int] = None,
+) -> Dict[str, bytes]:
+    """Build a paginated results "API" from simulator traceroutes.
+
+    Returns URL→body pages: the first page lives at the URL
+    :func:`~repro.atlas.connectors.results.results_url` computes for
+    ``(msm_id, start, stop, fetch_page_size or page_size, base_url)``
+    and each page's ``next`` chains to ``...&page=N``.  *page_size*
+    controls the actual chunking (letting tests request one chunking
+    while advertising another is deliberately not supported —
+    *fetch_page_size* only renames the first URL's parameter).
+    """
+    from repro.atlas.connectors.results import results_url
+
+    items = [tr.to_json() for tr in traceroutes]
+    chunks = [
+        items[i : i + page_size] for i in range(0, len(items), page_size)
+    ] or [[]]
+    first = results_url(
+        msm_id,
+        start=start,
+        stop=stop,
+        page_size=fetch_page_size if fetch_page_size is not None else page_size,
+        base_url=base_url,
+    )
+    urls = [first] + [
+        f"{first}&page={number}" for number in range(2, len(chunks) + 1)
+    ]
+    pages: Dict[str, bytes] = {}
+    for index, chunk in enumerate(chunks):
+        envelope = {
+            "count": len(items),
+            "next": urls[index + 1] if index + 1 < len(urls) else None,
+            "results": chunk,
+        }
+        pages[urls[index]] = json.dumps(envelope, sort_keys=True).encode(
+            "utf-8"
+        )
+    return pages
+
+
+def probe_dump_fixture(
+    probes: Iterable[Mapping],
+    compress: bool = False,
+) -> bytes:
+    """Build a ``meta-latest``-shaped dump body from raw probe dicts."""
+    body = json.dumps({"objects": list(probes)}, sort_keys=True).encode(
+        "utf-8"
+    )
+    if compress:
+        return bz2.compress(body)
+    return body

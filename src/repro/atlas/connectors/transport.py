@@ -1,0 +1,574 @@
+"""Fault-tolerant HTTP transport for the RIPE Atlas connectors.
+
+Everything else in this repository replays local files; this module is
+where the code meets the real Internet, so its spine is *surviving*
+that Internet rather than fetching from it.  The pieces compose into
+:class:`FaultTolerantClient`, the one object the connectors in
+:mod:`repro.atlas.connectors.results` and
+:mod:`repro.atlas.connectors.probes` talk to:
+
+* a narrow injectable :class:`Transport` interface (the stdlib
+  :class:`UrllibTransport` in production, the scripted fake in
+  :mod:`repro.atlas.connectors.testing` offline) returning plain
+  :class:`HttpResponse` values;
+* a **typed error taxonomy**: 429/5xx/network-timeout/truncated-body
+  surface as :class:`RetryableError`, other 4xx as :class:`FatalError`
+  — the retry loop never guesses from strings;
+* :class:`RetryPolicy` — exponential backoff with **deterministic
+  seeded jitter** (a pure function of ``(seed, request_index,
+  attempt)``, so transcript tests reproduce cross-process), a
+  per-request timeout, an overall retry *budget*, and ``Retry-After``
+  honoured when the server provides one;
+* :class:`TokenBucket` — client-side rate limiting so a healthy fetch
+  loop cannot hammer the API into rate-limiting it;
+* :class:`CircuitBreaker` — after enough consecutive retryable
+  failures the circuit opens and requests fail fast with
+  :class:`CircuitOpenError` instead of stacking backoffs against a
+  down API; callers with a cached copy degrade to *stale but serving*
+  (see :class:`~repro.atlas.connectors.probes.ProbeMetadataFetcher`).
+
+The API key is loaded only from the ``ATLAS_API_KEY`` environment
+variable or a secrets file (:func:`load_api_key`), travels only in the
+``Authorization`` header, and is never interpolated into URLs, error
+messages or reprs.
+
+The clock and sleep functions are injectable everywhere, so the whole
+retry/rate-limit/breaker state machine is provable offline in
+microseconds (see ``tests/test_connector_transport.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import socket
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Optional
+
+#: Default per-request socket timeout (seconds).
+DEFAULT_TIMEOUT_S = 30.0
+
+#: User-Agent sent with every request (the polite-research-client idiom).
+USER_AGENT = "repro-imc2017/1.0"
+
+#: Environment variable the API key is read from (never logged).
+API_KEY_ENV = "ATLAS_API_KEY"
+
+
+class TransportError(RuntimeError):
+    """Base class for every transport-layer failure."""
+
+
+class RetryableError(TransportError):
+    """A failure worth retrying: 429, 5xx, network error, bad body.
+
+    ``status`` is the HTTP status (``None`` for pure network errors)
+    and ``retry_after`` the parsed ``Retry-After`` header in seconds,
+    when the server sent one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class FatalError(TransportError):
+    """A non-retryable client error (4xx other than 429)."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class MalformedResponseError(RetryableError):
+    """A 200 whose body is truncated or not the JSON it claims to be.
+
+    Half-written responses are a transient network/proxy pathology, so
+    they are retryable — the next attempt usually returns the full
+    body.
+    """
+
+
+class RetryBudgetExceeded(TransportError):
+    """Retries were exhausted (attempt count or backoff-time budget)."""
+
+    def __init__(
+        self, message: str, attempts: int, slept_s: float
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.slept_s = slept_s
+
+
+class CircuitOpenError(TransportError):
+    """The circuit breaker is open: fail fast, do not hit the API."""
+
+    def __init__(self, message: str, retry_in_s: float) -> None:
+        super().__init__(message)
+        self.retry_in_s = retry_in_s
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One successful (2xx) HTTP response: status, headers, raw body."""
+
+    url: str
+    status: int
+    headers: Mapping[str, str]
+    body: bytes
+
+    def header(self, name: str) -> Optional[str]:
+        """Case-insensitive header lookup."""
+        return {k.lower(): v for k, v in self.headers.items()}.get(
+            name.lower()
+        )
+
+
+def parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Parse a ``Retry-After`` header (delta-seconds form only).
+
+    The HTTP-date form is ignored (returns ``None``) — Atlas sends
+    delta-seconds, and a date would need a wall clock the deterministic
+    retry loop deliberately does not consult.
+    """
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return max(0.0, seconds)
+
+
+class Transport:
+    """The narrow injectable interface the client retries over.
+
+    Implementations return an :class:`HttpResponse` for 2xx and raise
+    :class:`RetryableError` / :class:`FatalError` for everything else;
+    they never sleep and never retry — policy lives in
+    :class:`FaultTolerantClient`.
+    """
+
+    def request(
+        self, url: str, headers: Optional[Mapping[str, str]] = None
+    ) -> HttpResponse:
+        """Perform one GET; raise the typed taxonomy on failure."""
+        raise NotImplementedError
+
+
+class UrllibTransport(Transport):
+    """Production transport over stdlib :mod:`urllib` (GET only).
+
+    Maps the raw failure modes into the typed taxonomy: HTTP 429/5xx
+    and network errors (timeouts, refused connections, resets) become
+    :class:`RetryableError`; other 4xx become :class:`FatalError`; a
+    body shorter than its ``Content-Length`` becomes
+    :class:`MalformedResponseError` (retryable).
+    """
+
+    def __init__(self, timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+        if timeout_s <= 0:
+            raise ValueError(f"timeout must be positive: {timeout_s}")
+        self.timeout_s = timeout_s
+
+    def request(
+        self, url: str, headers: Optional[Mapping[str, str]] = None
+    ) -> HttpResponse:
+        """One GET via urllib; see the class docs for the error map."""
+        request = urllib.request.Request(url, headers=dict(headers or {}))
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                body = response.read()
+                header_items = dict(response.headers.items())
+                declared = header_items.get("Content-Length")
+                if declared is not None and declared.isdigit():
+                    if len(body) < int(declared):
+                        raise MalformedResponseError(
+                            f"truncated body from {url}: "
+                            f"{len(body)} < {declared} bytes"
+                        )
+                return HttpResponse(
+                    url=url,
+                    status=response.status,
+                    headers=header_items,
+                    body=body,
+                )
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+            if status == 429 or status >= 500:
+                raise RetryableError(
+                    f"HTTP {status} from {url}",
+                    status=status,
+                    retry_after=parse_retry_after(
+                        exc.headers.get("Retry-After")
+                        if exc.headers
+                        else None
+                    ),
+                ) from exc
+            raise FatalError(
+                f"HTTP {status} from {url}", status=status
+            ) from exc
+        except (urllib.error.URLError, socket.timeout, OSError) as exc:
+            raise RetryableError(f"network error for {url}: {exc}") from exc
+
+
+def _jitter_source(seed: int, request_index: int, attempt: int) -> random.Random:
+    """Seeded RNG that is a pure function of its three arguments.
+
+    The mix goes through BLAKE2b so it is independent of
+    ``PYTHONHASHSEED`` and identical cross-process — the determinism
+    contract the transcript tests rely on.
+    """
+    digest = hashlib.blake2b(
+        f"{seed}|{request_index}|{attempt}".encode("utf-8"), digest_size=8
+    ).digest()
+    return random.Random(int.from_bytes(digest, "little"))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule and retry limits for one logical request.
+
+    ``delay_for(request_index, attempt)`` is deterministic: the jitter
+    factor is drawn from a :func:`_jitter_source` seeded purely by
+    ``(seed, request_index, attempt)``.  A server-supplied
+    ``Retry-After`` overrides the computed backoff (the server knows
+    best), still capped at ``max_delay_s`` and still charged against
+    ``budget_s``.
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.5
+    max_delay_s: float = 30.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    budget_s: float = 120.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0 or self.budget_s < 0:
+            raise ValueError("delays and budget must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1): {self.jitter}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1: {self.multiplier}")
+
+    def delay_for(
+        self,
+        request_index: int,
+        attempt: int,
+        retry_after: Optional[float] = None,
+    ) -> float:
+        """Seconds to sleep before retry number *attempt* (1-based)."""
+        if retry_after is not None:
+            return min(retry_after, self.max_delay_s)
+        raw = self.base_delay_s * self.multiplier ** (attempt - 1)
+        capped = min(raw, self.max_delay_s)
+        if self.jitter == 0.0:
+            return capped
+        factor = _jitter_source(self.seed, request_index, attempt).uniform(
+            1.0 - self.jitter, 1.0 + self.jitter
+        )
+        return min(capped * factor, self.max_delay_s)
+
+
+class TokenBucket:
+    """Classic token-bucket rate limiter with an injectable clock.
+
+    :meth:`reserve` consumes one token and returns how long the caller
+    must sleep before proceeding (0.0 when a token was available) — the
+    bucket itself never sleeps, so it is exact under a fake clock.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        capacity: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate must be positive: {rate_per_s}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.rate_per_s = rate_per_s
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(
+            self.capacity, self._tokens + elapsed * self.rate_per_s
+        )
+        self._updated = now
+
+    def reserve(self) -> float:
+        """Take one token; return the wait (seconds) before it is valid."""
+        now = self._clock()
+        self._refill(now)
+        self._tokens -= 1.0
+        if self._tokens >= 0.0:
+            return 0.0
+        return -self._tokens / self.rate_per_s
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (closed → open → half-open).
+
+    After ``failure_threshold`` consecutive retryable failures the
+    circuit *opens*: :meth:`check` raises :class:`CircuitOpenError`
+    until ``cooldown_s`` has elapsed, at which point the circuit goes
+    *half-open* and exactly one trial request is let through — success
+    closes the circuit, failure re-opens it for another cooldown.
+    Fatal (4xx) errors never trip the breaker: the API is up, the
+    request is wrong.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1: {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown must be >= 0: {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._half_open = False
+        self.times_opened = 0
+
+    @property
+    def state(self) -> str:
+        """Current state: ``closed``, ``open`` or ``half-open``."""
+        if self._opened_at is None:
+            return "closed"
+        if self._half_open:
+            return "half-open"
+        if self._clock() - self._opened_at >= self.cooldown_s:
+            return "half-open"
+        return "open"
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a request may proceed."""
+        if self._opened_at is None:
+            return
+        elapsed = self._clock() - self._opened_at
+        if elapsed < self.cooldown_s:
+            raise CircuitOpenError(
+                f"circuit open after {self._failures} consecutive "
+                f"failures; retry in {self.cooldown_s - elapsed:.1f}s",
+                retry_in_s=self.cooldown_s - elapsed,
+            )
+        self._half_open = True  # one trial request may pass
+
+    def on_success(self) -> None:
+        """Record a success: close the circuit, reset the count."""
+        self._failures = 0
+        self._opened_at = None
+        self._half_open = False
+
+    def on_failure(self) -> None:
+        """Record a retryable failure; maybe open (or re-open) the circuit."""
+        self._failures += 1
+        if self._half_open or self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self._half_open = False
+            self.times_opened += 1
+
+
+@dataclass
+class ClientStats:
+    """Counters a :class:`FaultTolerantClient` accumulates."""
+
+    requests: int = 0
+    attempts: int = 0
+    retries: int = 0
+    rate_limit_waits: int = 0
+    slept_s: float = 0.0
+    circuit_rejections: int = 0
+
+
+def load_api_key(
+    secrets_path: Optional[os.PathLike] = None,
+    env: Optional[Mapping[str, str]] = None,
+) -> Optional[str]:
+    """The Atlas API key from ``ATLAS_API_KEY`` or a secrets file.
+
+    The environment wins; the secrets file (one line holding the bare
+    key) is the fallback.  Returns ``None`` when neither is set — the
+    connectors then fetch anonymously, which Atlas permits for public
+    data.  The key is returned to be placed in a header, never in a
+    URL, and no code path logs it.
+    """
+    value = (env if env is not None else os.environ).get(API_KEY_ENV, "")
+    if value.strip():
+        return value.strip()
+    if secrets_path is not None:
+        try:
+            text = Path(secrets_path).read_text(encoding="utf-8").strip()
+        except OSError:
+            return None
+        return text or None
+    return None
+
+
+class FaultTolerantClient:
+    """Retrying, rate-limited, circuit-broken GET client.
+
+    Composes a :class:`Transport`, a :class:`RetryPolicy`, an optional
+    :class:`TokenBucket` and an optional :class:`CircuitBreaker`.  The
+    ``sleep`` callable is injectable so offline tests run the full
+    backoff schedule in microseconds while recording exactly what
+    would have been slept.
+    """
+
+    def __init__(
+        self,
+        transport: Optional[Transport] = None,
+        policy: Optional[RetryPolicy] = None,
+        rate_limiter: Optional[TokenBucket] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        api_key: Optional[str] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.transport = transport if transport is not None else UrllibTransport()
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.rate_limiter = rate_limiter
+        self.breaker = breaker
+        self.stats = ClientStats()
+        self._sleep = sleep
+        self._headers: Dict[str, str] = {"User-Agent": USER_AGENT}
+        if api_key:
+            self._headers["Authorization"] = f"Key {api_key}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        # Deliberately omits headers: the API key must never leak
+        # through a repr in a log line or a traceback.
+        return (
+            f"FaultTolerantClient(transport={type(self.transport).__name__}, "
+            f"requests={self.stats.requests})"
+        )
+
+    def _pace(self) -> None:
+        """Block (via the injected sleep) until the rate limiter allows."""
+        if self.rate_limiter is None:
+            return
+        wait = self.rate_limiter.reserve()
+        if wait > 0.0:
+            self.stats.rate_limit_waits += 1
+            self.stats.slept_s += wait
+            self._sleep(wait)
+
+    def get(self, url: str) -> HttpResponse:
+        """GET *url* with retries/backoff; raise the taxonomy on failure.
+
+        Raises :class:`CircuitOpenError` without touching the network
+        when the breaker is open, :class:`FatalError` immediately on a
+        non-retryable status, and :class:`RetryBudgetExceeded` when the
+        attempt count or time budget runs out.
+        """
+        request_index = self.stats.requests
+        self.stats.requests += 1
+        slept = 0.0
+        last: Optional[RetryableError] = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if self.breaker is not None:
+                try:
+                    self.breaker.check()
+                except CircuitOpenError:
+                    self.stats.circuit_rejections += 1
+                    raise
+            self._pace()
+            self.stats.attempts += 1
+            try:
+                response = self.transport.request(url, headers=self._headers)
+            except RetryableError as exc:
+                last = exc
+                if self.breaker is not None:
+                    self.breaker.on_failure()
+                if attempt >= self.policy.max_attempts:
+                    break
+                delay = self.policy.delay_for(
+                    request_index, attempt, retry_after=exc.retry_after
+                )
+                if slept + delay > self.policy.budget_s:
+                    raise RetryBudgetExceeded(
+                        f"retry budget exhausted for {url} after "
+                        f"{attempt} attempts ({slept:.1f}s slept)",
+                        attempts=attempt,
+                        slept_s=slept,
+                    ) from exc
+                self.stats.retries += 1
+                self.stats.slept_s += delay
+                slept += delay
+                self._sleep(delay)
+                continue
+            if self.breaker is not None:
+                self.breaker.on_success()
+            return response
+        raise RetryBudgetExceeded(
+            f"all {self.policy.max_attempts} attempts failed for {url}",
+            attempts=self.policy.max_attempts,
+            slept_s=slept,
+        ) from last
+
+    def get_json(self, url: str):
+        """GET *url* and decode the body as JSON, retrying bad bodies.
+
+        A truncated or undecodable body is a transient failure
+        (:class:`MalformedResponseError`), so decoding happens *inside*
+        the retry loop: each bad body counts as a failed attempt and is
+        retried on the same backoff schedule as a 5xx.
+        """
+        request_index = self.stats.requests
+        slept = 0.0
+        for attempt in range(1, self.policy.max_attempts + 1):
+            response = self.get(url)
+            try:
+                return json.loads(response.body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                if self.breaker is not None:
+                    self.breaker.on_failure()
+                if attempt >= self.policy.max_attempts:
+                    raise RetryBudgetExceeded(
+                        f"body of {url} never decoded as JSON after "
+                        f"{attempt} attempts",
+                        attempts=attempt,
+                        slept_s=slept,
+                    ) from exc
+                delay = self.policy.delay_for(request_index, attempt)
+                if slept + delay > self.policy.budget_s:
+                    raise RetryBudgetExceeded(
+                        f"retry budget exhausted decoding {url}",
+                        attempts=attempt,
+                        slept_s=slept,
+                    ) from exc
+                self.stats.retries += 1
+                self.stats.slept_s += delay
+                slept += delay
+                self._sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover

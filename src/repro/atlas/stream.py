@@ -6,12 +6,18 @@ arbitrarily ordered iterable of traceroutes into aligned bins, and
 :class:`TracerouteStream` provides the small amount of buffering needed to
 consume near-real-time feeds where results may arrive slightly out of
 order (the Atlas streaming API gives no ordering guarantee).
+:class:`FeedTailer` is the file-level companion for ``monitor
+--follow``: a ``tail -f`` line reader that notices feed truncation and
+logrotate-style replacement, reopens, counts the event and keeps going
+instead of stalling at a stale offset.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.atlas.columnar import BatchView, TracerouteBatch, bin_views
 from repro.atlas.model import Traceroute
@@ -104,6 +110,93 @@ def binned_payloads(
         if not isinstance(payload, BatchView):
             payload = list(payload)
         yield start, payload
+
+
+class FeedTailer:
+    """Line reader over an append-only feed that survives rotation.
+
+    ``tail -f`` semantics with the two real-world failure modes a
+    long-running monitor meets handled explicitly:
+
+    * **truncation** — the feed shrinks below the read position (a
+      logrotate ``copytruncate``, or an operator recreating the file).
+      The previous implementation's read loop would sit at a stale
+      offset past EOF and stall forever; the tailer detects the shrink
+      via ``st_size``, reopens from the top and keeps going;
+    * **rotation** — the feed is renamed away and a new file appears at
+      the path (``st_ino`` changes).  The tailer finishes nothing from
+      the old handle (its tail was already read), reopens the new file
+      from the top and keeps going.
+
+    Every reopen is counted in :attr:`reopens` so the monitor can
+    report it.  A partial (not yet newline-terminated) trailing line is
+    buffered until its remainder arrives — and dropped on reopen, since
+    the bytes that would have completed it are gone with the old file.
+    Without *follow* the tailer reads to end of file once and stops.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        follow: bool = False,
+        poll: float = 0.5,
+        idle_timeout: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if poll <= 0:
+            raise ValueError(f"poll interval must be positive: {poll}")
+        self.path = path
+        self.follow = follow
+        self.poll = poll
+        self.idle_timeout = idle_timeout
+        self.reopens = 0
+        self._sleep = sleep
+
+    def _rotated(self, handle) -> bool:
+        """True when the path was truncated or replaced under *handle*."""
+        try:
+            status = os.stat(self.path)
+        except OSError:
+            # Mid-rotation gap: the old file is gone, the new one is
+            # not there yet.  Treated as idle, not as rotation — the
+            # reopen happens once the path reappears.
+            return False
+        if status.st_size < handle.tell():
+            return True  # truncated in place
+        return status.st_ino != os.fstat(handle.fileno()).st_ino
+
+    def lines(self) -> Iterator[str]:
+        """Yield newline-terminated lines (the final one may not be)."""
+        handle = open(self.path, "r", encoding="utf-8")
+        try:
+            partial = ""
+            idle = 0.0
+            while True:
+                chunk = handle.readline()
+                if chunk:
+                    idle = 0.0
+                    partial += chunk
+                    if partial.endswith("\n"):
+                        yield partial
+                        partial = ""
+                    continue
+                if self._rotated(handle):
+                    handle.close()
+                    handle = open(self.path, "r", encoding="utf-8")
+                    self.reopens += 1
+                    partial = ""  # its completion vanished with the old file
+                    continue
+                if not self.follow or (
+                    self.idle_timeout is not None
+                    and idle >= self.idle_timeout
+                ):
+                    if partial:
+                        yield partial  # final unterminated line at EOF
+                    return
+                self._sleep(self.poll)
+                idle += self.poll
+        finally:
+            handle.close()
 
 
 class TracerouteStream:

@@ -1,15 +1,26 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows:
+Six subcommands cover the common workflows:
 
 * ``generate`` — run a measurement campaign on the synthetic Internet
   and store the traceroutes as JSONL (Atlas download format),
+* ``fetch``    — pull live RIPE Atlas data through the fault-tolerant
+  connector layer (:mod:`repro.atlas.connectors`): measurement results
+  normalized into the canonical traceroute JSONL, or the
+  ``meta-latest`` probe dump reduced to an ASN→probe map and prefix
+  table.  ``--cursor PATH`` makes a results fetch durable and
+  resumable (exactly-once across crashes); ``--fixture PATH`` serves
+  recorded pages offline, optionally through an injected fault
+  schedule (``--fault-seed/--fault-rate``),
 * ``analyze`` — run the detection pipeline over a stored campaign and
   print alarms plus the per-AS health summary (optionally JSON),
 * ``monitor`` — tail a JSONL feed like the authors' near-real-time
   deployment tails the Atlas streaming API: close hourly bins as the
   stream moves past them, emit alarms per closed bin, and durably
-  checkpoint detector state as it goes,
+  checkpoint detector state as it goes.  ``--atlas --atlas-msm ID``
+  first fetches the measurement's results into the feed file through
+  the connector layer (resumably, with ``--atlas-cursor``), then
+  monitors it — the live-data entry point,
 * ``serve``   — expose a persistent alarm store over the IHR-style
   HTTP JSON API (:mod:`repro.service`),
 * ``replay``  — regenerate one of the paper's case studies end to end.
@@ -39,6 +50,11 @@ HTTP from that store — no pipeline, no recomputation.
 Examples::
 
     python -m repro generate --hours 24 --seed 42 --out campaign.jsonl
+    python -m repro fetch results --msm 5051 --out feed.jsonl \\
+        --cursor feed.cursor
+    python -m repro fetch probes --out probes.json
+    python -m repro monitor feed.jsonl --atlas --atlas-msm 5051 \\
+        --atlas-cursor feed.cursor
     python -m repro analyze campaign.jsonl --json
     python -m repro analyze campaign.jsonl --shards 8 --jobs 4
     python -m repro analyze campaign.jsonl --bin-cache --shards 8
@@ -55,11 +71,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
-from typing import Iterator, List, Optional
+from typing import List, Optional
 
 from repro.atlas import (
+    FeedTailer,
     Traceroute,
     TracerouteStream,
     default_cache_path,
@@ -139,6 +155,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the scenario's ground-truth labels as JSON "
              "(requires --scenario)",
     )
+
+    fetch = sub.add_parser(
+        "fetch",
+        help="fetch live Atlas data through the fault-tolerant "
+             "connector layer",
+    )
+    fetch.add_argument(
+        "what", choices=["results", "probes"],
+        help="measurement results (traceroute JSONL) or the "
+             "meta-latest probe dump")
+    fetch.add_argument("--out", required=True,
+                       help="output path (results: .jsonl feed; "
+                            "probes: .json summary)")
+    fetch.add_argument("--msm", type=int, default=None,
+                       help="measurement id (required for results)")
+    fetch.add_argument("--start", type=int, default=None,
+                       help="window start (UNIX seconds, results only)")
+    fetch.add_argument("--stop", type=int, default=None,
+                       help="window stop (UNIX seconds, results only)")
+    fetch.add_argument("--page-size", type=_positive_int, default=500,
+                       metavar="N", help="results per API page (default 500)")
+    fetch.add_argument(
+        "--cursor", metavar="PATH", default=None,
+        help="durable pagination cursor: a killed fetch re-run with "
+             "the same arguments resumes its window exactly once")
+    fetch.add_argument("--max-pages", type=_positive_int, default=None,
+                       metavar="N", help="stop after N pages (resumable "
+                                         "with --cursor)")
+    fetch.add_argument("--base-url", default=None,
+                       help="API root (results) or dump URL (probes); "
+                            "defaults to the public Atlas endpoints")
+    fetch.add_argument("--af", type=int, choices=[4, 6], default=4,
+                       help="address family for the probe filter "
+                            "(default 4)")
+    fetch.add_argument(
+        "--probe-cache", metavar="PATH", default=None,
+        help="cache the filtered probe set here; served stale when "
+             "the API is down (circuit open / budget exhausted)")
+    fetch.add_argument(
+        "--secrets", metavar="PATH", default=None,
+        help="file holding the Atlas API key (the ATLAS_API_KEY "
+             "environment variable wins; the key is never logged)")
+    _add_connector_flags(fetch)
 
     analyze = sub.add_parser(
         "analyze", help="run the detection pipeline over stored traceroutes"
@@ -222,6 +281,31 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--probes", type=int, default=None,
                          help="override the number of probes (for the "
                               "--store IP-to-AS table)")
+    monitor.add_argument(
+        "--atlas", action="store_true",
+        help="fetch the feed from the Atlas measurement API through "
+             "the connector layer before monitoring it (requires "
+             "--atlas-msm)")
+    monitor.add_argument("--atlas-msm", type=int, default=None,
+                         metavar="ID", help="measurement id for --atlas")
+    monitor.add_argument(
+        "--atlas-cursor", metavar="PATH", default=None,
+        help="durable cursor for the --atlas fetch (resume "
+             "exactly-once after a crash)")
+    monitor.add_argument("--atlas-start", type=int, default=None,
+                         metavar="T", help="--atlas window start "
+                                           "(UNIX seconds)")
+    monitor.add_argument("--atlas-stop", type=int, default=None,
+                         metavar="T", help="--atlas window stop "
+                                           "(UNIX seconds)")
+    monitor.add_argument("--base-url", default=None,
+                         help="--atlas API root (default: the public "
+                              "Atlas API)")
+    monitor.add_argument(
+        "--secrets", metavar="PATH", default=None,
+        help="file holding the Atlas API key for --atlas (the "
+             "ATLAS_API_KEY environment variable wins)")
+    _add_connector_flags(monitor)
     _add_engine_flags(monitor)
 
     serve = sub.add_parser(
@@ -283,6 +367,67 @@ def _checkpoint_every(args) -> int:
         )
         raise SystemExit(2)
     return args.checkpoint_every if args.checkpoint_every is not None else 1
+
+
+def _add_connector_flags(parser: argparse.ArgumentParser) -> None:
+    """Offline-transport knobs shared by ``fetch`` and ``monitor --atlas``."""
+    parser.add_argument(
+        "--fixture", metavar="PATH", default=None,
+        help="serve recorded fixture pages instead of the network "
+             "(fully offline)")
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed for the injected fault schedule with --fixture "
+             "(default 0)")
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="R",
+        help="injected fault probability per request with --fixture "
+             "(default 0.0 = no faults)")
+
+
+def _make_client(
+    fixture: Optional[str],
+    fault_seed: int,
+    fault_rate: float,
+    secrets: Optional[str],
+):
+    """Build the connector client: fixture-backed offline, urllib live.
+
+    Offline clients skip real sleeping (the backoff schedule still
+    runs, the process just does not wait for it) and carry no API key;
+    live clients get the stdlib transport, a polite token bucket, a
+    circuit breaker, and the key from ``ATLAS_API_KEY``/*secrets* —
+    sent only as a header, never logged.
+    """
+    from repro.atlas.connectors import (
+        CircuitBreaker,
+        FaultSchedule,
+        FaultTolerantClient,
+        RetryPolicy,
+        ScriptedTransport,
+        TokenBucket,
+        load_api_key,
+        load_fixture,
+    )
+
+    if fixture is not None:
+        schedule = (
+            FaultSchedule.seeded(fault_seed, fault_rate)
+            if fault_rate > 0.0
+            else None
+        )
+        return FaultTolerantClient(
+            transport=ScriptedTransport(load_fixture(fixture), faults=schedule),
+            policy=RetryPolicy(seed=fault_seed),
+            breaker=CircuitBreaker(),
+            sleep=lambda _s: None,
+        )
+    return FaultTolerantClient(
+        policy=RetryPolicy(),
+        rate_limiter=TokenBucket(rate_per_s=4.0, capacity=8.0),
+        breaker=CircuitBreaker(),
+        api_key=load_api_key(secrets_path=secrets),
+    )
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -398,6 +543,96 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_fetch(args) -> int:
+    """Body of the ``fetch`` subcommand (connector-layer ingestion)."""
+    from repro.atlas.connectors import (
+        DEFAULT_BASE_URL,
+        META_LATEST_URL,
+        TransportError,
+        asn_probe_map,
+        fetch_probes,
+        fetch_results,
+        prefix_entries,
+    )
+
+    client = _make_client(
+        args.fixture, args.fault_seed, args.fault_rate, args.secrets
+    )
+    if args.what == "results":
+        if args.msm is None:
+            print("repro: error: fetch results requires --msm",
+                  file=sys.stderr)
+            return 2
+        try:
+            report = fetch_results(
+                client,
+                args.msm,
+                args.out,
+                cursor_path=args.cursor,
+                start=args.start,
+                stop=args.stop,
+                page_size=args.page_size,
+                base_url=args.base_url or DEFAULT_BASE_URL,
+                max_pages=args.max_pages,
+            )
+        except TransportError as exc:
+            print(f"repro: fetch failed: {exc}", file=sys.stderr)
+            return 1
+        if report.restarted:
+            print(
+                "cursor was corrupt or foreign; window restarted from "
+                "page zero",
+                file=sys.stderr,
+            )
+        state = (
+            "already complete"
+            if report.already_complete
+            else ("complete" if report.completed else "paused (resumable)")
+        )
+        print(
+            f"fetched msm {args.msm}: {report.pages} pages, "
+            f"{report.records} traceroutes, {report.skipped} skipped "
+            f"-> {args.out} [{state}]"
+            + (" (resumed)" if report.resumed else "")
+        )
+        print(
+            f"transport: {client.stats.attempts} attempts for "
+            f"{client.stats.requests} requests, "
+            f"{client.stats.retries} retries, "
+            f"{client.stats.slept_s:.1f}s backoff"
+        )
+        return 0
+    # probes: meta-latest dump -> ASN->probe map + prefix table
+    try:
+        probe_set = fetch_probes(
+            client,
+            url=args.base_url or META_LATEST_URL,
+            af=args.af,
+            cache_path=args.probe_cache,
+        )
+    except (TransportError, ValueError) as exc:
+        print(f"repro: fetch failed: {exc}", file=sys.stderr)
+        return 1
+    probes = list(probe_set.probes)
+    mapping = asn_probe_map(probes)
+    payload = {
+        "af": args.af,
+        "stale": probe_set.stale,
+        "total_in_dump": probe_set.total_in_dump,
+        "usable_probes": len(probes),
+        "asn_probe_map": {str(asn): ids for asn, ids in mapping.items()},
+        "prefix_entries": [list(entry) for entry in prefix_entries(probes)],
+    }
+    Path(args.out).write_text(json.dumps(payload, sort_keys=True))
+    stale = " (STALE cache — live fetch failed)" if probe_set.stale else ""
+    print(
+        f"probe map: {len(probes)} usable probes across "
+        f"{len(mapping)} ASNs, {len(payload['prefix_entries'])} "
+        f"prefix entries -> {args.out}{stale}"
+    )
+    return 0
+
+
 def _warn_if_unattributed_store(writer, store_path) -> None:
     """Flag a store whose alarms all failed IP→AS attribution.
 
@@ -484,38 +719,6 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
-def _iter_feed_lines(
-    path: str, follow: bool, poll: float, idle_timeout: Optional[float]
-) -> Iterator[str]:
-    """Yield complete lines from an append-only feed file.
-
-    Without *follow* this reads to end of file and stops.  With it, the
-    reader keeps polling for appended data (a partial line — one not yet
-    newline-terminated — is buffered until its remainder arrives) and
-    gives up only after *idle_timeout* seconds of silence, if set.
-    """
-    with open(path, "r", encoding="utf-8") as handle:
-        partial = ""
-        idle = 0.0
-        while True:
-            chunk = handle.readline()
-            if chunk:
-                idle = 0.0
-                partial += chunk
-                if partial.endswith("\n"):
-                    yield partial
-                    partial = ""
-                continue
-            if not follow or (
-                idle_timeout is not None and idle >= idle_timeout
-            ):
-                if partial:
-                    yield partial  # final unterminated line at EOF
-                return
-            time.sleep(poll)
-            idle += poll
-
-
 def _emit_bin(result, as_json: bool) -> None:
     """Print one closed bin's outcome (text or one-line JSON)."""
     if as_json:
@@ -547,9 +750,45 @@ def _emit_bin(result, as_json: bool) -> None:
         )
 
 
+def _monitor_prefetch(args) -> int:
+    """Run the ``--atlas`` fetch into the feed file before monitoring.
+
+    Returns the number of traceroutes fetched; raises ``SystemExit``
+    on misuse.  The fetch is resumable through ``--atlas-cursor`` and
+    exactly-once, so a crashed monitor re-run refetches nothing it
+    already has.
+    """
+    from repro.atlas.connectors import DEFAULT_BASE_URL, fetch_results
+
+    if args.atlas_msm is None:
+        print("repro: error: --atlas requires --atlas-msm", file=sys.stderr)
+        raise SystemExit(2)
+    client = _make_client(
+        args.fixture, args.fault_seed, args.fault_rate, args.secrets
+    )
+    report = fetch_results(
+        client,
+        args.atlas_msm,
+        args.path,
+        cursor_path=args.atlas_cursor,
+        start=args.atlas_start,
+        stop=args.atlas_stop,
+        base_url=args.base_url or DEFAULT_BASE_URL,
+    )
+    if not args.json:
+        print(
+            f"atlas fetch: msm {args.atlas_msm}, {report.pages} pages, "
+            f"{report.records} traceroutes -> {args.path}"
+            + (" (resumed)" if report.resumed else "")
+        )
+    return report.records
+
+
 def _cmd_monitor(args) -> int:
     """Body of the ``monitor`` subcommand (live path + checkpointing)."""
     every = _checkpoint_every(args)
+    if args.atlas:
+        _monitor_prefetch(args)
     config = _engine_config(args, bin_s=args.bin_s) or PipelineConfig()
     pipeline = create_pipeline(config)
     snapshot = None
@@ -644,11 +883,15 @@ def _cmd_monitor(args) -> int:
                 return True
         return False
 
+    tailer = FeedTailer(
+        args.path,
+        follow=args.follow,
+        poll=args.poll,
+        idle_timeout=args.idle_timeout,
+    )
     try:
         stopped = False
-        for line in _iter_feed_lines(
-            args.path, args.follow, args.poll, args.idle_timeout
-        ):
+        for line in tailer.lines():
             line = line.strip()
             if not line:
                 continue
@@ -676,11 +919,17 @@ def _cmd_monitor(args) -> int:
                 f"alarm store: {args.store} "
                 f"(generation {store_writer.generation})"
             )
+        reopens = (
+            f", {tailer.reopens} feed truncation/rotation reopens"
+            if tailer.reopens
+            else ""
+        )
         print(
             f"monitor done: {closed_bins} bins, "
             f"{stream.dropped_late} late results dropped, "
             f"{stream.dropped_replayed} replayed results skipped, "
             f"{skipped_lines} undecodable lines skipped"
+            f"{reopens}"
         )
     return 0
 
@@ -765,6 +1014,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
+        "fetch": _cmd_fetch,
         "analyze": _cmd_analyze,
         "monitor": _cmd_monitor,
         "serve": _cmd_serve,

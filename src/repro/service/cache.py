@@ -42,12 +42,19 @@ def make_etag(body: bytes, generation) -> str:
 
 @dataclass(frozen=True)
 class CachedResponse:
-    """One fully rendered response: status, body bytes and ETag."""
+    """One fully rendered response: status, body bytes and ETag.
+
+    ``retry_after`` (seconds), when set, is emitted as a ``Retry-After``
+    header — 503 answers carry it so clients built on a backoff policy
+    (e.g. the connector layer's ``RetryPolicy``) wait the advertised
+    interval instead of hot-looping on an unavailable store.
+    """
 
     status: int
     body: bytes
     etag: str
     content_type: str = "application/json"
+    retry_after: Optional[int] = None
 
 
 class ResponseCache:

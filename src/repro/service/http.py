@@ -24,6 +24,13 @@ answer.  Strong ETags plus ``If-None-Match`` give clients free ``304``
 revalidation.  Queries against the shared engine are serialised by a
 lock (its per-generation caches are plain dicts); cache hits bypass the
 engine entirely, so the hot path stays concurrent.
+
+Unavailability is advertised, not just suffered: every ``503`` carries
+a ``Retry-After: {RETRY_AFTER_S}`` header and a ``retry_after`` field
+in its JSON error body, so clients built on a backoff policy (the
+connector layer's :class:`~repro.atlas.connectors.transport.RetryPolicy`
+honours ``Retry-After``) wait the advertised interval instead of
+hot-looping on a store that is mid-write.
 """
 
 from __future__ import annotations
@@ -47,6 +54,13 @@ from repro.service.store import StoreError
 
 #: Default bind address for :func:`make_server`.
 DEFAULT_HOST = "127.0.0.1"
+
+#: Backoff interval (seconds) advertised on every 503.  Store
+#: unavailability is transient (a writer mid-append, a manifest being
+#: replaced), so clients honouring ``Retry-After`` — the connector
+#: layer's ``RetryPolicy`` does — recover without hot-looping; the
+#: value is also echoed as ``retry_after`` in the JSON error body.
+RETRY_AFTER_S = 5
 
 
 class _BadRequest(ValueError):
@@ -113,15 +127,28 @@ class AlarmServiceHandler(BaseHTTPRequestHandler):
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(response.body)))
+        if response.retry_after is not None:
+            self.send_header("Retry-After", str(response.retry_after))
         if response.status == 200:
             self.send_header("ETag", response.etag)
             self.send_header("Cache-Control", "no-cache")
         self.end_headers()
         self.wfile.write(response.body)
 
-    def _error(self, status: int, message: str, generation) -> CachedResponse:
-        body = _json_body({"error": message})
-        return CachedResponse(status, body, make_etag(body, generation))
+    def _error(
+        self,
+        status: int,
+        message: str,
+        generation,
+        retry_after: Optional[int] = None,
+    ) -> CachedResponse:
+        payload: Dict[str, object] = {"error": message}
+        if retry_after is not None:
+            payload["retry_after"] = retry_after
+        body = _json_body(payload)
+        return CachedResponse(
+            status, body, make_etag(body, generation), retry_after=retry_after
+        )
 
     # -- request handling ----------------------------------------------------
 
@@ -139,7 +166,14 @@ class AlarmServiceHandler(BaseHTTPRequestHandler):
                 # cache entries and ETags can never match it.
                 generation = server.engine.cache_token
         except StoreError as exc:
-            self._send(self._error(503, f"store unavailable: {exc}", "-"))
+            self._send(
+                self._error(
+                    503,
+                    f"store unavailable: {exc}",
+                    "-",
+                    retry_after=RETRY_AFTER_S,
+                )
+            )
             return
         key = (route, tuple(sorted(params.items())), generation)
         cacheable = route != "/"
@@ -155,7 +189,14 @@ class AlarmServiceHandler(BaseHTTPRequestHandler):
             self._send(self._error(400, str(exc), generation))
             return
         except StoreError as exc:
-            self._send(self._error(503, f"store unavailable: {exc}", generation))
+            self._send(
+                self._error(
+                    503,
+                    f"store unavailable: {exc}",
+                    generation,
+                    retry_after=RETRY_AFTER_S,
+                )
+            )
             return
         if payload is None:
             self._send(self._error(404, f"no such route: {route}", generation))

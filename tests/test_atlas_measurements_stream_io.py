@@ -8,6 +8,7 @@ from repro.atlas import (
     ANCHORING,
     BUILTIN,
     DecodeWarning,
+    FeedTailer,
     MeasurementKind,
     MeasurementSpec,
     TimeBinner,
@@ -369,3 +370,122 @@ class TestJsonlIO:
         with open(path, "a") as handle:
             handle.write("\n\n")
         assert len(list(read_traceroutes(path))) == 1
+
+
+class TestFeedTailer:
+    """Regression tests for follow-mode truncation/rotation handling.
+
+    The pre-PR-7 follow loop kept its read offset when the feed shrank
+    (logrotate ``copytruncate``) or was replaced (rename + recreate),
+    stalling forever past EOF.  The tailer must detect both, reopen,
+    count the reopen, and keep yielding.
+    """
+
+    def drive(self, tailer, script):
+        """Run tailer.lines() with *script* steps between idle polls.
+
+        *script* maps poll number → callable; the tailer's injected
+        sleep runs the step due at each idle poll.  Returns the lines
+        yielded until the iterator finishes (idle_timeout).
+        """
+        polls = {"n": 0}
+
+        def fake_sleep(_seconds):
+            step = script.get(polls["n"])
+            polls["n"] += 1
+            if step is not None:
+                step()
+
+        tailer._sleep = fake_sleep
+        return list(tailer.lines())
+
+    def test_plain_read_without_follow(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text("a\nb\n")
+        tailer = FeedTailer(str(path))
+        assert list(tailer.lines()) == ["a\n", "b\n"]
+        assert tailer.reopens == 0
+
+    def test_unterminated_final_line_yielded_at_eof(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text("a\ntail-without-newline")
+        assert list(FeedTailer(str(path)).lines()) == [
+            "a\n", "tail-without-newline"
+        ]
+
+    def test_follow_picks_up_appends(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text("a\n")
+        tailer = FeedTailer(
+            str(path), follow=True, poll=0.1, idle_timeout=0.3
+        )
+        lines = self.drive(tailer, {
+            0: lambda: path.open("a").write("b\n"),
+        })
+        assert lines == ["a\n", "b\n"]
+        assert tailer.reopens == 0
+
+    def test_truncation_reopens_from_top(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text("a\nb\n")
+        tailer = FeedTailer(
+            str(path), follow=True, poll=0.1, idle_timeout=0.3
+        )
+        lines = self.drive(tailer, {
+            0: lambda: path.write_text("c\n"),  # copytruncate-style
+        })
+        assert lines == ["a\n", "b\n", "c\n"]
+        assert tailer.reopens == 1
+
+    def test_rotation_reopens_new_file(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text("a\n")
+
+        def rotate():
+            path.rename(tmp_path / "feed.jsonl.1")
+            # The replacement is longer than the old file, so only the
+            # inode change can reveal the rotation.
+            path.write_text("brand\nnew\nfeed\n")
+
+        tailer = FeedTailer(
+            str(path), follow=True, poll=0.1, idle_timeout=0.3
+        )
+        lines = self.drive(tailer, {0: rotate})
+        assert lines == ["a\n", "brand\n", "new\n", "feed\n"]
+        assert tailer.reopens == 1
+
+    def test_partial_line_dropped_on_truncation(self, tmp_path):
+        # The bytes that would have completed the partial line vanished
+        # with the old content; keeping the fragment would glue two
+        # unrelated records together.
+        path = tmp_path / "feed.jsonl"
+        path.write_text("a\npart")
+        tailer = FeedTailer(
+            str(path), follow=True, poll=0.1, idle_timeout=0.3
+        )
+        lines = self.drive(tailer, {
+            0: lambda: path.write_text("b\n"),
+        })
+        assert lines == ["a\n", "b\n"]
+        assert tailer.reopens == 1
+
+    def test_mid_rotation_gap_is_idle_not_fatal(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text("a\n")
+
+        def vanish():
+            path.unlink()  # rotation in progress, new file not yet there
+
+        def reappear():
+            path.write_text("b\n")
+
+        tailer = FeedTailer(
+            str(path), follow=True, poll=0.1, idle_timeout=0.5
+        )
+        lines = self.drive(tailer, {0: vanish, 1: reappear})
+        assert lines == ["a\n", "b\n"]
+        assert tailer.reopens == 1
+
+    def test_rejects_bad_poll(self, tmp_path):
+        with pytest.raises(ValueError):
+            FeedTailer(str(tmp_path / "f"), poll=0.0)

@@ -1,0 +1,405 @@
+"""Tests for the fault-tolerant transport layer (offline, no network).
+
+Every claim the connector layer makes about surviving the real
+Internet — typed errors, deterministic backoff, Retry-After, rate
+limiting, the circuit breaker, the retry budget — is proven here with
+the scripted transport, injected clocks and recorded sleeps.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.atlas.connectors import (
+    API_KEY_ENV,
+    CircuitBreaker,
+    CircuitOpenError,
+    FatalError,
+    Fault,
+    FaultSchedule,
+    FaultTolerantClient,
+    HttpResponse,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    RetryableError,
+    ScriptedTransport,
+    TokenBucket,
+    load_api_key,
+    parse_retry_after,
+)
+
+URL = "https://atlas.example/api/v2/measurements/1/results/?format=json"
+PAGES = {URL: b'{"results": [], "next": null}'}
+
+
+def make_client(pages=None, faults=None, policy=None, breaker=None,
+                rate_limiter=None, api_key=None):
+    """A client over a ScriptedTransport that records its sleeps."""
+    transport = ScriptedTransport(
+        PAGES if pages is None else pages, faults=faults
+    )
+    sleeps = []
+    client = FaultTolerantClient(
+        transport=transport,
+        policy=policy or RetryPolicy(seed=1),
+        breaker=breaker,
+        rate_limiter=rate_limiter,
+        api_key=api_key,
+        sleep=sleeps.append,
+    )
+    return client, transport, sleeps
+
+
+class TestErrorTaxonomy:
+    def test_429_and_5xx_are_retryable(self):
+        for status in (429, 500, 502, 503):
+            faults = FaultSchedule({0: Fault(kind="status", status=status)})
+            client, transport, _ = make_client(faults=faults)
+            response = client.get(URL)
+            assert response.status == 200
+            assert transport.requests == 2  # one fault, one success
+
+    def test_fatal_4xx_is_not_retried(self):
+        faults = FaultSchedule({0: Fault(kind="status", status=403)})
+        client, transport, sleeps = make_client(faults=faults)
+        with pytest.raises(FatalError) as excinfo:
+            client.get(URL)
+        assert excinfo.value.status == 403
+        assert transport.requests == 1
+        assert sleeps == []
+
+    def test_network_drop_is_retryable(self):
+        faults = FaultSchedule({0: Fault(kind="drop"), 1: Fault(kind="drop")})
+        client, transport, sleeps = make_client(faults=faults)
+        assert client.get(URL).status == 200
+        assert transport.requests == 3
+        assert len(sleeps) == 2
+
+    def test_unknown_url_is_fatal_404(self):
+        client, _, _ = make_client(pages={})
+        with pytest.raises(FatalError) as excinfo:
+            client.get(URL)
+        assert excinfo.value.status == 404
+
+    def test_parse_retry_after(self):
+        assert parse_retry_after("3") == 3.0
+        assert parse_retry_after("0.5") == 0.5
+        assert parse_retry_after("-2") == 0.0
+        assert parse_retry_after(None) is None
+        assert parse_retry_after("Wed, 21 Oct 2015 07:28:00 GMT") is None
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=2.0, max_delay_s=5.0, jitter=0.0
+        )
+        delays = [policy.delay_for(0, attempt) for attempt in range(1, 6)]
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_is_deterministic_per_request_and_attempt(self):
+        policy = RetryPolicy(seed=42)
+        first = [policy.delay_for(7, a) for a in range(1, 5)]
+        second = [RetryPolicy(seed=42).delay_for(7, a) for a in range(1, 5)]
+        assert first == second
+        # A different request index draws different jitter.
+        assert first != [policy.delay_for(8, a) for a in range(1, 5)]
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=1.0, jitter=0.25, max_delay_s=100.0
+        )
+        for index in range(50):
+            delay = policy.delay_for(index, 1)
+            assert 0.75 <= delay <= 1.25
+
+    def test_retry_after_overrides_backoff(self):
+        policy = RetryPolicy(base_delay_s=100.0, max_delay_s=200.0)
+        assert policy.delay_for(0, 1, retry_after=7.0) == 7.0
+        # ... but is still capped at max_delay_s.
+        assert policy.delay_for(0, 1, retry_after=999.0) == 200.0
+
+    def test_client_honours_retry_after(self):
+        faults = FaultSchedule(
+            {0: Fault(kind="status", status=429, retry_after=9.0)}
+        )
+        client, _, sleeps = make_client(faults=faults)
+        client.get(URL)
+        assert sleeps == [9.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+
+
+class TestRetryBudget:
+    def test_attempts_exhausted(self):
+        faults = FaultSchedule({i: Fault(kind="drop") for i in range(10)})
+        policy = RetryPolicy(max_attempts=3, seed=1)
+        client, transport, _ = make_client(faults=faults, policy=policy)
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            client.get(URL)
+        assert excinfo.value.attempts == 3
+        assert transport.requests == 3
+
+    def test_time_budget_exhausted(self):
+        faults = FaultSchedule({i: Fault(kind="drop") for i in range(10)})
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=10.0, jitter=0.0, budget_s=25.0
+        )
+        client, _, sleeps = make_client(faults=faults, policy=policy)
+        with pytest.raises(RetryBudgetExceeded):
+            client.get(URL)
+        assert sum(sleeps) <= 25.0
+
+    def test_burst_absorbed_within_budget(self):
+        # A 4-deep burst of mixed 429/503/drops, then recovery: the
+        # client must absorb it without exhausting the default budget.
+        faults = FaultSchedule(
+            {
+                0: Fault(kind="status", status=503),
+                1: Fault(kind="drop"),
+                2: Fault(kind="status", status=429, retry_after=2.0),
+                3: Fault(kind="status", status=500),
+            }
+        )
+        client, transport, sleeps = make_client(
+            faults=faults, policy=RetryPolicy(max_attempts=6, seed=3)
+        )
+        assert client.get(URL).status == 200
+        assert transport.requests == 5
+        assert client.stats.retries == 4
+        assert sum(sleeps) < RetryPolicy().budget_s
+
+
+class TestTruncatedBody:
+    def test_get_json_retries_truncated_body(self):
+        faults = FaultSchedule({0: Fault(kind="truncate")})
+        client, transport, _ = make_client(faults=faults)
+        payload = client.get_json(URL)
+        assert payload == {"results": [], "next": None}
+        assert transport.requests == 2
+
+    def test_get_json_gives_up_after_budget(self):
+        faults = FaultSchedule(
+            {i: Fault(kind="truncate") for i in range(10)}
+        )
+        policy = RetryPolicy(max_attempts=3, seed=1)
+        client, _, _ = make_client(faults=faults, policy=policy)
+        with pytest.raises(RetryBudgetExceeded):
+            client.get_json(URL)
+
+
+class TestTokenBucket:
+    def test_initial_burst_is_free(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=1.0, capacity=3, clock=clock)
+        assert [bucket.reserve() for _ in range(3)] == [0.0, 0.0, 0.0]
+
+    def test_empty_bucket_imposes_wait(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=2.0, capacity=1, clock=clock)
+        assert bucket.reserve() == 0.0
+        assert bucket.reserve() == pytest.approx(0.5)
+        assert bucket.reserve() == pytest.approx(1.0)
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=1.0, capacity=2, clock=clock)
+        bucket.reserve(), bucket.reserve()
+        clock.advance(2.0)
+        assert bucket.reserve() == 0.0
+
+    def test_client_paces_requests(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=1.0, capacity=1, clock=clock)
+        client, _, sleeps = make_client(rate_limiter=bucket)
+        client.get(URL)
+        client.get(URL)
+        assert client.stats.rate_limit_waits == 1
+        assert sleeps and sleeps[0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=1.0, capacity=0)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by *seconds*."""
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def breaker(self, clock, threshold=3, cooldown=30.0):
+        """A breaker on the fake clock with small thresholds."""
+        return CircuitBreaker(
+            failure_threshold=threshold, cooldown_s=cooldown, clock=clock
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = self.breaker(clock)
+        for _ in range(3):
+            breaker.check()
+            breaker.on_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+
+    def test_success_resets_the_count(self):
+        clock = FakeClock()
+        breaker = self.breaker(clock)
+        breaker.on_failure(), breaker.on_failure()
+        breaker.on_success()
+        breaker.on_failure(), breaker.on_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_recovers(self):
+        clock = FakeClock()
+        breaker = self.breaker(clock)
+        for _ in range(3):
+            breaker.on_failure()
+        clock.advance(30.0)
+        assert breaker.state == "half-open"
+        breaker.check()  # the single trial request is admitted
+        breaker.on_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self.breaker(clock)
+        for _ in range(3):
+            breaker.on_failure()
+        clock.advance(30.0)
+        breaker.check()
+        breaker.on_failure()
+        assert breaker.state == "open"
+        assert breaker.times_opened == 2
+
+    def test_client_opens_and_recovers_end_to_end(self):
+        # 3 straight drops trip the breaker mid-request; the next get()
+        # fails fast without touching the transport; after the cooldown
+        # the half-open probe succeeds and the circuit closes.
+        clock = FakeClock()
+        breaker = self.breaker(clock, threshold=3, cooldown=30.0)
+        faults = FaultSchedule({i: Fault(kind="drop") for i in range(3)})
+        client, transport, _ = make_client(
+            faults=faults,
+            breaker=breaker,
+            policy=RetryPolicy(max_attempts=3, seed=1),
+        )
+        with pytest.raises(RetryBudgetExceeded):
+            client.get(URL)
+        assert breaker.state == "open"
+        before = transport.requests
+        with pytest.raises(CircuitOpenError):
+            client.get(URL)
+        assert transport.requests == before  # failed fast, no network
+        assert client.stats.circuit_rejections == 1
+        clock.advance(30.0)
+        assert client.get(URL).status == 200
+        assert breaker.state == "closed"
+
+
+class TestApiKeyHygiene:
+    def test_key_travels_only_in_header(self):
+        client, transport, _ = make_client(api_key="s3cret-key")
+        client.get(URL)
+        assert transport.last_headers["Authorization"] == "Key s3cret-key"
+
+    def test_key_never_in_repr_or_errors(self):
+        faults = FaultSchedule({i: Fault(kind="drop") for i in range(10)})
+        client, _, _ = make_client(
+            faults=faults,
+            api_key="s3cret-key",
+            policy=RetryPolicy(max_attempts=2, seed=1),
+        )
+        assert "s3cret" not in repr(client)
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            client.get(URL)
+        chain = []
+        exc = excinfo.value
+        while exc is not None:
+            chain.append(str(exc) + repr(exc.args))
+            exc = exc.__cause__
+        assert all("s3cret" not in text for text in chain)
+
+    def test_load_api_key_env_wins(self, tmp_path):
+        secrets = tmp_path / "secrets"
+        secrets.write_text("file-key\n")
+        env = {API_KEY_ENV: "env-key"}
+        assert load_api_key(secrets_path=secrets, env=env) == "env-key"
+        assert load_api_key(secrets_path=secrets, env={}) == "file-key"
+        assert load_api_key(env={}) is None
+        assert load_api_key(secrets_path=tmp_path / "missing", env={}) is None
+
+
+class TestDeterminism:
+    """The PR's determinism audit: all new randomness is seeded + pure."""
+
+    def test_fault_schedule_is_pure_function_of_seed_and_index(self):
+        first = FaultSchedule.seeded(11, 0.4)
+        second = FaultSchedule.seeded(11, 0.4)
+        for index in range(200):
+            assert first.fault_for(index) == second.fault_for(index)
+        different = FaultSchedule.seeded(12, 0.4)
+        assert any(
+            first.fault_for(i) != different.fault_for(i) for i in range(200)
+        )
+
+    def test_transcripts_reproduce_across_processes(self):
+        # Backoff jitter and fault schedules must not depend on
+        # PYTHONHASHSEED or any per-process state: the same seeds give
+        # the same transcript in freshly launched interpreters.
+        snippet = (
+            "from repro.atlas.connectors import RetryPolicy, FaultSchedule\n"
+            "pol = RetryPolicy(seed=5)\n"
+            "sch = FaultSchedule.seeded(5, 0.5)\n"
+            "delays = [round(pol.delay_for(i, a), 9)"
+            " for i in range(5) for a in (1, 2, 3)]\n"
+            "faults = [(f.kind, f.status, f.retry_after) if f else None"
+            " for f in map(sch.fault_for, range(50))]\n"
+            "print(repr((delays, faults)))\n"
+        )
+        outputs = []
+        for hash_seed in ("0", "1"):
+            result = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={
+                    "PYTHONPATH": "src",
+                    "PYTHONHASHSEED": hash_seed,
+                },
+                cwd=str(__import__("pathlib").Path(__file__).parent.parent),
+            )
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
+
+    def test_stats_counters_track_the_transcript(self):
+        faults = FaultSchedule({0: Fault(kind="drop")})
+        client, _, _ = make_client(faults=faults)
+        client.get(URL)
+        client.get(URL)
+        assert client.stats.requests == 2
+        assert client.stats.attempts == 3
+        assert client.stats.retries == 1

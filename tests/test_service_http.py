@@ -255,3 +255,51 @@ class TestCachingBehaviour:
             f"{json.loads(after)['store']['generation']}."
         )
         assert f"g{token}-" in headers["ETag"]
+
+
+class TestUnavailableStore:
+    """503s must advertise their backoff, not just fail (PR 7)."""
+
+    def test_503_carries_retry_after_header_and_body(self, tmp_path):
+        from repro.service.http import RETRY_AFTER_S
+        from repro.service.store import MANIFEST_NAME
+
+        directory = tmp_path / "store"
+        build_store(directory, synthetic_bins(4, seed=13), make_mapper())
+        server = make_server(directory, port=0, window_bins=4)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            base = f"http://{host}:{port}"
+            status, _, _ = _get(f"{base}/health/65001")
+            assert status == 200
+            # Corrupt the manifest: the next refresh() raises
+            # StoreError, which the handler renders as an advertised,
+            # retryable 503.
+            manifest = directory / MANIFEST_NAME
+            blob = bytearray(manifest.read_bytes())
+            blob[len(blob) // 2] ^= 0x01
+            manifest.write_bytes(bytes(blob))
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/health/65001")
+            error = excinfo.value
+            assert error.code == 503
+            assert error.headers["Retry-After"] == str(RETRY_AFTER_S)
+            payload = json.loads(error.read())
+            assert payload["retry_after"] == RETRY_AFTER_S
+            assert "store unavailable" in payload["error"]
+            # The connector layer's own parser accepts what we emit.
+            from repro.atlas.connectors import parse_retry_after
+
+            assert parse_retry_after(
+                error.headers["Retry-After"]
+            ) == float(RETRY_AFTER_S)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_healthy_responses_have_no_retry_after(self, served_store):
+        status, headers, _ = _get(f"{served_store['base']}/health/65001")
+        assert status == 200
+        assert "Retry-After" not in headers
