@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: help test bench bench-engine bench-ingest bench-detect bench-stream bench-serve bench-quality bench-fetch fetch-smoke docs doclint
+.PHONY: help test bench bench-engine bench-ingest bench-detect bench-stream bench-serve bench-quality bench-fetch bench-e2e benchstat fetch-smoke docs doclint
 
 help:
 	@echo "targets:"
@@ -18,6 +18,8 @@ help:
 	@echo "  bench-serve  alarm-store serving benchmark (BENCH_serve.json)"
 	@echo "  bench-quality detection-quality regression bench (BENCH_quality.json)"
 	@echo "  bench-fetch  connector-layer fetch benchmark (BENCH_fetch.json)"
+	@echo "  bench-e2e    fused end-to-end throughput benchmark (BENCH_e2e.json)"
+	@echo "  benchstat    diff BENCH_*.json against benchmarks/baselines/"
 	@echo "  fetch-smoke  offline connector smoke: fixture fetch under faults"
 	@echo "  docs         docstring lint + pointers to docs/"
 	@echo "  doclint      docstring lint only"
@@ -50,6 +52,14 @@ bench-quality:
 
 bench-fetch:
 	$(PYTHON) -m pytest -q benchmarks/bench_fetch.py -s
+
+bench-e2e:
+	$(PYTHON) -m pytest -q benchmarks/bench_e2e.py -s
+
+# Regression gate: compares the BENCH_*.json files at the repo root
+# against the blessed copies in benchmarks/baselines/ (20 % threshold).
+benchstat:
+	$(PYTHON) tools/benchstat.py
 
 # End-to-end connector smoke with zero network access: the CLI fetches a
 # recorded fixture through a 30 % injected-fault schedule and the

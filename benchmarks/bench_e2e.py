@@ -1,0 +1,299 @@
+"""End-to-end throughput: the fused spine vs the stage-sum path.
+
+The paper's deployment replays archived traceroutes continuously, so
+the number that matters operationally is **traceroutes per second from
+a cold on-disk campaign to a published alarm store**.  Before the
+fused spine, that path was a sum of individually-fast stages glued
+together with Python objects: the bin cache was copied into ``array``
+columns, extraction re-boxed columns into ``(str, str)``-keyed dicts,
+the process executor pickled those dicts per bin, and every alarm was
+rendered through an intermediate record dict at the store boundary.
+The fused path keeps one columnar spine end to end: the cache is
+mmap'd (``mapped=True``), extraction emits interned-id flat arrays
+(:mod:`repro.core.fused`), shard payloads travel by shared memory, and
+alarms materialise str-keyed objects exactly once, at the store/report
+boundary.
+
+Hard claims proved here on a simulator-generated campaign:
+
+1. **bit-identity** — per-bin results (alarms and counts), campaign
+   stats and the *on-disk store bytes* (manifest minus the random
+   ``store_id``, every segment file) are identical between the fused
+   and stage-sum paths at 1/2/4 shards under the serial, thread and
+   process executors;
+2. **speedup** — the fused path is at least ``MIN_SPEEDUP`` (2x)
+   faster end to end than the stage-sum path, single-process
+   (``executor="serial"``, deterministic timing) and at the headline
+   parallel configuration.
+
+Results (headline traceroutes/second included) are written to
+``BENCH_e2e.json`` at the repository root.  Set ``REPRO_BENCH_SMOKE=1``
+(the CI smoke mode) to run a shortened campaign with every equivalence
+assertion active and the timing floors skipped (shared runners are too
+noisy).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.atlas import decode_traceroutes, read_bincache, write_bincache, write_traceroutes
+from repro.core import Pipeline, PipelineConfig, ShardedPipeline
+from repro.reporting import format_table
+from repro.service import AlarmStoreWriter
+from repro.service.store import read_manifest
+from repro.simulation import (
+    AtlasPlatform,
+    CampaignConfig,
+    CompositeScenario,
+    DdosScenario,
+    IxpOutageScenario,
+    TopologyParams,
+    build_topology,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Campaign length in hours (builtin + anchoring traffic).  The final
+#: hours carry an IXP outage and a DDoS so both alarm kinds are real.
+DURATION_H = 4 if SMOKE else 12
+
+#: Timing repetitions (best-of, to damp scheduler noise).
+ROUNDS = 1 if SMOKE else 3
+
+#: Hard floor for the fused end-to-end speedup (full mode only).
+MIN_SPEEDUP = 2.0
+
+#: The equivalence matrix: every executor at every shard count.
+SHARD_COUNTS = (1, 2, 4)
+EXECUTORS = ("serial", "thread", "process")
+
+#: The headline parallel configuration (throughput is quoted here).
+HEADLINE = {"n_shards": 4, "executor": "process", "n_jobs": 4}
+
+#: Machine-readable results land here.
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_e2e.json"
+
+
+def _e2e(cache_path, mapper, store_dir, fused, **engine_kwargs):
+    """One cold end-to-end run: bin cache -> engine -> alarm store.
+
+    The fused path maps the cache zero-copy; the stage-sum path copies
+    it into array columns and routes bins through the dict-shaped
+    extraction (``fused=False``) — exactly the pre-spine pipeline.
+    Returns (bin results, stats, store writer).
+    """
+    batch = read_bincache(cache_path, mapped=fused)
+    engine = ShardedPipeline(PipelineConfig(fused=fused, **engine_kwargs))
+    try:
+        results = engine.run(batch)
+        stats = engine.stats()
+    finally:
+        engine.close()
+    writer = AlarmStoreWriter.create(
+        store_dir, mapper, bin_s=3600, overwrite=True
+    )
+    writer.append_bins(results)
+    return results, stats, writer
+
+
+def _best_time(fn):
+    """Best-of-ROUNDS wall time; returns (seconds, last_result)."""
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _store_fingerprint(store_dir):
+    """Everything deterministic about a store's on-disk bytes.
+
+    ``store_id`` is a random epoch token drawn at ``create()`` — it is
+    the *only* thing allowed to differ between two stores built from
+    identical results, so it is excluded and every other manifest field
+    plus every segment file's exact bytes are included.
+    """
+    store_dir = Path(store_dir)
+    manifest = read_manifest(store_dir)
+    segments = {
+        path.name: path.read_bytes()
+        for path in sorted(store_dir.glob("seg-*.seg"))
+    }
+    meta = [
+        (m.name, m.digest, m.n_delay, m.n_forwarding, m.n_events,
+         m.min_ts, m.max_ts, m.min_asn, m.max_asn)
+        for m in manifest.segments
+    ]
+    return (
+        manifest.generation, manifest.next_index, manifest.bin_s,
+        manifest.start, manifest.end, meta, segments,
+    )
+
+
+def test_fused_e2e_throughput(benchmark, tmp_path):
+    """Measure both end-to-end paths and assert the hard claims."""
+    topology = build_topology(TopologyParams.case_study(), seed=1)
+    kroot = topology.services["K-root"]
+    scenario = CompositeScenario(
+        [
+            IxpOutageScenario(
+                topology,
+                ixp_asn=1200,
+                window=((DURATION_H - 3) * 3600, (DURATION_H - 2) * 3600),
+            ),
+            DdosScenario(
+                topology,
+                "K-root",
+                [kroot.instances[0].node, kroot.instances[1].node],
+                windows=[((DURATION_H - 2) * 3600, DURATION_H * 3600)],
+                seed=3,
+            ),
+        ]
+    )
+    platform = AtlasPlatform(topology, scenario=scenario, seed=2)
+    mapper = platform.as_mapper()
+    jsonl_path = tmp_path / "campaign.jsonl"
+    n_traceroutes = write_traceroutes(
+        jsonl_path,
+        platform.run_campaign(CampaignConfig(duration_s=DURATION_H * 3600)),
+    )
+    cache_path = tmp_path / "campaign.binc"
+    write_bincache(cache_path, decode_traceroutes(jsonl_path))
+    cache_bytes = cache_path.stat().st_size
+
+    # The oracle: the serial reference pipeline on decoded objects.
+    serial = Pipeline(PipelineConfig())
+    reference_results = serial.run(decode_traceroutes(jsonl_path))
+    reference_stats = serial.stats()
+    assert sum(len(r.delay_alarms) for r in reference_results) > 0, (
+        "vacuous campaign: no delay alarms to compare"
+    )
+
+    # Hard claim 1: bit-identical results, stats and store bytes at
+    # every (executor, shard count) pair.
+    reference_store = None
+    for executor in EXECUTORS:
+        for n_shards in SHARD_COUNTS:
+            kwargs = {"n_shards": n_shards, "executor": executor}
+            if executor != "serial":
+                kwargs["n_jobs"] = min(n_shards, 4)
+            tag = f"{executor}-{n_shards}"
+            fused_results, fused_stats, _ = _e2e(
+                cache_path, mapper, tmp_path / f"fused-{tag}.store",
+                fused=True, **kwargs,
+            )
+            sum_results, sum_stats, _ = _e2e(
+                cache_path, mapper, tmp_path / f"sum-{tag}.store",
+                fused=False, **kwargs,
+            )
+            assert fused_results == reference_results, (
+                f"fused results diverged at {tag}"
+            )
+            assert sum_results == reference_results, (
+                f"stage-sum results diverged at {tag}"
+            )
+            assert fused_stats == sum_stats == reference_stats, (
+                f"campaign stats diverged at {tag}"
+            )
+            fused_store = _store_fingerprint(tmp_path / f"fused-{tag}.store")
+            sum_store = _store_fingerprint(tmp_path / f"sum-{tag}.store")
+            assert fused_store == sum_store, (
+                f"store bytes diverged between paths at {tag}"
+            )
+            if reference_store is None:
+                reference_store = fused_store
+            assert fused_store == reference_store, (
+                f"store bytes diverged across configurations at {tag}"
+            )
+
+    # Hard claim 2 + the headline number: timed end-to-end runs.
+    def timed(fused, **kwargs):
+        store = tmp_path / "timed.store"
+        return _best_time(
+            lambda: _e2e(cache_path, mapper, store, fused=fused, **kwargs)
+        )[0]
+
+    serial_kwargs = {"n_shards": 4, "executor": "serial"}
+    sum_serial_s = timed(False, **serial_kwargs)
+    fused_serial_s = timed(True, **serial_kwargs)
+    sum_headline_s = timed(False, **HEADLINE)
+    fused_headline_s = timed(True, **HEADLINE)
+
+    serial_speedup = sum_serial_s / fused_serial_s
+    headline_speedup = sum_headline_s / fused_headline_s
+    throughput = n_traceroutes / fused_headline_s
+
+    benchmark.pedantic(
+        lambda: _e2e(
+            cache_path, mapper, tmp_path / "timed.store",
+            fused=True, **HEADLINE,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    mode = "smoke" if SMOKE else "full"
+    rows = [
+        ["stage-sum, serial x4", f"{sum_serial_s:.3f}", "1.00",
+         f"{n_traceroutes / sum_serial_s:,.0f}"],
+        ["fused, serial x4", f"{fused_serial_s:.3f}",
+         f"{serial_speedup:.2f}", f"{n_traceroutes / fused_serial_s:,.0f}"],
+        ["stage-sum, process x4", f"{sum_headline_s:.3f}",
+         f"{sum_serial_s / sum_headline_s:.2f}",
+         f"{n_traceroutes / sum_headline_s:,.0f}"],
+        ["fused, process x4", f"{fused_headline_s:.3f}",
+         f"{sum_serial_s / fused_headline_s:.2f}", f"{throughput:,.0f}"],
+    ]
+    print(
+        f"\n=== fused end-to-end throughput ({mode}: {DURATION_H}h campaign, "
+        f"{n_traceroutes} traceroutes, {cache_bytes / 1e6:.1f} MB cache, "
+        f"best of {ROUNDS}) ==="
+    )
+    print(
+        format_table(
+            ["path (cache -> detect -> store)", "seconds", "vs stage-sum",
+             "traceroutes/s"],
+            rows,
+        )
+    )
+
+    payload = {
+        "mode": mode,
+        "smoke": SMOKE,
+        "campaign_hours": DURATION_H,
+        "n_traceroutes": n_traceroutes,
+        "cache_bytes": cache_bytes,
+        "rounds": ROUNDS,
+        "stage_sum_serial_s": sum_serial_s,
+        "fused_serial_s": fused_serial_s,
+        "stage_sum_headline_s": sum_headline_s,
+        "fused_headline_s": fused_headline_s,
+        "serial_speedup": serial_speedup,
+        "headline_speedup": headline_speedup,
+        "headline_traceroutes_per_s": throughput,
+        "headline_config": dict(HEADLINE),
+        "min_speedup_required": MIN_SPEEDUP,
+        "equivalent_shard_counts": list(SHARD_COUNTS),
+        "equivalent_executors": list(EXECUTORS),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+    if not SMOKE:
+        assert serial_speedup >= MIN_SPEEDUP, (
+            f"fused serial speedup {serial_speedup:.2f}x fell below the "
+            f"{MIN_SPEEDUP}x floor (stage-sum {sum_serial_s:.3f}s, "
+            f"fused {fused_serial_s:.3f}s)"
+        )
+        assert headline_speedup >= MIN_SPEEDUP, (
+            f"fused headline speedup {headline_speedup:.2f}x fell below "
+            f"the {MIN_SPEEDUP}x floor (stage-sum {sum_headline_s:.3f}s, "
+            f"fused {fused_headline_s:.3f}s)"
+        )

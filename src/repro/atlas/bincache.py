@@ -22,6 +22,16 @@ The format is deliberately dumb and fully versioned:
 ``--bin-cache`` flag: return the cached columns when the cache matches
 the source file's fingerprint, otherwise decode the JSONL and refresh
 the cache.
+
+With ``mapped=True`` a warm load goes one step further: instead of
+copying every column out of the mapping, the batch's columns become
+zero-copy ``memoryview`` casts into the kept-alive mmap — the head of
+the fused spine (:mod:`repro.core.fused`), where bin payloads flow from
+the page cache through extraction into the arena kernels without a
+per-column copy.  Mapped columns index and slice exactly like the
+``array`` columns (plain Python ints/floats out), but are read-only and
+pin the mapping for the batch's lifetime; foreign-byte-order caches
+silently fall back to the copying load.
 """
 
 from __future__ import annotations
@@ -136,7 +146,10 @@ def write_bincache(
                         len(column) * column.itemsize,
                     )
                 )
-                column.tofile(handle)
+                if isinstance(column, array):
+                    column.tofile(handle)
+                else:  # a mapped batch's memoryview column
+                    handle.write(column)
             written = handle.tell()
         os.replace(temp, target)
     finally:
@@ -146,7 +159,9 @@ def write_bincache(
 
 
 def read_bincache(
-    path: PathLike, fingerprint: Optional[Fingerprint] = None
+    path: PathLike,
+    fingerprint: Optional[Fingerprint] = None,
+    mapped: bool = False,
 ) -> TracerouteBatch:
     """Load a batch from *path*, validating format and freshness.
 
@@ -154,17 +169,23 @@ def read_bincache(
     cache (source rewritten since the cache was built) raise
     :class:`BinCacheError` instead of silently serving old data; pass
     ``None`` to accept the cache unconditionally.
+
+    With ``mapped=True`` same-byte-order caches come back with columns
+    that are zero-copy ``memoryview`` casts into the mapping (kept
+    alive by the columns themselves); the returned batch is then
+    read-only.  See the module docs for the exact semantics.
     """
     # The file is memory-mapped, not read into a bytes object: columns
-    # are copied directly from the page cache into their arrays, so peak
-    # memory is the batch itself, not batch + file image.
+    # are copied directly from the page cache into their arrays (or, in
+    # mapped mode, stay views into it), so peak memory is at most the
+    # batch itself, not batch + file image.
     try:
         handle = open(path, "rb")
     except OSError as exc:
         raise BinCacheError(f"cannot read bin cache {path}: {exc}") from exc
     with handle:
         try:
-            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
         except (OSError, ValueError) as exc:  # e.g. an empty file
             raise BinCacheError(
                 f"cannot map bin cache {path}: {exc}"
@@ -174,24 +195,34 @@ def read_bincache(
         # — and its memoryview slices of the mapping — in its traceback,
         # and mmap.close() refuses to close under exported buffers.
         error = None
+        keep = False
         try:
-            view = memoryview(mapped)
+            view = memoryview(mapping)
             try:
-                return _parse_cache(view, path, fingerprint)
+                batch = _parse_cache(view, path, fingerprint, mapped=mapped)
+                # Mapped columns alias the mapping: leave it open, the
+                # column views keep it alive for the batch's lifetime.
+                keep = mapped
+                return batch
             finally:
-                view.release()
+                if not keep:
+                    view.release()
         except BinCacheError as exc:
             error = str(exc)
         finally:
-            try:
-                mapped.close()
-            except BufferError:  # pragma: no cover - leaked slice guard
-                pass
+            if not keep:
+                try:
+                    mapping.close()
+                except BufferError:  # pragma: no cover - leaked slice guard
+                    pass
     raise BinCacheError(error)
 
 
 def _parse_cache(
-    view: memoryview, path: PathLike, fingerprint: Optional[Fingerprint]
+    view: memoryview,
+    path: PathLike,
+    fingerprint: Optional[Fingerprint],
+    mapped: bool = False,
 ) -> TracerouteBatch:
     """Parse a mapped cache image (see :func:`read_bincache`)."""
     offset = 0
@@ -243,7 +274,15 @@ def _parse_cache(
         column = array(typecode)
         if payload_length % column.itemsize:
             raise BinCacheError(f"ragged column {name!r}: {path}")
-        column.frombytes(take(payload_length))
+        payload = take(payload_length)
+        if mapped and not foreign_order:
+            # Zero-copy: the column IS the mapping, cast to its element
+            # type.  Indexing yields plain ints/floats exactly like the
+            # array columns; byteswapping needs a copy, so foreign-order
+            # caches take the branch below instead.
+            setattr(batch, name, payload.cast(typecode))
+            continue
+        column.frombytes(payload)
         if foreign_order:
             column.byteswap()
         setattr(batch, name, column)
@@ -303,6 +342,7 @@ def load_or_build(
     source_path: PathLike,
     cache_path: Optional[PathLike] = None,
     strict: bool = True,
+    mapped: bool = False,
 ) -> Tuple[TracerouteBatch, bool]:
     """Return ``(batch, cache_hit)`` for a JSONL campaign file.
 
@@ -312,13 +352,18 @@ def load_or_build(
     the JSONL is decoded (honouring *strict* exactly like
     :func:`~repro.atlas.columnar.decode_traceroutes`) and the cache is
     (re)written for the next replay.
+
+    *mapped* applies to cache hits: the columns stay zero-copy views
+    into the cache file's mapping (see :func:`read_bincache`).  A
+    rebuild returns the freshly decoded in-memory batch either way —
+    re-reading what was just decoded would only add I/O.
     """
     source = Path(source_path)
     cache = Path(cache_path) if cache_path is not None else default_cache_path(source)
     current = fingerprint_of(source)
     if cache.exists():
         try:
-            return read_bincache(cache, fingerprint=current), True
+            return read_bincache(cache, fingerprint=current, mapped=mapped), True
         except BinCacheError:
             pass  # stale or corrupt: fall through and rebuild
     batch = decode_traceroutes(source, strict=strict)

@@ -127,6 +127,15 @@ class TracerouteBatch:
     Batches append-only grow via :meth:`append`; analysis never mutates
     them, so one batch can back any number of :class:`BatchView`
     windows simultaneously.
+
+    Columns are ``array`` buffers when built in memory, but a batch
+    loaded with ``mapped=True`` from :mod:`repro.atlas.bincache`
+    carries zero-copy ``memoryview`` casts into the cache file's mmap
+    instead.  Both index and slice identically (plain ``int``/``float``
+    elements out), and every consumer in the tree — :func:`bin_views`,
+    the engine's extractions, :meth:`traceroute_at` — reads columns
+    only that way.  Mapped batches are read-only: :meth:`append`
+    requires ``array`` columns.
     """
 
     __slots__ = (

@@ -30,8 +30,15 @@ Six subcommands cover the common workflows:
 reference pipeline; results are bit-identical either way.  ``analyze
 --bin-cache [PATH]`` ingests through the columnar binary cache
 (:mod:`repro.atlas.bincache`): the first replay decodes the JSONL once
-into flat arrays and caches them, repeat replays skip JSON parsing
-entirely — output is bit-identical to plain ingestion.
+into flat arrays and caches them, repeat replays map the cache
+zero-copy and skip JSON parsing entirely — output is bit-identical to
+plain ingestion.  The sharded engine feeds cached bins through the
+fused columnar spine (:mod:`repro.core.fused`) by default;
+``--no-fused`` routes them through the per-object oracle extraction
+instead (bit-identical, for comparison).  ``analyze --timings`` prints
+per-stage wall-clock totals (decode/bin/extract/detect/store), and
+``monitor --json`` appends one ``timings/v1`` record after the last
+bin.
 
 ``analyze --checkpoint PATH [--checkpoint-every N]`` snapshots detector
 state and accumulated results to PATH every N bins
@@ -87,6 +94,7 @@ from repro.core import (
     PipelineConfig,
     ShardedPipeline,
     SnapshotError,
+    StageTimer,
     analyze_campaign,
     create_pipeline,
     load_snapshot,
@@ -96,7 +104,9 @@ from repro.core import (
 from repro.reporting import (
     InternetHealthReport,
     bin_event_record,
+    dumps_canonical,
     format_table,
+    record_json,
 )
 from repro.simulation import (
     AtlasPlatform,
@@ -230,6 +240,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="export the campaign's alarms and per-AS events into the "
              "persistent alarm store at DIR (recreated each run), ready "
              "for 'repro serve'")
+    analyze.add_argument(
+        "--timings", action="store_true",
+        help="report per-stage wall-clock totals "
+             "(decode/bin/extract/detect/store) after the summary")
     _add_engine_flags(analyze)
 
     monitor = sub.add_parser(
@@ -440,6 +454,11 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=_positive_int, default=None, metavar="J",
         help="worker count for the sharded engine (default: one per "
              "shard, capped at the CPU count; requires --shards > 1)")
+    parser.add_argument(
+        "--no-fused", dest="fused", action="store_false",
+        help="route columnar bins through the per-object oracle "
+             "extraction instead of the fused columnar spine "
+             "(output is bit-identical; for comparison/debugging)")
 
 
 def _engine_config(args, **overrides) -> Optional[PipelineConfig]:
@@ -456,6 +475,8 @@ def _engine_config(args, **overrides) -> Optional[PipelineConfig]:
         kwargs["n_shards"] = args.shards
         if args.jobs is not None:
             kwargs["n_jobs"] = args.jobs
+    if not getattr(args, "fused", True):
+        kwargs["fused"] = False
     if not kwargs:
         return None
     return PipelineConfig(**kwargs)
@@ -623,7 +644,7 @@ def _cmd_fetch(args) -> int:
         "asn_probe_map": {str(asn): ids for asn, ids in mapping.items()},
         "prefix_entries": [list(entry) for entry in prefix_entries(probes)],
     }
-    Path(args.out).write_text(json.dumps(payload, sort_keys=True))
+    Path(args.out).write_bytes(dumps_canonical(payload))
     stale = " (STALE cache — live fetch failed)" if probe_set.stale else ""
     print(
         f"probe map: {len(probes)} usable probes across "
@@ -650,20 +671,66 @@ def _warn_if_unattributed_store(writer, store_path) -> None:
         )
 
 
+def _decode_timed(iterable, timer: StageTimer):
+    """Yield *iterable*, charging the time spent pulling it to ``decode``.
+
+    JSONL ingestion is lazy, so decode time is interleaved with
+    detection; this wrapper meters exactly the pulls (one ``calls``
+    per traceroute) and folds the total into the timer when the
+    iterator is exhausted or dropped.
+    """
+    from time import perf_counter
+
+    spent = 0.0
+    items = 0
+    iterator = iter(iterable)
+    try:
+        while True:
+            start = perf_counter()
+            try:
+                item = next(iterator)
+            except StopIteration:
+                return
+            finally:
+                spent += perf_counter() - start
+            items += 1
+            yield item
+    finally:
+        timer.add("decode", spent, calls=items)
+
+
+def _print_timings(timer: StageTimer) -> None:
+    """Render accumulated stage timings as a text table."""
+    rows = [
+        [name, entry["calls"], f"{entry['seconds'] * 1000.0:.1f}"]
+        for name, entry in timer.timings().items()
+    ]
+    print("\nstage timings:")
+    print(
+        format_table(["stage", "calls", "ms"], rows)
+        if rows
+        else "  (no stages recorded)"
+    )
+
+
 def _cmd_analyze(args) -> int:
     topology = _topology(args.seed, args.probes)
     platform = AtlasPlatform(topology, seed=args.seed)
     config = _engine_config(args, alpha=args.alpha)
+    timer = StageTimer(enabled=args.timings)
     if args.bin_cache is not None:
-        source, hit = load_or_build(
-            args.path, cache_path=args.bin_cache or None
-        )
+        with timer.stage("decode"):
+            source, hit = load_or_build(
+                args.path, cache_path=args.bin_cache or None, mapped=True
+            )
         if not args.json:
             cache = args.bin_cache or default_cache_path(args.path)
             state = "hit" if hit else "rebuilt"
             print(f"bin cache {state}: {cache} ({len(source)} traceroutes)")
     else:
         source = read_traceroutes(args.path)
+        if timer.enabled:
+            source = _decode_timed(source, timer)
     analysis = analyze_campaign(
         source,
         platform.as_mapper(),
@@ -671,12 +738,14 @@ def _cmd_analyze(args) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=_checkpoint_every(args),
         checkpoint_source=args.path if args.checkpoint else None,
+        profiler=timer if timer.enabled else None,
     )
     report = InternetHealthReport(analysis)
     if args.store:
         from repro.service import append_analysis
 
-        writer = append_analysis(args.store, analysis)
+        with timer.stage("store"):
+            writer = append_analysis(args.store, analysis)
         _warn_if_unattributed_store(writer, args.store)
         if not args.json:
             print(
@@ -686,6 +755,13 @@ def _cmd_analyze(args) -> int:
             )
     if args.json:
         print(report.to_json())
+        if timer.enabled:
+            print(
+                record_json(
+                    {"schema": "timings/v1", "timings": timer.timings()}
+                ),
+                file=sys.stderr,
+            )
         return 0
     stats = analysis.stats()
     print(
@@ -716,13 +792,15 @@ def _cmd_analyze(args) -> int:
         )
     else:
         print("\nno significant events")
+    if timer.enabled:
+        _print_timings(timer)
     return 0
 
 
 def _emit_bin(result, as_json: bool) -> None:
     """Print one closed bin's outcome (text or one-line JSON)."""
     if as_json:
-        print(json.dumps(bin_event_record(result), sort_keys=True), flush=True)
+        print(record_json(bin_event_record(result)), flush=True)
         return
     print(
         f"bin {result.timestamp}: {result.n_traceroutes} traceroutes, "
@@ -791,6 +869,16 @@ def _cmd_monitor(args) -> int:
         _monitor_prefetch(args)
     config = _engine_config(args, bin_s=args.bin_s) or PipelineConfig()
     pipeline = create_pipeline(config)
+    # JSON mode appends one timings/v1 record to stderr on exit; the
+    # sharded engine meters extract/bin/detect itself, so the CLI only
+    # adds the outer "detect" span on the serial pipeline (no
+    # double-counting either way).
+    timer = StageTimer(enabled=args.json)
+    if isinstance(pipeline, ShardedPipeline):
+        pipeline.profiler = timer
+        bin_timer = StageTimer(enabled=False)
+    else:
+        bin_timer = timer
     snapshot = None
     feed_digest = b""
     if args.checkpoint:
@@ -857,14 +945,16 @@ def _cmd_monitor(args) -> int:
     def flush_store() -> None:
         """Publish buffered bins as one store segment (one generation)."""
         if store_writer is not None and store_buffer:
-            store_writer.append_bins(store_buffer)
+            with timer.stage("store"):
+                store_writer.append_bins(store_buffer)
             store_buffer.clear()
 
     def handle(closed) -> bool:
         """Process closed bins; True once --max-bins is reached."""
         nonlocal closed_bins, pending
         for start, traceroutes in closed:
-            result = pipeline.process_bin(start, traceroutes)
+            with bin_timer.stage("detect"):
+                result = pipeline.process_bin(start, traceroutes)
             _emit_bin(result, args.json)
             if store_writer is not None:
                 # Batched on the checkpoint cadence: one segment (and
@@ -896,7 +986,8 @@ def _cmd_monitor(args) -> int:
             if not line:
                 continue
             try:
-                traceroute = Traceroute.from_json(json.loads(line))
+                with timer.stage("decode"):
+                    traceroute = Traceroute.from_json(json.loads(line))
             except (ValueError, KeyError, TypeError):
                 skipped_lines += 1  # a live feed's bad line is not fatal
                 continue
@@ -913,6 +1004,15 @@ def _cmd_monitor(args) -> int:
             pipeline.close()
     if store_writer is not None:
         _warn_if_unattributed_store(store_writer, args.store)
+    if args.json:
+        # On stderr so the stdout feed stays a pure bin-record stream.
+        print(
+            record_json(
+                {"schema": "timings/v1", "timings": timer.timings()}
+            ),
+            file=sys.stderr,
+            flush=True,
+        )
     if not args.json:
         if store_writer is not None:
             print(

@@ -15,7 +15,10 @@ Modules map one-to-one onto the paper's sections:
 * :mod:`repro.core.sharding` — consistent link/router shard assignment
 * :mod:`repro.core.arena` — structure-of-arrays detector state and the
   vectorized per-bin detection kernels (Eq. 6–9 in batch form)
+* :mod:`repro.core.fused` — the fused columnar spine: flat-array bin
+  payloads, shard partitioning and the shared-memory transport
 * :mod:`repro.core.engine` — the sharded, vectorized execution engine
+* :mod:`repro.core.profiling` — per-stage wall-clock instrumentation
 """
 
 from repro.core.alarms import (
@@ -84,6 +87,13 @@ from repro.core.graphs import (
     components_by_size,
     summarize_component,
 )
+from repro.core.fused import (
+    SHM_PREFIX,
+    FusedBin,
+    extract_bin_fused,
+    partition_fused,
+    string_ranks,
+)
 from repro.core.pipeline import (
     BinResult,
     CampaignAnalysis,
@@ -92,6 +102,11 @@ from repro.core.pipeline import (
     PipelineConfig,
     TrackedLinkPoint,
     analyze_campaign,
+)
+from repro.core.profiling import (
+    NULL_TIMER,
+    STAGES,
+    StageTimer,
 )
 from repro.core.sensitivity import (
     SensitivityPoint,
@@ -129,6 +144,7 @@ __all__ = [
     "ForwardingArena",
     "ForwardingModelState",
     "ForwardingTable",
+    "FusedBin",
     "Link",
     "LinkDelayState",
     "LinkInterner",
@@ -136,12 +152,16 @@ __all__ = [
     "MIN_ASNS",
     "MIN_ENTROPY",
     "MIN_SHIFT_MS",
+    "NULL_TIMER",
     "Pipeline",
     "PipelineConfig",
+    "SHM_PREFIX",
     "SNAPSHOT_VERSION",
+    "STAGES",
     "SensitivityPoint",
     "ShardedPipeline",
     "SnapshotError",
+    "StageTimer",
     "TrackedLinkPoint",
     "UNRESPONSIVE",
     "alarm_graph",
@@ -155,7 +175,9 @@ __all__ = [
     "differential_rtts",
     "evaluate_resolution",
     "extract_bin",
+    "extract_bin_fused",
     "forwarding_patterns",
+    "partition_fused",
     "load_snapshot",
     "partition_observations",
     "partition_patterns",
@@ -168,6 +190,7 @@ __all__ = [
     "shard_layout",
     "shard_of",
     "source_digest_of",
+    "string_ranks",
     "stable_hash64",
     "summarize_component",
 ]

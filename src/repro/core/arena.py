@@ -48,7 +48,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.alarms import DelayAlarm, ForwardingAlarm, Link
+from repro.core.alarms import UNRESPONSIVE, DelayAlarm, ForwardingAlarm, Link
 from repro.core.delaydetector import (
     MIN_SHIFT_MS,
     deviation_score_batch,
@@ -67,6 +67,100 @@ from repro.stats.wilson import WilsonInterval
 
 #: Initial delay-arena link capacity; state arrays double as links appear.
 _INITIAL_CAPACITY = 1024
+
+
+class DelayAlarmRows:
+    """One bin's delay alarms as parallel arrays, pre-materialization.
+
+    The fused engine keeps alarms in this form while they cross the
+    worker boundary (a dozen scalars per alarm instead of nested
+    :class:`~repro.stats.wilson.WilsonInterval` objects);
+    :meth:`materialize` builds the str-keyed
+    :class:`~repro.core.alarms.DelayAlarm` objects exactly once, at the
+    store/reporting boundary, bit-identical to the ones
+    :meth:`DelayArena.observe_bin` emits inline.
+
+    ``positions`` indexes the observation arrays the kernel judged
+    (ascending, i.e. sorted-link order); ``arena_rows`` holds the
+    alarmed links' interned arena ids so callers can recover link keys.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        arena_rows: np.ndarray,
+        obs_median: np.ndarray,
+        obs_lower: np.ndarray,
+        obs_upper: np.ndarray,
+        obs_n: np.ndarray,
+        ref_median: np.ndarray,
+        ref_lower: np.ndarray,
+        ref_upper: np.ndarray,
+        ref_n: np.ndarray,
+        deviation: np.ndarray,
+        direction: np.ndarray,
+        n_probes: np.ndarray,
+        n_asns: np.ndarray,
+    ) -> None:
+        self.positions = positions
+        self.arena_rows = arena_rows
+        self.obs_median = obs_median
+        self.obs_lower = obs_lower
+        self.obs_upper = obs_upper
+        self.obs_n = obs_n
+        self.ref_median = ref_median
+        self.ref_lower = ref_lower
+        self.ref_upper = ref_upper
+        self.ref_n = ref_n
+        self.deviation = deviation
+        self.direction = direction
+        self.n_probes = n_probes
+        self.n_asns = n_asns
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    @classmethod
+    def empty(cls) -> "DelayAlarmRows":
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_f = np.empty(0, dtype=np.float64)
+        return cls(
+            empty_i, empty_i, empty_f, empty_f, empty_f, empty_i,
+            empty_f, empty_f, empty_f, empty_i, empty_f, empty_i,
+            empty_i, empty_i,
+        )
+
+    def materialize(
+        self, timestamp: int, links: Sequence[Link]
+    ) -> List[DelayAlarm]:
+        """Build the :class:`DelayAlarm` objects; *links* aligns with rows."""
+        alarms: List[DelayAlarm] = []
+        for index, link in enumerate(links):
+            observed = WilsonInterval(
+                median=float(self.obs_median[index]),
+                lower=float(self.obs_lower[index]),
+                upper=float(self.obs_upper[index]),
+                n=int(self.obs_n[index]),
+            )
+            reference = WilsonInterval(
+                median=float(self.ref_median[index]),
+                lower=float(self.ref_lower[index]),
+                upper=float(self.ref_upper[index]),
+                n=int(self.ref_n[index]),
+            )
+            alarms.append(
+                DelayAlarm(
+                    timestamp=timestamp,
+                    link=link,
+                    observed=observed,
+                    reference=reference,
+                    deviation=float(self.deviation[index]),
+                    direction=int(self.direction[index]),
+                    n_probes=int(self.n_probes[index]),
+                    n_asns=int(self.n_asns[index]),
+                )
+            )
+        return alarms
 
 
 class LinkInterner:
@@ -248,6 +342,34 @@ class DelayArena:
         self._ensure_capacity(len(self.interner))
         return ids
 
+    def intern_ids(
+        self,
+        near_ids: Sequence[int],
+        far_ids: Sequence[int],
+        strings: Sequence[str],
+        cache: Dict[Tuple[int, int], int],
+    ) -> np.ndarray:
+        """Arena rows for interned-ip link pairs, via a per-batch cache.
+
+        The fused spine's id hand-off: link keys stay batch-scoped
+        integer pairs until a pair misses *cache*, and only then is the
+        ``(str, str)`` link tuple built (once per new link per batch)
+        and interned.  Subsequent bins resolve the pair with one int-
+        tuple dict hit — no string hashing on the hot path.
+        """
+        rows = np.empty(len(near_ids), dtype=np.int64)
+        get = cache.get
+        intern = self.interner.intern
+        for position, pair in enumerate(zip(near_ids, far_ids)):
+            row = get(pair)
+            if row is None:
+                row = cache[pair] = intern(
+                    (strings[pair[0]], strings[pair[1]])
+                )
+            rows[position] = row
+        self._ensure_capacity(len(self.interner))
+        return rows
+
     # -- checkpointing ------------------------------------------------------
 
     def export_state(self) -> Dict[str, object]:
@@ -344,6 +466,33 @@ class DelayArena:
         if not links:
             return []
         ids = self.intern_links(links)
+        rows = self.observe_bin_rows(
+            ids, medians, lowers, uppers, counts, n_probes, n_asns
+        )
+        if not len(rows):
+            return []
+        alarm_links = [links[pos] for pos in rows.positions.tolist()]
+        return rows.materialize(timestamp, alarm_links)
+
+    def observe_bin_rows(
+        self,
+        ids: np.ndarray,
+        medians: np.ndarray,
+        lowers: np.ndarray,
+        uppers: np.ndarray,
+        counts: np.ndarray,
+        n_probes: Sequence[int],
+        n_asns: Sequence[int],
+    ) -> DelayAlarmRows:
+        """The :meth:`observe_bin` kernel over pre-interned arena rows.
+
+        The fused spine's array ingestion point: *ids* come from
+        :meth:`intern_links`/:meth:`intern_ids`, no link keys are
+        touched, and the bin's alarms come back as
+        :class:`DelayAlarmRows` for the caller to materialize at the
+        reporting boundary.  State updates (EWMA, warm-up, counters)
+        are identical to :meth:`observe_bin`.
+        """
         obs_m = np.asarray(medians, dtype=float)
         obs_l = np.asarray(lowers, dtype=float)
         obs_u = np.asarray(uppers, dtype=float)
@@ -351,7 +500,7 @@ class DelayArena:
 
         ref_m = self._median[ids]
         ready = ~np.isnan(ref_m)
-        alarms: List[DelayAlarm] = []
+        rows = DelayAlarmRows.empty()
         if ready.any():
             idx_ready = np.flatnonzero(ready)
             rid = ids[idx_ready]
@@ -369,33 +518,29 @@ class DelayArena:
 
             if alarm_mask.any():
                 alarm_positions = np.flatnonzero(alarm_mask)
-                self._alarms_raised[rid[alarm_positions]] += 1
-                for pos in alarm_positions:
-                    source = idx_ready[pos]
-                    observed = WilsonInterval(
-                        median=float(obs_m[source]),
-                        lower=float(obs_l[source]),
-                        upper=float(obs_u[source]),
-                        n=int(counts[source]),
-                    )
-                    reference = WilsonInterval(
-                        median=float(rm[pos]),
-                        lower=float(rl[pos]),
-                        upper=float(ru[pos]),
-                        n=int(self._bins_seen[ids[source]]),
-                    )
-                    alarms.append(
-                        DelayAlarm(
-                            timestamp=timestamp,
-                            link=links[source],
-                            observed=observed,
-                            reference=reference,
-                            deviation=float(deviation[pos]),
-                            direction=1 if obs_m[source] > rm[pos] else -1,
-                            n_probes=int(probes[source]),
-                            n_asns=int(n_asns[source]),
-                        )
-                    )
+                arena_rows = rid[alarm_positions]
+                self._alarms_raised[arena_rows] += 1
+                sources = idx_ready[alarm_positions]
+                rows = DelayAlarmRows(
+                    positions=sources,
+                    arena_rows=arena_rows,
+                    obs_median=obs_m[sources],
+                    obs_lower=obs_l[sources],
+                    obs_upper=obs_u[sources],
+                    obs_n=np.asarray(counts, dtype=np.int64)[sources],
+                    ref_median=rm[alarm_positions],
+                    ref_lower=rl[alarm_positions],
+                    ref_upper=ru[alarm_positions],
+                    # Reference n is the pre-update bins_seen, read here
+                    # before the bin-wide increment below.
+                    ref_n=self._bins_seen[arena_rows].copy(),
+                    deviation=deviation[alarm_positions],
+                    direction=np.where(
+                        om[alarm_positions] > rm[alarm_positions], 1, -1
+                    ),
+                    n_probes=probes[sources],
+                    n_asns=np.asarray(n_asns, dtype=np.int64)[sources],
+                )
 
             # Eq. 7 update, winsorized for the anomalous subset: clamp
             # the observation onto the violated reference bound before
@@ -439,7 +584,7 @@ class DelayArena:
         self._max_probes[ids] = np.where(
             current >= probes, current, probes
         )
-        return alarms
+        return rows
 
 
 class ForwardingArena:
@@ -610,6 +755,70 @@ class ForwardingArena:
         EWMA over the sorted union of hops with sub-``prune_below``
         weights dropped) is applied after the comparison.
         """
+        return self.observe_bin_sorted(
+            timestamp, [(key, patterns[key]) for key in sorted(patterns)]
+        )
+
+    def observe_bin_ids(
+        self,
+        timestamp: int,
+        routers: np.ndarray,
+        dsts: np.ndarray,
+        hop_offsets: np.ndarray,
+        hop_ids: np.ndarray,
+        hop_counts: np.ndarray,
+        strings: Sequence[str],
+        key_cache: Dict[Tuple[int, int], ModelKey],
+    ) -> List[ForwardingAlarm]:
+        """Ingest one bin's patterns as interned-id CSR arrays.
+
+        The fused spine's forwarding entry point: models arrive as
+        (router id, destination id) rows **pre-sorted in string order**
+        (see :func:`repro.core.fused.extract_bin_fused`) with their
+        next-hop patterns flattened under *hop_offsets*.  String
+        materialization happens here, once per new model key per batch
+        (*key_cache*), because the cross-bin reference state is
+        inherently string-keyed; negative hop ids (lost packets) and a
+        literal ``"*"`` responder both accumulate under
+        :data:`~repro.core.alarms.UNRESPONSIVE`, exactly as the dict
+        path merges them.
+        """
+        items: List[Tuple[ModelKey, Pattern]] = []
+        get_key = key_cache.get
+        hop_list = hop_ids.tolist()
+        count_list = hop_counts.tolist()
+        offset_list = hop_offsets.tolist()
+        for position, pair in enumerate(
+            zip(routers.tolist(), dsts.tolist())
+        ):
+            key = get_key(pair)
+            if key is None:
+                key = key_cache[pair] = (
+                    strings[pair[0]],
+                    strings[pair[1]],
+                )
+            pattern: Pattern = {}
+            for index in range(
+                offset_list[position], offset_list[position + 1]
+            ):
+                ident = hop_list[index]
+                hop = UNRESPONSIVE if ident < 0 else strings[ident]
+                pattern[hop] = pattern.get(hop, 0.0) + count_list[index]
+            items.append((key, pattern))
+        return self.observe_bin_sorted(timestamp, items)
+
+    def observe_bin_sorted(
+        self,
+        timestamp: int,
+        items: Sequence[Tuple[ModelKey, Pattern]],
+    ) -> List[ForwardingAlarm]:
+        """The :meth:`observe_bin` kernel over pre-sorted (key, pattern)
+        rows.
+
+        *items* must be sorted by key (the scalar detector's processing
+        order) and free of duplicate keys; both :meth:`observe_bin` and
+        :meth:`observe_bin_ids` reduce to this.
+        """
         interner = self.interner
         references = self._references
         bins_seen = self._bins_seen
@@ -623,8 +832,7 @@ class ForwardingArena:
         offsets = [0]
         judged_rows: List[int] = []  # entry indices judged this bin
         warmup_bins = self.warmup_bins
-        for key in sorted(patterns):
-            pattern = patterns[key]
+        for key, pattern in items:
             if not pattern:
                 continue
             ident = interner.intern(key)

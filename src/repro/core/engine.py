@@ -54,7 +54,7 @@ from repro.core.alarms import (
     ForwardingAlarm,
     Link,
 )
-from repro.core.arena import DelayArena, ForwardingArena
+from repro.core.arena import DelayAlarmRows, DelayArena, ForwardingArena
 from repro.core.checkpoint import (
     DelayTable,
     EngineSnapshot,
@@ -66,6 +66,15 @@ from repro.core.checkpoint import (
 from repro.core.diffrtt import LinkObservations
 from repro.core.diversity import DiversityFilter, DiversityVerdict
 from repro.core.forwarding import ModelKey, Pattern
+from repro.core.fused import (
+    FusedBin,
+    attach_shm,
+    extract_bin_fused,
+    pack_fused,
+    partition_fused,
+    string_ranks,
+    unpack_fused,
+)
 from repro.core.pipeline import (
     BinResult,
     CampaignStats,
@@ -73,6 +82,7 @@ from repro.core.pipeline import (
     PipelineConfig,
     TrackedLinkPoint,
 )
+from repro.core.profiling import NULL_TIMER
 from repro.core.sharding import (
     partition_observations,
     partition_patterns,
@@ -538,6 +548,139 @@ class _ShardBinOutput:
 
 
 @dataclass
+class _FusedShardOutput:
+    """One shard's fused-path contribution to one bin's merged result.
+
+    Delay alarms stay in array form (:class:`~repro.core.arena.DelayAlarmRows`
+    plus the alarmed links, aligned) until the parent materializes
+    :class:`~repro.core.alarms.DelayAlarm` objects at the merge — the
+    str-keyed objects exist exactly once, at the reporting boundary.
+    Forwarding alarms are rare enough that the worker builds them
+    directly (their payload *is* str-keyed pattern dicts).
+    """
+
+    shard_id: int
+    delay_rows: DelayAlarmRows
+    delay_links: List[Link]
+    forwarding_alarms: List[ForwardingAlarm]
+    n_links_analyzed: int
+
+
+class _FusedLinkObs:
+    """Per-link read view over a :class:`~repro.core.fused.FusedBin`.
+
+    Duck-types the :class:`~repro.core.diffrtt.LinkObservations` surface
+    the diversity filter and tracked-link recorder consume (``link``,
+    ``probe_asn``, ``probe_ids``, ``n_probes``, ``samples_array``)
+    without copying anything out of the bin's flat arrays: samples stay
+    in the shared pool, segments are (start, stop) spans, and the
+    per-probe segment map is built only when a partial/ordered gather
+    actually needs it (tracked or rebalanced links).  Iteration orders
+    match the object path exactly — ``probe_asn`` insertion order is
+    segment order, per-probe segments stay in insertion order — so
+    diversity draws and tracked statistics are bit-identical.
+    """
+
+    __slots__ = (
+        "link",
+        "probe_asn",
+        "_pool",
+        "_seg_probes",
+        "_sample_offsets",
+        "_seg_lo",
+        "_seg_hi",
+        "_segments",
+    )
+
+    def __init__(
+        self,
+        link: Link,
+        probe_asn: Dict[int, Optional[int]],
+        pool: np.ndarray,
+        seg_probes: List[int],
+        sample_offsets: List[int],
+        seg_lo: int,
+        seg_hi: int,
+    ) -> None:
+        self.link = link
+        self.probe_asn = probe_asn
+        self._pool = pool
+        self._seg_probes = seg_probes
+        self._sample_offsets = sample_offsets
+        self._seg_lo = seg_lo
+        self._seg_hi = seg_hi
+        self._segments: Optional[Dict[int, List[Tuple[int, int]]]] = None
+
+    def probe_ids(self) -> Iterable[int]:
+        """Probe identifiers in first-observation order."""
+        return self.probe_asn.keys()
+
+    @property
+    def n_probes(self) -> int:
+        return len(self.probe_asn)
+
+    def _segment_map(self) -> Dict[int, List[Tuple[int, int]]]:
+        segments = self._segments
+        if segments is None:
+            segments = self._segments = {}
+            offsets = self._sample_offsets
+            probes = self._seg_probes
+            for index in range(self._seg_lo, self._seg_hi):
+                segments.setdefault(probes[index], []).append(
+                    (offsets[index], offsets[index + 1])
+                )
+        return segments
+
+    def samples_array(
+        self,
+        probe_ids: Optional[Iterable[int]] = None,
+        ordered: bool = True,
+    ) -> np.ndarray:
+        """Same values/order contract as ``LinkObservations.samples_array``.
+
+        The full-coverage unordered fast path returns a *view* of the
+        bin's sample pool (the batched Wilson kernel copies into its
+        padded matrix anyway); gathers allocate fresh arrays.
+        """
+        if probe_ids is not None:
+            probe_ids = list(probe_ids)
+        if not ordered:
+            covered = (
+                len(self.probe_asn)
+                if probe_ids is None
+                else sum(1 for p in probe_ids if p in self.probe_asn)
+            )
+            if covered == len(self.probe_asn):
+                offsets = self._sample_offsets
+                return self._pool[
+                    offsets[self._seg_lo] : offsets[self._seg_hi]
+                ]
+        segments = self._segment_map()
+        if probe_ids is None:
+            chosen = [
+                span for spans in segments.values() for span in spans
+            ]
+        else:
+            chosen = [
+                span
+                for probe_id in probe_ids
+                if probe_id in segments
+                for span in segments[probe_id]
+            ]
+        total = sum(stop - start for start, stop in chosen)
+        out = np.empty(total, dtype=np.float64)
+        if total == 0:
+            return out
+        pool = self._pool
+        position = 0
+        for start, stop in chosen:
+            length = stop - start
+            out[position : position + length] = pool[start:stop]
+            position += length
+        return out
+
+
+@dataclass
 class _ShardSnapshot:
     """One shard's cumulative statistics and tracked-link series."""
 
@@ -590,6 +733,20 @@ class _ShardCore:
         self.tracked: Dict[Link, List[TrackedLinkPoint]] = {
             link: [] for link in tracked_links
         }
+        # Fused-path state: the current batch's interner string table
+        # and the per-batch id caches (batch interner ids are
+        # batch-scoped, so every cache resets on set_strings).
+        self._strings: Optional[List[str]] = None
+        self._pair_links: Dict[Tuple[int, int], Link] = {}
+        self._pair_rows: Dict[Tuple[int, int], int] = {}
+        self._model_keys: Dict[Tuple[int, int], ModelKey] = {}
+
+    def set_strings(self, strings: Optional[List[str]]) -> None:
+        """Install a batch's interner table; reset the per-batch caches."""
+        self._strings = strings
+        self._pair_links = {}
+        self._pair_rows = {}
+        self._model_keys = {}
 
     def process_partition(
         self,
@@ -650,7 +807,7 @@ class _ShardCore:
         )
 
         if tracked_accepted:
-            alarms_by_link = {alarm.link: alarm for alarm in delay_alarms}
+            alarmed_links = {alarm.link for alarm in delay_alarms}
             for position, link, verdict in tracked_accepted:
                 observed = WilsonInterval(
                     median=float(medians[position]),
@@ -663,14 +820,14 @@ class _ShardCore:
                     timestamp,
                     observations[link],
                     verdict,
-                    alarms_by_link.get(link),
+                    link in alarmed_links,
                     references_before[link],
                     observed,
                 )
 
         for link, verdict in tracked_rejected:
             self._record_tracked(
-                link, timestamp, observations[link], verdict, None, None, None
+                link, timestamp, observations[link], verdict, False, None, None
             )
         for link in self.tracked:
             if link not in observations:
@@ -696,13 +853,178 @@ class _ShardCore:
             n_links_analyzed=analyzed,
         )
 
+    def process_partition_fused(
+        self, timestamp: int, part: FusedBin
+    ) -> _FusedShardOutput:
+        """Analyse this shard's slice of one fused columnar bin.
+
+        The fused twin of :meth:`process_partition`: links arrive
+        pre-sorted in string order as interned-id CSR arrays, the
+        diversity filter reads them through zero-copy
+        :class:`_FusedLinkObs` views, the delay arena ingests arena rows
+        directly (:meth:`~repro.core.arena.DelayArena.observe_bin_rows`),
+        the forwarding arena ingests the pattern CSR
+        (:meth:`~repro.core.arena.ForwardingArena.observe_bin_ids`),
+        and delay alarms leave as :class:`~repro.core.arena.DelayAlarmRows`
+        for the parent to materialize at the merge.  Bit-identical to
+        the dict path — the hypothesis property in
+        ``tests/test_fused_spine.py`` holds both to the serial oracle.
+        """
+        strings = self._strings
+        if strings is None:
+            raise RuntimeError("set_strings must precede fused bins")
+        n_links = part.n_links
+        if not n_links and not part.n_models and not self.tracked:
+            return _FusedShardOutput(
+                self.shard_id, DelayAlarmRows.empty(), [], [], 0
+            )
+
+        near = part.link_near.tolist()
+        far = part.link_far.tolist()
+        seg_offsets = part.link_seg_offsets.tolist()
+        seg_probes = part.seg_probe.tolist()
+        seg_asns = part.seg_asn.tolist()
+        sample_offsets = part.seg_sample_offsets.tolist()
+        pool = part.samples
+
+        pair_links = self._pair_links
+        tracked = self.tracked
+        evaluate = self.diversity.evaluate
+        accepted_pairs: List[Tuple[int, int]] = []
+        n_probes: List[int] = []
+        n_asns: List[int] = []
+        sample_arrays: List[np.ndarray] = []
+        tracked_accepted: List[
+            Tuple[int, Link, DiversityVerdict, _FusedLinkObs]
+        ] = []
+        tracked_rejected: List[
+            Tuple[Link, DiversityVerdict, _FusedLinkObs]
+        ] = []
+        tracked_observed: Set[Link] = set()
+        for index in range(n_links):
+            pair = (near[index], far[index])
+            link = pair_links.get(pair)
+            if link is None:
+                link = pair_links[pair] = (
+                    strings[pair[0]],
+                    strings[pair[1]],
+                )
+            seg_lo = seg_offsets[index]
+            seg_hi = seg_offsets[index + 1]
+            probe_asn: Dict[int, Optional[int]] = {}
+            for seg in range(seg_lo, seg_hi):
+                asn = seg_asns[seg]
+                probe_asn[seg_probes[seg]] = (
+                    None if asn == NO_INT else asn
+                )
+            view = _FusedLinkObs(
+                link, probe_asn, pool, seg_probes, sample_offsets,
+                seg_lo, seg_hi,
+            )
+            verdict = evaluate(view)
+            is_tracked = link in tracked
+            if is_tracked:
+                tracked_observed.add(link)
+            if verdict.accepted:
+                if is_tracked:
+                    tracked_accepted.append(
+                        (len(accepted_pairs), link, verdict, view)
+                    )
+                accepted_pairs.append(pair)
+                n_probes.append(len(verdict.kept_probes))
+                n_asns.append(verdict.n_asns)
+                sample_arrays.append(
+                    view.samples_array(verdict.kept_probes, ordered=False)
+                )
+            elif is_tracked:
+                tracked_rejected.append((link, verdict, view))
+
+        medians, lowers, uppers, counts = median_confidence_interval_arrays(
+            sample_arrays, z=self.config.z
+        )
+        analyzed = len(accepted_pairs)
+        references_before = {
+            link: self.delay_arena.reference_of(link)
+            for _, link, _, _ in tracked_accepted
+        }
+        if accepted_pairs:
+            rows = self.delay_arena.intern_ids(
+                [pair[0] for pair in accepted_pairs],
+                [pair[1] for pair in accepted_pairs],
+                strings,
+                self._pair_rows,
+            )
+            alarm_rows = self.delay_arena.observe_bin_rows(
+                rows, medians, lowers, uppers, counts, n_probes, n_asns
+            )
+        else:
+            alarm_rows = DelayAlarmRows.empty()
+        arena_keys = self.delay_arena.interner.keys
+        delay_links = [
+            arena_keys[row] for row in alarm_rows.arena_rows.tolist()
+        ]
+
+        if tracked_accepted:
+            alarmed_positions = set(alarm_rows.positions.tolist())
+            for position, link, verdict, view in tracked_accepted:
+                observed = WilsonInterval(
+                    median=float(medians[position]),
+                    lower=float(lowers[position]),
+                    upper=float(uppers[position]),
+                    n=int(counts[position]),
+                )
+                self._record_tracked(
+                    link,
+                    timestamp,
+                    view,
+                    verdict,
+                    position in alarmed_positions,
+                    references_before[link],
+                    observed,
+                )
+        for link, verdict, view in tracked_rejected:
+            self._record_tracked(
+                link, timestamp, view, verdict, False, None, None
+            )
+        for link in tracked:
+            if link not in tracked_observed:
+                # No samples this bin: the Figure 11b gap point.
+                tracked[link].append(
+                    TrackedLinkPoint(
+                        timestamp=timestamp,
+                        observed=None,
+                        reference=self.delay_arena.reference_of(link),
+                        alarmed=False,
+                        accepted=False,
+                        n_probes=0,
+                    )
+                )
+
+        forwarding_alarms = self.forwarding_arena.observe_bin_ids(
+            timestamp,
+            part.model_router,
+            part.model_dst,
+            part.model_hop_offsets,
+            part.hop_ids,
+            part.hop_counts,
+            strings,
+            self._model_keys,
+        )
+        return _FusedShardOutput(
+            shard_id=self.shard_id,
+            delay_rows=alarm_rows,
+            delay_links=delay_links,
+            forwarding_alarms=forwarding_alarms,
+            n_links_analyzed=analyzed,
+        )
+
     def _record_tracked(
         self,
         link: Link,
         timestamp: int,
         link_obs: LinkObservations,
         verdict: DiversityVerdict,
-        alarm: Optional[DelayAlarm],
+        alarmed: bool,
         reference_before: Optional[WilsonInterval],
         observed: Optional[WilsonInterval],
     ) -> None:
@@ -725,7 +1047,7 @@ class _ShardCore:
                 reference=reference_before
                 if reference_before is not None
                 else self.delay_arena.reference_of(link),
-                alarmed=alarm is not None,
+                alarmed=alarmed,
                 accepted=verdict.accepted,
                 n_probes=n_probes,
                 mean=mean,
@@ -799,6 +1121,18 @@ class _SerialBackend:
             for core, (observations, patterns) in zip(self.cores, parts)
         ]
 
+    def set_strings(self, strings: List[str]) -> None:
+        for core in self.cores:
+            core.set_strings(strings)
+
+    def run_fused_bin(
+        self, timestamp: int, parts: List[FusedBin]
+    ) -> List[_FusedShardOutput]:
+        return [
+            core.process_partition_fused(timestamp, part)
+            for core, part in zip(self.cores, parts)
+        ]
+
     def snapshots(self) -> List[_ShardSnapshot]:
         return [core.snapshot() for core in self.cores]
 
@@ -841,6 +1175,15 @@ class _ThreadBackend(_SerialBackend):
         ]
         return [future.result() for future in futures]
 
+    def run_fused_bin(
+        self, timestamp: int, parts: List[FusedBin]
+    ) -> List[_FusedShardOutput]:
+        futures = [
+            self.pool.submit(core.process_partition_fused, timestamp, part)
+            for core, part in zip(self.cores, parts)
+        ]
+        return [future.result() for future in futures]
+
     def close(self) -> None:
         self.pool.shutdown(wait=True)
 
@@ -865,6 +1208,34 @@ def _worker_main(connection, shard_ids, config, tracked_by_shard) -> None:
                     for shard in shard_ids
                 ]
                 connection.send(("ok", outputs))
+            elif tag == "fbin":
+                _, timestamp, name, layouts = message
+                block = attach_shm(name)
+                try:
+                    outputs = []
+                    for shard in shard_ids:
+                        part = unpack_fused(block, layouts[shard])
+                        outputs.append(
+                            cores[shard].process_partition_fused(
+                                timestamp, part
+                            )
+                        )
+                        del part
+                    connection.send(("ok", outputs))
+                    del outputs
+                finally:
+                    try:
+                        block.close()
+                    except BufferError:  # pragma: no cover - error paths
+                        # A live view pins the mapping (e.g. an exception
+                        # escaped mid-shard); the parent still unlinks
+                        # the name, so the segment dies with the worker.
+                        pass
+            elif tag == "strings":
+                _, strings = message
+                for core in cores.values():
+                    core.set_strings(strings)
+                connection.send(("ok", None))
             elif tag == "snapshot":
                 connection.send(
                     ("ok", [cores[shard].snapshot() for shard in shard_ids])
@@ -900,6 +1271,18 @@ class _ProcessBackend:
     def __init__(
         self, config: PipelineConfig, n_shards: int, n_jobs: int
     ) -> None:
+        # Start the resource tracker *before* forking: children then
+        # inherit the one live tracker, so their shared-memory attach
+        # registrations land in the same cache the parent's unlink
+        # clears.  Forked before the tracker exists, each worker would
+        # lazily start a private tracker that warns about "leaked"
+        # segments (long since unlinked by the parent) at worker exit.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker API drift
+            pass
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else None
@@ -949,6 +1332,50 @@ class _ProcessBackend:
         outputs = [
             output for payload in self._collect() for output in payload
         ]
+        outputs.sort(key=lambda output: output.shard_id)
+        return outputs
+
+    def set_strings(self, strings: List[str]) -> None:
+        """Ship a batch's interner table to every worker, once per batch."""
+        for worker in self.workers:
+            worker["pipe"].send(("strings", strings))
+        self._collect()
+
+    def run_fused_bin(
+        self, timestamp: int, parts: List[FusedBin]
+    ) -> List[_FusedShardOutput]:
+        """Fan one fused bin out through a shared-memory block.
+
+        Every shard's flat arrays are packed into a single
+        ``repro-fb-*`` segment that workers map by name — no per-bin
+        pickling of payloads.  The parent is the sole owner: the block
+        is closed and unlinked in a ``finally``, so worker crashes,
+        mid-bin exceptions and normal completion all leave zero
+        segments behind (asserted by ``tests/test_fused_spine.py``).
+        """
+        block, layouts = pack_fused(parts)
+        try:
+            for worker in self.workers:
+                worker["pipe"].send(
+                    (
+                        "fbin",
+                        timestamp,
+                        block.name,
+                        {
+                            shard: layouts[shard]
+                            for shard in worker["shards"]
+                        },
+                    )
+                )
+            outputs = [
+                output for payload in self._collect() for output in payload
+            ]
+        finally:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
         outputs.sort(key=lambda output: output.shard_id)
         return outputs
 
@@ -1033,6 +1460,18 @@ class ShardedPipeline:
         # skips the consistent hash on every revisit.
         self._link_shard: Dict[Link, int] = {}
         self._router_shard: Dict[str, int] = {}
+        # Fused-path per-batch state: the batch whose interner the
+        # caches/ranks describe, its string count (guards mid-batch
+        # interner growth), the string-order rank table, and the
+        # id-keyed shard caches.
+        self._fused_batch: Optional[TracerouteBatch] = None
+        self._fused_n_strings = -1
+        self._fused_ranks: Optional[np.ndarray] = None
+        self._fused_link_shard: Dict[Tuple[int, int], int] = {}
+        self._fused_router_shard: Dict[int, int] = {}
+        #: Stage profiler hook (``extract`` / ``bin`` / ``detect``);
+        #: swap in an enabled StageTimer to collect per-bin timings.
+        self.profiler = NULL_TIMER
 
     @staticmethod
     def _resolve_executor(config: PipelineConfig) -> str:
@@ -1047,10 +1486,21 @@ class ShardedPipeline:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Release executor resources (idempotent)."""
+        """Release executor resources (idempotent).
+
+        Survives dead workers: when a shard process already crashed,
+        the final-statistics snapshot is skipped (stats queried after
+        this close serve whatever was cached before the crash) and the
+        backend teardown still runs.
+        """
         if not self._closed:
-            # Preserve final statistics before workers go away.
-            self._snapshot_cache = (self._bins, self._backend.snapshots())
+            try:
+                # Preserve final statistics before workers go away.
+                self._snapshot_cache = (
+                    self._bins, self._backend.snapshots()
+                )
+            except (RuntimeError, BrokenPipeError, EOFError, OSError):
+                pass
             self._backend.close()
             self._closed = True
 
@@ -1078,21 +1528,30 @@ class ShardedPipeline:
         """Run both methods over one closed time bin, sharded.
 
         Accepts object-model traceroutes or a columnar batch/view; the
-        columnar form takes the zero-object extraction fast path and
-        produces the identical result.
+        columnar form takes the fused spine (interned ids end to end,
+        see :mod:`repro.core.fused`) unless ``config.fused`` is off,
+        and produces the identical result either way.
         """
         if self._closed:
             raise RuntimeError("engine is closed; create a new one")
-        observations, patterns = extract_bin(traceroutes)
-        self._links_seen.update(observations)
-        observation_parts = partition_observations(
-            observations, self.n_shards, cache=self._link_shard
-        )
-        pattern_parts = partition_patterns(
-            patterns, self.n_shards, cache=self._router_shard
-        )
-        parts = list(zip(observation_parts, pattern_parts))
-        outputs = self._backend.run_bin(timestamp, parts)
+        if getattr(self.config, "fused", True) and isinstance(
+            traceroutes, (TracerouteBatch, BatchView)
+        ):
+            return self._process_bin_fused(timestamp, traceroutes)
+        profiler = self.profiler
+        with profiler.stage("extract"):
+            observations, patterns = extract_bin(traceroutes)
+        with profiler.stage("bin"):
+            self._links_seen.update(observations)
+            observation_parts = partition_observations(
+                observations, self.n_shards, cache=self._link_shard
+            )
+            pattern_parts = partition_patterns(
+                patterns, self.n_shards, cache=self._router_shard
+            )
+            parts = list(zip(observation_parts, pattern_parts))
+        with profiler.stage("detect"):
+            outputs = self._backend.run_bin(timestamp, parts)
 
         delay_alarms = sorted(
             (alarm for output in outputs for alarm in output.delay_alarms),
@@ -1114,6 +1573,85 @@ class ShardedPipeline:
             timestamp=timestamp,
             n_traceroutes=len(traceroutes),
             n_links_observed=len(observations),
+            n_links_analyzed=sum(
+                output.n_links_analyzed for output in outputs
+            ),
+            delay_alarms=delay_alarms,
+            forwarding_alarms=forwarding_alarms,
+        )
+
+    def _process_bin_fused(
+        self,
+        timestamp: int,
+        traceroutes: Union[TracerouteBatch, BatchView],
+    ) -> BinResult:
+        """One columnar bin down the fused spine.
+
+        Extraction emits interned-id flat arrays
+        (:func:`~repro.core.fused.extract_bin_fused`), partitioning
+        gathers CSR slices per shard, the executor ships them without
+        per-bin pickling (shared memory under the process backend), and
+        delay alarms come back as arrays — the str-keyed
+        :class:`~repro.core.alarms.DelayAlarm` objects are built here,
+        once, at the merge.  Output equals :meth:`process_bin`'s dict
+        path bit for bit.
+        """
+        batch = (
+            traceroutes.batch
+            if isinstance(traceroutes, BatchView)
+            else traceroutes
+        )
+        strings = batch.interner.strings
+        if (
+            batch is not self._fused_batch
+            or len(strings) != self._fused_n_strings
+        ):
+            # New batch (or the interner grew): rebuild the rank table,
+            # drop every batch-scoped id cache, re-ship the string
+            # table to wherever the shard cores live.
+            self._fused_batch = batch
+            self._fused_n_strings = len(strings)
+            self._fused_ranks = string_ranks(strings)
+            self._fused_link_shard = {}
+            self._fused_router_shard = {}
+            self._backend.set_strings(strings)
+        profiler = self.profiler
+        with profiler.stage("extract"):
+            fused = extract_bin_fused(traceroutes, self._fused_ranks)
+        with profiler.stage("bin"):
+            parts = partition_fused(
+                fused,
+                self.n_shards,
+                strings,
+                self._fused_link_shard,
+                self._fused_router_shard,
+                links_seen=self._links_seen,
+            )
+        with profiler.stage("detect"):
+            outputs = self._backend.run_fused_bin(timestamp, parts)
+
+        delay_alarms: List[DelayAlarm] = []
+        for output in outputs:
+            delay_alarms.extend(
+                output.delay_rows.materialize(timestamp, output.delay_links)
+            )
+        delay_alarms.sort(key=lambda alarm: alarm.link)
+        forwarding_alarms = sorted(
+            (
+                alarm
+                for output in outputs
+                for alarm in output.forwarding_alarms
+            ),
+            key=lambda alarm: (alarm.router_ip, alarm.destination),
+        )
+        self._bins += 1
+        self._traceroutes += len(traceroutes)
+        self._last_timestamp = timestamp
+        self._snapshot_cache = None
+        return BinResult(
+            timestamp=timestamp,
+            n_traceroutes=len(traceroutes),
+            n_links_observed=fused.n_links,
             n_links_analyzed=sum(
                 output.n_links_analyzed for output in outputs
             ),

@@ -64,7 +64,11 @@ class PipelineConfig:
     ``auto`` (processes when the machine has more than one CPU, else a
     serial loop), ``serial``, ``thread`` or ``process``; ``n_jobs``
     bounds the worker count (default: one per shard, capped at the CPU
-    count).
+    count).  ``fused`` routes columnar bins down the sharded engine's
+    fused spine (:mod:`repro.core.fused`); turn it off to force the
+    dict-shaped extraction path.  All four are execution knobs: like
+    ``n_shards``/``executor``/``n_jobs``, ``fused`` never changes
+    output and is excluded from the checkpoint fingerprint.
     """
 
     bin_s: int = DEFAULT_BIN_S
@@ -81,6 +85,7 @@ class PipelineConfig:
     n_shards: int = 1
     executor: str = "auto"
     n_jobs: Optional[int] = None
+    fused: bool = True
 
     def __post_init__(self) -> None:
         if self.bin_s <= 0:
@@ -572,6 +577,7 @@ def analyze_campaign(
     checkpoint_path: Optional[object] = None,
     checkpoint_every: int = 1,
     checkpoint_source: Optional[object] = None,
+    profiler: Optional[object] = None,
 ) -> CampaignAnalysis:
     """Convenience driver: pipeline + AS aggregation in one call.
 
@@ -593,12 +599,18 @@ def analyze_campaign(
     (the campaign file *traceroutes* came from, when there is one)
     binds the checkpoint to its input so a reused checkpoint path never
     silently merges two campaigns.
+
+    ``profiler`` (a :class:`~repro.core.profiling.StageTimer`) attaches
+    per-stage wall-clock instrumentation to the sharded engine; the
+    caller reads the accumulated timings back off the timer afterwards.
     """
     # Imported here, not at module level: the engine imports this module
     # for the result types, so a top-level import would be circular.
     from repro.core.engine import ShardedPipeline, create_pipeline
 
     pipeline = create_pipeline(config)
+    if profiler is not None and isinstance(pipeline, ShardedPipeline):
+        pipeline.profiler = profiler
     if checkpoint_path is not None:
         from repro.core.checkpoint import run_checkpointed
 

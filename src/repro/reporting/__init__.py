@@ -11,12 +11,14 @@ from repro.reporting.export import (
     delay_alarm_record,
     forwarding_alarm_from_record,
     forwarding_alarm_record,
+    record_json,
     write_alarm_graph,
     write_distribution,
     write_magnitude_series,
     write_tracked_link,
 )
 from repro.reporting.ihr import AsCondition, InternetHealthReport, LinkHealth
+from repro.reporting.jsonio import dumps_canonical, dumps_canonical_stdlib
 from repro.reporting.render import (
     format_table,
     hours_axis,
@@ -38,10 +40,13 @@ __all__ = [
     "bin_result_from_record",
     "delay_alarm_from_record",
     "delay_alarm_record",
+    "dumps_canonical",
+    "dumps_canonical_stdlib",
     "format_table",
     "forwarding_alarm_from_record",
     "forwarding_alarm_record",
     "hours_axis",
+    "record_json",
     "render_cdf",
     "render_qq",
     "render_series",

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.alarms import DelayAlarm, ForwardingAlarm
 from repro.core.pipeline import BinResult, TrackedLinkPoint
+from repro.reporting.jsonio import dumps_canonical
 from repro.stats.wilson import WilsonInterval
 
 PathLike = Union[str, Path]
@@ -221,6 +222,17 @@ def bin_event_record(result) -> dict:
             for alarm in result.forwarding_alarms
         ],
     }
+
+
+def record_json(record: dict) -> str:
+    """One record as a canonical JSON feed line (no trailing newline).
+
+    The serialisation half of the record shapes above: keys sorted,
+    compact separators, rendered through the accelerated writer
+    (:func:`repro.reporting.jsonio.dumps_canonical`).  ``monitor
+    --json`` emits exactly this per closed bin.
+    """
+    return dumps_canonical(record).decode("utf-8")
 
 
 def _check_schema(record: dict, name: str) -> None:

@@ -1,0 +1,79 @@
+"""Canonical JSON serialisation for the hot write paths.
+
+The read side already has an accelerated twin — the columnar decoder in
+:mod:`repro.atlas.columnar` parses with ``orjson`` when the environment
+provides it and falls back to the stdlib otherwise.  This module is the
+same idiom for the *write* side: :func:`dumps_canonical` renders a
+payload to canonical JSON bytes — keys sorted, compact separators,
+UTF-8 (no ``\\u`` escapes), no trailing newline — through ``orjson``
+when available (~5-10x faster on record-shaped payloads) and through
+``json.dumps`` otherwise.
+
+Every serialised feed/API surface goes through here: ``monitor --json``
+bin records, the HTTP service's response bodies, and the ``fetch``
+probe-map export.  The byte-compatibility tests in
+``tests/test_fused_spine.py`` hold the two backends identical over the
+system's record payloads.
+
+Known backend divergence, deliberately out of contract: floats whose
+shortest repr needs an exponent (``abs(v) >= 1e16`` or ``< 1e-4``)
+format the exponent differently (stdlib ``1e+16``/``1e-07``, orjson
+``1e16``/``1e-7``).  Both are valid JSON and round-trip to the same
+float; payload *values* therefore never drift, only their spelling for
+out-of-domain magnitudes.  orjson also rejects the non-standard
+NaN/Infinity literals the stdlib would emit — surfacing a NaN in a
+record as a loud error instead of unparseable output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+try:  # optional accelerator, mirroring repro.atlas.columnar's decode side
+    import orjson as _orjson
+except ImportError:  # pragma: no cover - depends on the environment
+    _orjson = None
+
+
+def _convert(obj: Any):
+    """orjson ``default`` hook: shapes the stdlib handles natively.
+
+    ``json.dumps`` serialises tuples as arrays; orjson routes them (and
+    only them, among the types we emit) through this hook so both
+    backends accept the same payloads byte-identically.
+    """
+    if isinstance(obj, tuple):
+        return list(obj)
+    raise TypeError(
+        f"not JSON serialisable: {type(obj).__name__}"
+    )
+
+
+def dumps_canonical(payload: Any) -> bytes:
+    """Render *payload* as canonical JSON bytes (see module docs)."""
+    if _orjson is not None:
+        return _orjson.dumps(
+            payload, default=_convert, option=_orjson.OPT_SORT_KEYS
+        )
+    return json.dumps(
+        payload,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=False,
+    ).encode("utf-8")
+
+
+def dumps_canonical_stdlib(payload: Any) -> bytes:
+    """The stdlib rendering of the canonical form, regardless of orjson.
+
+    Exists for the byte-compatibility tests (and as executable
+    documentation of the canonical contract); production call sites use
+    :func:`dumps_canonical`.
+    """
+    return json.dumps(
+        payload,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=False,
+    ).encode("utf-8")

@@ -36,7 +36,12 @@ them rebuilds every per-AS severity series bit-identically
 Alarm rows use the canonical record shape of
 :mod:`repro.reporting.export` (``delay_alarm_record`` /
 ``forwarding_alarm_record``) as their field source, so the feed format
-and the store format can never drift apart.
+and the store format can never drift apart.  The builder reads those
+fields straight off the alarm objects (the attribute names *are* the
+record schema) rather than materialising a record dict per alarm — on
+the fused engine path this is the single point where interned-id
+payloads have become str-keyed objects, and the store immediately
+re-interns the strings into segment-local ids.
 """
 
 from __future__ import annotations
@@ -56,10 +61,6 @@ from repro.atlas.io import PathLike
 from repro.core.alarms import UNRESPONSIVE
 from repro.core.pipeline import BinResult
 from repro.net.asmap import AsMapper
-from repro.reporting.export import (
-    delay_alarm_record,
-    forwarding_alarm_record,
-)
 
 #: File identification: magic bytes plus an explicit format version.
 MANIFEST_MAGIC = b"RPROALMS"
@@ -367,61 +368,63 @@ class _SegmentBuilder:
         self.timestamps.append(ts)
 
     def _add_delay(self, alarm) -> None:
-        record = delay_alarm_record(alarm)
-        near = self.interner.intern(record["link"][0])
-        far = self.interner.intern(record["link"][1])
+        # Field-for-field the shape of ``delay_alarm_record`` — read off
+        # the alarm directly instead of routing through a record dict.
+        near = self.interner.intern(alarm.link[0])
+        far = self.interner.intern(alarm.link[1])
         columns = self.columns
-        columns["d_ts"].append(record["timestamp"])
+        columns["d_ts"].append(alarm.timestamp)
         columns["d_near"].append(near)
         columns["d_far"].append(far)
-        for side, prefix in (("observed", "d_obs"), ("reference", "d_ref")):
-            interval = record[side]
-            columns[f"{prefix}_median"].append(interval["median"])
-            columns[f"{prefix}_lower"].append(interval["lower"])
-            columns[f"{prefix}_upper"].append(interval["upper"])
-            columns[f"{prefix}_n"].append(interval["n"])
-        columns["d_deviation"].append(record["deviation"])
-        columns["d_direction"].append(record["direction"])
-        columns["d_n_probes"].append(record["n_probes"])
-        columns["d_n_asns"].append(record["n_asns"])
-        self.timestamps.append(record["timestamp"])
+        for interval, prefix in (
+            (alarm.observed, "d_obs"), (alarm.reference, "d_ref")
+        ):
+            columns[f"{prefix}_median"].append(interval.median)
+            columns[f"{prefix}_lower"].append(interval.lower)
+            columns[f"{prefix}_upper"].append(interval.upper)
+            columns[f"{prefix}_n"].append(interval.n)
+        columns["d_deviation"].append(alarm.deviation)
+        columns["d_direction"].append(alarm.direction)
+        columns["d_n_probes"].append(alarm.n_probes)
+        columns["d_n_asns"].append(alarm.n_asns)
+        self.timestamps.append(alarm.timestamp)
         for asn in self.mapper.asns_of_link(*alarm.link):
             self._event(
-                KIND_DELAY, record["timestamp"], asn,
-                record["deviation"], near, far,
+                KIND_DELAY, alarm.timestamp, asn,
+                alarm.deviation, near, far,
             )
 
     def _add_forwarding(self, alarm) -> None:
-        record = forwarding_alarm_record(alarm)
-        router = self.interner.intern(record["router_ip"])
-        router_asn = self.mapper.asn_of(record["router_ip"])
+        # Field-for-field the shape of ``forwarding_alarm_record``.
+        router = self.interner.intern(alarm.router_ip)
+        router_asn = self.mapper.asn_of(alarm.router_ip)
         columns = self.columns
-        columns["f_ts"].append(record["timestamp"])
+        columns["f_ts"].append(alarm.timestamp)
         columns["f_router"].append(router)
-        columns["f_dest"].append(self.interner.intern(record["destination"]))
+        columns["f_dest"].append(self.interner.intern(alarm.destination))
         columns["f_router_asn"].append(
             router_asn if router_asn is not None else NO_ASN
         )
-        columns["f_correlation"].append(record["correlation"])
-        for pool, offsets, key in (
-            (self.resp, self.resp_offsets, "responsibilities"),
-            (self.pat, self.pat_offsets, "pattern"),
-            (self.ref, self.ref_offsets, "reference"),
+        columns["f_correlation"].append(alarm.correlation)
+        for pool, offsets, mapping in (
+            (self.resp, self.resp_offsets, alarm.responsibilities),
+            (self.pat, self.pat_offsets, alarm.pattern),
+            (self.ref, self.ref_offsets, alarm.reference),
         ):
-            for hop, value in record[key].items():
+            for hop, value in mapping.items():
                 pool.append((self.interner.intern(hop), value))
             offsets.append(len(pool))
-        self.timestamps.append(record["timestamp"])
+        self.timestamps.append(alarm.timestamp)
         if router_asn is not None:
             self.asns.append(router_asn)
-        for hop, value in record["responsibilities"].items():
+        for hop, value in alarm.responsibilities.items():
             if hop == UNRESPONSIVE or value == 0.0:
                 continue
             asn = self.mapper.asn_of(hop)
             if asn is None:
                 continue
             self._event(
-                KIND_FORWARDING, record["timestamp"], asn, value,
+                KIND_FORWARDING, alarm.timestamp, asn, value,
                 router, self.interner.intern(hop),
             )
 

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: diff ``BENCH_*.json`` against baselines.
+
+Every benchmark in ``benchmarks/`` writes a machine-readable
+``BENCH_<name>.json`` at the repository root; blessed copies live in
+``benchmarks/baselines/``.  This tool compares the two sets metric by
+metric and fails (exit code 1) when any *performance* metric regressed
+by more than the threshold (default 20 %):
+
+* metrics whose (dotted) name ends in ``_s`` or ``_ms`` are wall times
+  — lower is better;
+* metrics whose name ends in ``per_s`` or contains ``speedup`` are
+  rates — higher is better;
+* everything else (counts, flags, configuration echoes) is ignored.
+
+Files whose ``smoke``/``mode`` markers differ between current and
+baseline are skipped: smoke-mode timings are not comparable to
+full-mode baselines.  A missing current file is skipped (that bench
+simply was not re-run); a missing baseline is reported with the
+``cp`` command that would bless it, without failing.
+
+Usage::
+
+    python tools/benchstat.py [--threshold 0.20]
+
+Run via ``make benchstat``; CI runs it against the *committed* BENCH
+files so a PR cannot land results that regress the blessed baselines.
+To re-bless after an intentional change::
+
+    cp BENCH_<name>.json benchmarks/baselines/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+#: Default allowed relative regression before the gate fails.
+THRESHOLD = 0.20
+
+
+def _flatten(payload: dict, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every numeric leaf."""
+    for key, value in payload.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            yield from _flatten(value, f"{path}.")
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            yield path, float(value)
+
+
+def _direction(path: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 not a perf metric.
+
+    Classified on the last non-numeric segment so nested tables like
+    ``arena_detect_s.4`` inherit their parent's unit suffix.
+    """
+    base = path
+    for segment in reversed(path.split(".")):
+        if not segment.isdigit():
+            base = segment
+            break
+    if "speedup" in base or base.endswith("per_s"):
+        return 1
+    if base.endswith("_s") or base.endswith("_ms"):
+        return -1
+    return 0
+
+
+def compare_file(
+    current: dict, baseline: dict, threshold: float
+) -> Tuple[List[str], List[str]]:
+    """Return (regressions, notes) comparing one bench's payloads."""
+    regressions: List[str] = []
+    notes: List[str] = []
+    base_metrics: Dict[str, float] = dict(_flatten(baseline))
+    for path, value in _flatten(current):
+        direction = _direction(path)
+        if direction == 0:
+            continue
+        reference = base_metrics.get(path)
+        if reference is None or reference == 0 or value == 0:
+            continue
+        # Express as "how much worse", positive = regressed.
+        if direction < 0:
+            change = value / reference - 1.0
+        else:
+            change = reference / value - 1.0
+        if change > threshold:
+            regressions.append(
+                f"{path}: {reference:.6g} -> {value:.6g} "
+                f"({change:+.0%} worse, limit {threshold:.0%})"
+            )
+        elif change < -threshold:
+            notes.append(
+                f"{path}: {reference:.6g} -> {value:.6g} "
+                f"({-change:+.0%} better; consider re-blessing the baseline)"
+            )
+    return regressions, notes
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; prints the comparison and returns the exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold", type=float, default=THRESHOLD,
+        help="allowed relative regression (default 0.20 = 20%%)",
+    )
+    repo_root = Path(__file__).resolve().parent.parent
+    parser.add_argument(
+        "--current-dir", type=Path, default=repo_root,
+        help="directory holding the BENCH_*.json files under test",
+    )
+    parser.add_argument(
+        "--baseline-dir", type=Path,
+        default=repo_root / "benchmarks" / "baselines",
+        help="directory holding the blessed baselines",
+    )
+    args = parser.parse_args(argv[1:])
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"benchstat: no baselines under {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
+    failed = False
+    compared = 0
+    for baseline_path in baselines:
+        current_path = args.current_dir / baseline_path.name
+        if not current_path.exists():
+            print(f"{baseline_path.name}: skipped (no current file)")
+            continue
+        current = json.loads(current_path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+        if (current.get("smoke"), current.get("mode")) != (
+            baseline.get("smoke"), baseline.get("mode")
+        ):
+            print(f"{baseline_path.name}: skipped (smoke/full mode mismatch)")
+            continue
+        regressions, notes = compare_file(
+            current, baseline, args.threshold
+        )
+        compared += 1
+        if regressions:
+            failed = True
+            print(f"{baseline_path.name}: {len(regressions)} regression(s)")
+            for line in regressions:
+                print(f"  {line}")
+        else:
+            print(f"{baseline_path.name}: OK")
+        for line in notes:
+            print(f"  note: {line}")
+    for current_path in sorted(args.current_dir.glob("BENCH_*.json")):
+        if not (args.baseline_dir / current_path.name).exists():
+            print(
+                f"{current_path.name}: no baseline "
+                f"(bless with: cp {current_path.name} "
+                f"{args.baseline_dir.relative_to(repo_root) if args.baseline_dir.is_relative_to(repo_root) else args.baseline_dir}/)"
+            )
+    if failed:
+        print("benchstat: FAIL")
+        return 1
+    print(f"benchstat: OK ({compared} bench file(s) compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
