@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: help test bench bench-engine bench-ingest bench-detect bench-stream bench-serve bench-quality bench-fetch bench-e2e benchstat fetch-smoke docs doclint
+.PHONY: help test bench bench-engine bench-ingest bench-detect bench-stream bench-serve bench-quality bench-fetch bench-e2e benchstat fetch-smoke compact-smoke docs doclint
 
 help:
 	@echo "targets:"
@@ -15,12 +15,13 @@ help:
 	@echo "  bench-ingest columnar ingestion benchmark (BENCH_ingest.json)"
 	@echo "  bench-detect detection-kernel benchmark (BENCH_detect.json)"
 	@echo "  bench-stream checkpoint-overhead benchmark (BENCH_stream.json)"
-	@echo "  bench-serve  alarm-store serving benchmark (BENCH_serve.json)"
+	@echo "  bench-serve  alarm-store serving benchmark, sync + async tiers (BENCH_serve.json)"
 	@echo "  bench-quality detection-quality regression bench (BENCH_quality.json)"
 	@echo "  bench-fetch  connector-layer fetch benchmark (BENCH_fetch.json)"
 	@echo "  bench-e2e    fused end-to-end throughput benchmark (BENCH_e2e.json)"
 	@echo "  benchstat    diff BENCH_*.json against benchmarks/baselines/"
 	@echo "  fetch-smoke  offline connector smoke: fixture fetch under faults"
+	@echo "  compact-smoke store compaction smoke: CLI round trip + equivalence tests"
 	@echo "  docs         docstring lint + pointers to docs/"
 	@echo "  doclint      docstring lint only"
 
@@ -68,6 +69,17 @@ fetch-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest -q benchmarks/bench_fetch.py -s
 	$(PYTHON) -m pytest -q tests/test_connector_fetch.py
 	$(PYTHON) examples/fetch_and_monitor.py
+
+# Store maintenance smoke with zero network: monitor a generated feed
+# into a store (compacting between appends via --compact-every), run an
+# explicit CLI compaction pass, then the full compaction-equivalence
+# test file (bit-identical answers, hypothesis property included).
+compact-smoke:
+	rm -rf /tmp/compact.store
+	$(PYTHON) -m repro generate --hours 8 --seed 3 --probes 24 --scenario ddos --out /tmp/compact_feed.jsonl
+	$(PYTHON) -m repro monitor /tmp/compact_feed.jsonl --seed 3 --probes 24 --store /tmp/compact.store
+	$(PYTHON) -m repro compact /tmp/compact.store --max-segments 1
+	$(PYTHON) -m pytest -q tests/test_service_compact.py
 
 doclint:
 	$(PYTHON) tools/doclint.py

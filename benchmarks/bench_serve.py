@@ -14,17 +14,24 @@ holds three claims:
    rebuilding ``InternetHealthReport`` per query (what ``reporting/ihr``
    alone offers a long-running API process);
 3. **service** — the live HTTP server sustains the measured request
-   rate, with response-cache hits and ETag revalidation observable.
+   rate, with response-cache hits and ETag revalidation observable;
+4. **async throughput** — the asyncio tier (keep-alive, pipelined,
+   single-flight; :mod:`repro.service.aio`) sustains **≥ 20x** the
+   sync tier's blessed one-connection-per-request baseline
+   (:data:`SYNC_BASELINE_RPS`), serving byte-identical bodies and
+   ETags; a 2-process ``SO_REUSEPORT`` worker pool answers the same
+   bytes through forked workers.
 
 Timings land in ``BENCH_serve.json`` at the repository root.  Set
 ``REPRO_BENCH_SMOKE=1`` (the CI smoke mode) to run a shortened campaign
-and skip the speedup floor while keeping every equivalence assertion.
+and skip the speedup floors while keeping every equivalence assertion.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import socket
 import threading
 import time
 import urllib.error
@@ -36,6 +43,7 @@ import numpy as np
 from repro.core import analyze_campaign
 from repro.reporting import InternetHealthReport, format_table
 from repro.service import StoreQuery, append_analysis, make_server
+from repro.service.aio import AsyncServerThread, start_worker_pool
 from repro.simulation import (
     AtlasPlatform,
     CampaignConfig,
@@ -64,6 +72,21 @@ HTTP_REQUESTS = 50 if SMOKE else 300
 
 #: Hard floor on the warm-store speedup over per-query IHR rebuilds.
 MIN_SPEEDUP = 10.0
+
+#: Sustained requests for the asyncio tier (pipelined keep-alive).
+ASYNC_REQUESTS = 500 if SMOKE else 60_000
+
+#: Requests put on the wire per pipelined batch.
+PIPELINE_BATCH = 200
+
+#: The sync tier's blessed full-mode throughput (PR 5 baseline: one
+#: urllib connection per request against the threading server).  The
+#: async tier's floor is a multiple of this fixed reference, not of the
+#: re-measured sync number, so the claim cannot drift with noise.
+SYNC_BASELINE_RPS = 1716.73
+
+#: Hard floor: async req/s must be >= this multiple of the baseline.
+MIN_ASYNC_MULTIPLE = 20.0
 
 #: Machine-readable results land here.
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
@@ -133,6 +156,80 @@ def _http_get(url: str, etag=None):
         return error.code, error.headers.get("ETag"), error.read()
 
 
+class _PipelineClient:
+    """Raw keep-alive client that pipelines pre-rendered GET requests.
+
+    The sync measurement pays one TCP connection per request (urllib's
+    cost model); the async tier is built for the opposite: persistent
+    connections with many requests on the wire at once.  :meth:`warm`
+    performs one request/response and records the exact wire size of
+    the answer, so :meth:`sustain` can write whole batches and read the
+    replies back with exact-length reads — no per-response parsing on
+    the timed path.
+    """
+
+    def __init__(self, port: int) -> None:
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.file = self.sock.makefile("rb")
+        self._requests = {}
+        self._lengths = {}
+
+    def warm(self, target: str):
+        """One request/response; returns (status, etag, body)."""
+        request = f"GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n".encode()
+        self._requests[target] = request
+        self.sock.sendall(request)
+        total = 0
+        line = self.file.readline()
+        total += len(line)
+        status = int(line.split()[1])
+        etag = None
+        length = 0
+        while True:
+            header = self.file.readline()
+            total += len(header)
+            if header in (b"\r\n", b"\n"):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            lowered = name.strip().lower()
+            if lowered == "content-length":
+                length = int(value)
+            elif lowered == "etag":
+                etag = value.strip()
+        body = self.file.read(length)
+        total += length
+        self._lengths[target] = total
+        return status, etag, body
+
+    def sustain(self, targets, n_requests: int, batch_size: int) -> float:
+        """Pipeline *n_requests* cycling *targets*; returns seconds.
+
+        Every target must have been :meth:`warm`\\ ed (responses on the
+        cache-hit path are byte-stable, so their wire sizes are too).
+        """
+        requests = [self._requests[target] for target in targets]
+        lengths = [self._lengths[target] for target in targets]
+        k = len(targets)
+        sent = 0
+        t0 = time.perf_counter()
+        while sent < n_requests:
+            n = min(batch_size, n_requests - sent)
+            batch = b"".join(
+                requests[(sent + j) % k] for j in range(n)
+            )
+            expected = sum(lengths[(sent + j) % k] for j in range(n))
+            self.sock.sendall(batch)
+            data = self.file.read(expected)
+            assert len(data) == expected, "short read from async tier"
+            sent += n
+        return time.perf_counter() - t0
+
+    def close(self) -> None:
+        self.file.close()
+        self.sock.close()
+
+
 def test_serve_speedup_and_throughput(benchmark, tmp_path):
     """Measure naive/cold/warm/HTTP query paths; assert the hard claims."""
     analysis = _build_analysis()
@@ -175,15 +272,18 @@ def test_serve_speedup_and_throughput(benchmark, tmp_path):
     thread.start()
     host, port = server.server_address[:2]
     base = f"http://{host}:{port}"
-    urls = [f"{base}/health/{asn}" for asn in asns]
-    urls += [f"{base}/top?kind=delay&k=5", f"{base}/events?threshold=2.0"]
+    targets = [f"/health/{asn}" for asn in asns]
+    targets += ["/top?kind=delay&k=5", "/events?threshold=2.0"]
+    urls = [base + target for target in targets]
     try:
         t0 = time.perf_counter()
         etags = {}
+        sync_bodies = {}
         for url in urls:  # first touch: uncached (engine computes)
-            status, etag, _ = _http_get(url)
+            status, etag, body = _http_get(url)
             assert status == 200
             etags[url] = etag
+            sync_bodies[url] = body
         uncached_s = time.perf_counter() - t0
         t0 = time.perf_counter()
         for index in range(HTTP_REQUESTS):  # steady state: cache hits
@@ -197,6 +297,45 @@ def test_serve_speedup_and_throughput(benchmark, tmp_path):
         server.shutdown()
         server.server_close()
     requests_per_s = HTTP_REQUESTS / cached_s
+
+    # -- asyncio tier: pipelined keep-alive over one connection ----------
+    # Byte-identity first (every body and ETag must equal the sync
+    # tier's — same store, same generation), then the sustained rate.
+    with AsyncServerThread(
+        store_path, window_bins=WINDOW_BINS
+    ) as async_server:
+        client = _PipelineClient(async_server.port)
+        try:
+            for target in targets:
+                status, etag, body = client.warm(target)
+                assert status == 200, target
+                assert body == sync_bodies[base + target], target
+                assert etag == etags[base + target], target
+            async_s = client.sustain(
+                targets, ASYNC_REQUESTS, PIPELINE_BATCH
+            )
+        finally:
+            client.close()
+        async_hits = async_server.service.hits
+        async_misses = async_server.service.misses
+    async_rps = ASYNC_REQUESTS / async_s
+
+    # -- worker pool: same bytes through forked SO_REUSEPORT workers -----
+    pool = start_worker_pool(store_path, workers=2, window_bins=WINDOW_BINS)
+    try:
+        pool_client = _PipelineClient(pool.port)
+        try:
+            for target in targets:
+                status, etag, body = pool_client.warm(target)
+                assert status == 200, target
+                assert body == sync_bodies[base + target], target
+                assert etag == etags[base + target], target
+        finally:
+            pool_client.close()
+        pool_workers = pool.alive()
+        assert pool_workers == 2
+    finally:
+        pool.stop()
 
     # One canonical pytest-benchmark measurement: a warm per-AS query.
     benchmark.pedantic(
@@ -223,6 +362,8 @@ def test_serve_speedup_and_throughput(benchmark, tmp_path):
                  f"{1000 * uncached_s / len(urls):.3f}"],
                 ["HTTP, cached", HTTP_REQUESTS, f"{cached_s:.3f}",
                  f"{1000 * cached_s / HTTP_REQUESTS:.3f}"],
+                ["HTTP async, pipelined", ASYNC_REQUESTS, f"{async_s:.3f}",
+                 f"{1000 * async_s / ASYNC_REQUESTS:.3f}"],
             ],
         )
     )
@@ -230,6 +371,13 @@ def test_serve_speedup_and_throughput(benchmark, tmp_path):
         f"repeated-query speedup: {speedup:.1f}x (floor "
         f"{MIN_SPEEDUP:.0f}x), HTTP {requests_per_s:.0f} req/s, "
         f"cache hits {cache_stats['hits']}/{cache_stats['hits'] + cache_stats['misses']}"
+    )
+    print(
+        f"async tier: {async_rps:.0f} req/s = "
+        f"{async_rps / SYNC_BASELINE_RPS:.1f}x the sync baseline "
+        f"({SYNC_BASELINE_RPS:.0f} req/s; floor {MIN_ASYNC_MULTIPLE:.0f}x), "
+        f"cache hits {async_hits}/{async_hits + async_misses}; "
+        f"worker pool served byte-identically with {pool_workers} workers"
     )
 
     payload = {
@@ -252,6 +400,15 @@ def test_serve_speedup_and_throughput(benchmark, tmp_path):
         "http_cached_per_request_ms": 1000 * cached_s / HTTP_REQUESTS,
         "http_requests_per_s": requests_per_s,
         "http_cache": cache_stats,
+        "async_requests": ASYNC_REQUESTS,
+        "async_s": async_s,
+        "async_per_request_ms": 1000 * async_s / ASYNC_REQUESTS,
+        "async_requests_per_s": async_rps,
+        "sync_baseline_rps": SYNC_BASELINE_RPS,
+        "min_async_multiple": MIN_ASYNC_MULTIPLE,
+        "async_vs_sync_baseline_speedup": async_rps / SYNC_BASELINE_RPS,
+        "async_cache": {"hits": async_hits, "misses": async_misses},
+        "worker_pool_workers": pool_workers,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {RESULT_PATH}")
@@ -263,4 +420,12 @@ def test_serve_speedup_and_throughput(benchmark, tmp_path):
             f"warm store speedup {speedup:.1f}x fell below the "
             f"{MIN_SPEEDUP:.0f}x floor (naive {naive_s:.3f}s, "
             f"warm {warm_s:.3f}s over {QUERY_ROUNDS} queries)"
+        )
+        # Hard claim 4: the async tier beats the blessed sync baseline
+        # by >= 20x (keep-alive + pipelining + single-flight caching).
+        floor = MIN_ASYNC_MULTIPLE * SYNC_BASELINE_RPS
+        assert async_rps >= floor, (
+            f"async tier sustained {async_rps:.0f} req/s, below the "
+            f"{floor:.0f} req/s floor ({MIN_ASYNC_MULTIPLE:.0f}x the "
+            f"{SYNC_BASELINE_RPS:.0f} req/s sync baseline)"
         )

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the common workflows:
+Seven subcommands cover the common workflows:
 
 * ``generate`` — run a measurement campaign on the synthetic Internet
   and store the traceroutes as JSONL (Atlas download format),
@@ -22,7 +22,15 @@ Six subcommands cover the common workflows:
   the connector layer (resumably, with ``--atlas-cursor``), then
   monitors it — the live-data entry point,
 * ``serve``   — expose a persistent alarm store over the IHR-style
-  HTTP JSON API (:mod:`repro.service`),
+  HTTP JSON API (:mod:`repro.service`).  ``--async`` swaps in the
+  high-throughput asyncio tier (byte-identical answers, keep-alive,
+  single-flight coalescing), and ``--async --workers N`` pre-forks N
+  processes sharing the port via ``SO_REUSEPORT``,
+* ``compact`` — merge an alarm store's small segments and apply tiered
+  retention (:mod:`repro.service.compact`): queries stay bit-identical
+  under merging, while ``--coarsen-after``/``--drop-after`` trade old
+  raw alarms for bounded disk.  ``monitor --compact-every N`` runs the
+  same pass inline on a live store,
 * ``replay``  — regenerate one of the paper's case studies end to end.
 
 ``analyze`` and ``replay`` accept ``--shards N`` (and optionally
@@ -70,6 +78,8 @@ Examples::
     python -m repro monitor feed.jsonl --follow --checkpoint mon.ckpt \\
         --store alarms.store
     python -m repro serve alarms.store --port 8080
+    python -m repro serve alarms.store --async --workers 4
+    python -m repro compact alarms.store --max-segments 8 --drop-after 720
     python -m repro replay ddos
 """
 
@@ -296,6 +306,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="override the number of probes (for the "
                               "--store IP-to-AS table)")
     monitor.add_argument(
+        "--compact-every", type=_positive_int, default=None, metavar="N",
+        help="run a store compaction pass (default retention policy) "
+             "after every N bins appended to --store")
+    monitor.add_argument(
         "--atlas", action="store_true",
         help="fetch the feed from the Atlas measurement API through "
              "the connector layer before monitoring it (requires "
@@ -339,6 +353,39 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--window-bins", type=_positive_int, default=None, metavar="N",
         help="magnitude window in bins (default: one week)")
+    serve.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="serve through the asyncio tier (keep-alive, single-flight "
+             "coalescing; answers are byte-identical to the default "
+             "threading server)")
+    serve.add_argument(
+        "--workers", type=_positive_int, default=1, metavar="N",
+        help="pre-fork N async worker processes sharing the port via "
+             "SO_REUSEPORT (requires --async; default 1)")
+
+    compact = sub.add_parser(
+        "compact",
+        help="compact an alarm store: merge small segments and apply "
+             "tiered retention",
+    )
+    compact.add_argument("store", help="alarm store directory "
+                                       "(from analyze/monitor --store)")
+    compact.add_argument(
+        "--max-segments", type=_positive_int, default=8, metavar="N",
+        help="merge the oldest segments until at most N remain "
+             "(default 8)")
+    compact.add_argument(
+        "--coarsen-after", type=_positive_int, default=None, metavar="BINS",
+        help="keep only the severity-event journal of segments older "
+             "than BINS bins (series/events/rankings unchanged; raw "
+             "alarm retrieval over that range is given up)")
+    compact.add_argument(
+        "--drop-after", type=_positive_int, default=None, metavar="BINS",
+        help="remove segments older than BINS bins outright (their "
+             "history reads as zeros)")
+    compact.add_argument(
+        "--dry-run", action="store_true",
+        help="report what the pass would do without writing anything")
 
     replay = sub.add_parser(
         "replay", help="replay one of the paper's case studies"
@@ -931,10 +978,17 @@ def _cmd_monitor(args) -> int:
         store_writer = AlarmStoreWriter.open_or_create(
             args.store, store_platform.as_mapper(), bin_s=config.bin_s
         )
+    if args.compact_every is not None and not args.store:
+        print(
+            "repro: error: --compact-every requires --store",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     closed_bins = 0
     pending = 0
     skipped_lines = 0
     store_buffer: List = []
+    bins_since_compact = 0
 
     def checkpoint() -> None:
         """Write a state-only snapshot bound to this feed."""
@@ -944,10 +998,33 @@ def _cmd_monitor(args) -> int:
 
     def flush_store() -> None:
         """Publish buffered bins as one store segment (one generation)."""
+        nonlocal bins_since_compact
         if store_writer is not None and store_buffer:
             with timer.stage("store"):
                 store_writer.append_bins(store_buffer)
+            bins_since_compact += len(store_buffer)
             store_buffer.clear()
+        if (
+            store_writer is not None
+            and args.compact_every is not None
+            and bins_since_compact >= args.compact_every
+        ):
+            from repro.service import compact_store
+
+            with timer.stage("compact"):
+                report = compact_store(args.store)
+            # The compactor published a new generation; the writer
+            # must adopt it or its next append would be refused (and,
+            # without the guard, would resurrect replaced segments).
+            store_writer.reload()
+            bins_since_compact = 0
+            if report.changed and not args.json:
+                print(
+                    f"store compacted: {report.segments_before} -> "
+                    f"{report.segments_after} segments "
+                    f"(generation {report.generation})",
+                    flush=True,
+                )
 
     def handle(closed) -> bool:
         """Process closed bins; True once --max-bins is reached."""
@@ -1034,10 +1111,82 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _cmd_serve_async(args) -> int:
+    """``serve --async``: the asyncio tier, optionally pre-forked."""
+    import asyncio
+
+    from repro.service import (
+        StoreError,
+        read_manifest,
+        start_async_server,
+        start_worker_pool,
+    )
+
+    try:
+        read_manifest(args.store)  # fail fast, before any fork
+    except StoreError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+    if args.workers > 1:
+        pool = start_worker_pool(
+            args.store,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            window_bins=args.window_bins,
+        )
+        # SIGTERM must unwind through the ``finally`` below, or the
+        # pre-forked workers outlive the parent and hold the port.
+        import signal
+
+        signal.signal(signal.SIGTERM, lambda *_: sys.exit(143))
+        print(
+            f"serving {args.store} on http://{pool.host}:{pool.port} "
+            f"(async, {args.workers} workers, SO_REUSEPORT)",
+            flush=True,
+        )
+        try:
+            pool.join()
+        finally:
+            pool.stop()
+        return 0
+
+    async def _run() -> None:
+        server, _service = await start_async_server(
+            args.store,
+            args.host,
+            args.port,
+            cache_size=args.cache_size,
+            window_bins=args.window_bins,
+        )
+        host, port = server.sockets[0].getsockname()[:2]
+        print(
+            f"serving {args.store} on http://{host}:{port} (async)",
+            flush=True,
+        )
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Body of the ``serve`` subcommand (HTTP API over an alarm store)."""
     from repro.service import StoreError, make_server, serve_forever
 
+    if args.workers > 1 and not args.use_async:
+        print(
+            "repro: error: --workers requires --async",
+            file=sys.stderr,
+        )
+        return 2
+    if args.use_async:
+        return _cmd_serve_async(args)
     try:
         server = make_server(
             args.store,
@@ -1056,6 +1205,37 @@ def _cmd_serve(args) -> int:
         flush=True,
     )
     serve_forever(server)
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    """Body of the ``compact`` subcommand (store maintenance pass)."""
+    from repro.service import CompactionPolicy, StoreError, compact_store
+
+    policy = CompactionPolicy(
+        max_segments=args.max_segments,
+        coarsen_after_bins=args.coarsen_after,
+        drop_after_bins=args.drop_after,
+    )
+    try:
+        report = compact_store(args.store, policy, dry_run=args.dry_run)
+    except StoreError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+    prefix = "would compact" if args.dry_run else (
+        "compacted" if report.changed else "nothing to do"
+    )
+    print(
+        f"{prefix}: {args.store} "
+        f"{report.segments_before} -> {report.segments_after} segments "
+        f"({report.merged} merged, {report.coarsened} coarsened, "
+        f"{report.dropped} dropped)"
+        + ("" if args.dry_run else f", generation {report.generation}")
+    )
+    if report.bytes_after is not None:
+        print(
+            f"segment bytes: {report.bytes_before} -> {report.bytes_after}"
+        )
     return 0
 
 
@@ -1118,6 +1298,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "monitor": _cmd_monitor,
         "serve": _cmd_serve,
+        "compact": _cmd_compact,
         "replay": _cmd_replay,
     }
     return handlers[args.command](args)

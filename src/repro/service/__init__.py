@@ -1,4 +1,4 @@
-"""Serving layer: persistent alarm store, query engine and HTTP API.
+"""Serving layer: persistent alarm store, query engine and HTTP APIs.
 
 The paper's §8 deployment serves detection results to operators through
 the Internet Health Report website and API.  This package is that
@@ -6,14 +6,38 @@ subsystem: :mod:`repro.service.store` persists alarms and AS-level
 events in an append-only columnar binary store,
 :mod:`repro.service.query` answers IHR queries from mmapped columns
 bit-identically to the in-memory
-:class:`~repro.reporting.ihr.InternetHealthReport`, and
-:mod:`repro.service.http` exposes the IHR-style JSON routes over a
-stdlib threading HTTP server with generation-keyed response caching
-(:mod:`repro.service.cache`).
+:class:`~repro.reporting.ihr.InternetHealthReport`, and two HTTP fronts
+expose the IHR-style JSON routes: the stdlib threading server in
+:mod:`repro.service.http` and the high-throughput asyncio tier in
+:mod:`repro.service.aio` (keep-alive, single-flight coalescing,
+``SO_REUSEPORT`` worker pools) — both answering through the same
+:class:`~repro.service.http.ServiceState` with generation-keyed
+response caching (:mod:`repro.service.cache`).
+:mod:`repro.service.compact` keeps long-lived stores bounded: segment
+merging plus tiered retention under the same generation-token cutover
+discipline.
 """
 
+from repro.service.aio import (
+    AsyncAlarmService,
+    AsyncServerThread,
+    WorkerPool,
+    run_async_server,
+    start_async_server,
+    start_worker_pool,
+)
 from repro.service.cache import CachedResponse, ResponseCache
-from repro.service.http import make_server, serve_forever
+from repro.service.compact import (
+    CompactionPolicy,
+    CompactionReport,
+    compact_store,
+)
+from repro.service.http import (
+    ServiceState,
+    if_none_match_matches,
+    make_server,
+    serve_forever,
+)
 from repro.service.query import StoreQuery
 from repro.service.store import (
     AlarmStore,
@@ -26,12 +50,23 @@ from repro.service.store import (
 __all__ = [
     "AlarmStore",
     "AlarmStoreWriter",
+    "AsyncAlarmService",
+    "AsyncServerThread",
     "CachedResponse",
+    "CompactionPolicy",
+    "CompactionReport",
     "ResponseCache",
+    "ServiceState",
     "StoreError",
     "StoreQuery",
+    "WorkerPool",
     "append_analysis",
+    "compact_store",
+    "if_none_match_matches",
     "make_server",
     "read_manifest",
+    "run_async_server",
     "serve_forever",
+    "start_async_server",
+    "start_worker_pool",
 ]

@@ -9,21 +9,33 @@ route                     answer
 ========================  ====================================================
 ``/``                     store metadata + cache statistics
 ``/health/{asn}``         the AS's :class:`~repro.reporting.ihr.AsCondition`
+``/health?asns=1,2,3``    batch: a list of AS conditions, request order
 ``/links/{asn}``          per-link delay drill-down for the AS
 ``/events``               magnitude events (``kind``, ``threshold``,
                           ``limit``, optional ``start``/``end`` range)
 ``/top``                  top-K anomalous ASes (``kind``, ``k``)
+``/top?kinds=a,b``        batch: ``{kind: ranking}`` for several kinds
 ========================  ====================================================
 
 Every answer is produced by :class:`~repro.service.query.StoreQuery`
 (bit-identical to the in-memory IHR) and rendered to canonical JSON.
+The route logic, parameter validation, caching and locking discipline
+all live in :class:`ServiceState`, shared **byte for byte** with the
+asyncio tier (:mod:`repro.service.aio`): both fronts serve identical
+bodies and ETags for identical requests.
+
 Responses are memoised in a :class:`~repro.service.cache.ResponseCache`
-keyed by (route, params, store generation): a writer appending a
+keyed by (route, params, store generation token): a writer appending a
 segment bumps the generation, implicitly invalidating every cached
-answer.  Strong ETags plus ``If-None-Match`` give clients free ``304``
-revalidation.  Queries against the shared engine are serialised by a
-lock (its per-generation caches are plain dicts); cache hits bypass the
-engine entirely, so the hot path stays concurrent.
+answer.  Strong ETags plus ``If-None-Match`` (parsed per RFC 9110:
+comma-separated lists, ``W/`` prefixes and ``*`` all match) give
+clients free ``304`` revalidation.
+
+**Coherence discipline** (the ISSUE 9 race fix): the generation token
+and the payload are computed under *one* ``engine_lock`` acquisition,
+with the engine pinned (:meth:`StoreQuery.pinned`) so a writer
+appending mid-request can never produce a generation-N+1 body cached
+under a generation-N key with a ``g{N}`` ETag.
 
 Unavailability is advertised, not just suffered: every ``503`` carries
 a ``Retry-After: {RETRY_AFTER_S}`` header and a ``retry_after`` field
@@ -35,6 +47,8 @@ hot-looping on a store that is mid-write.
 
 from __future__ import annotations
 
+import math
+import re
 import threading
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -46,6 +60,7 @@ from repro.reporting.jsonio import dumps_canonical
 from repro.service.cache import (
     DEFAULT_CACHE_SIZE,
     CachedResponse,
+    CacheKey,
     ResponseCache,
     make_etag,
 )
@@ -61,6 +76,23 @@ DEFAULT_HOST = "127.0.0.1"
 #: layer's ``RetryPolicy`` does — recover without hot-looping; the
 #: value is also echoed as ``retry_after`` in the JSON error body.
 RETRY_AFTER_S = 5
+
+#: Most items one batch route accepts (``asns=``): enough for a fleet
+#: dashboard's watchlist, small enough that one request cannot pin the
+#: engine lock for an unbounded scan.
+MAX_BATCH_ITEMS = 100
+
+#: Strict parameter grammars.  ``int()``/``float()`` alone accept
+#: underscores, surrounding whitespace and ``+`` signs — equal queries
+#: spelled differently would alias to distinct cache keys, and
+#: ``float('nan')`` even passes a ``<= 0`` positivity check (NaN
+#: comparisons are always False), poisoning ``/events`` comparisons.
+_INT_RE = re.compile(r"-?[0-9]{1,18}\Z", re.ASCII)
+_FLOAT_RE = re.compile(
+    r"-?(?:[0-9]+(?:\.[0-9]*)?|\.[0-9]+)(?:[eE][-+]?[0-9]{1,3})?\Z",
+    re.ASCII,
+)
+_ASN_RE = re.compile(r"[0-9]{1,10}\Z", re.ASCII)
 
 
 class _BadRequest(ValueError):
@@ -78,50 +110,313 @@ def _json_body(payload) -> bytes:
 
 
 def _int_param(params: Dict[str, str], name: str, default: int) -> int:
+    """A strictly spelled decimal integer parameter (no ``1_0``/`` 10``)."""
     raw = params.get(name)
     if raw is None:
         return default
-    try:
-        return int(raw)
-    except ValueError:
+    if not _INT_RE.match(raw):
         raise _BadRequest(f"parameter {name!r} must be an integer: {raw!r}")
+    return int(raw)
 
 
 def _float_param(
     params: Dict[str, str], name: str, default: float
 ) -> float:
+    """A strictly spelled finite decimal parameter.
+
+    ``nan``/``inf`` never pass: NaN slips through positivity checks
+    (``nan <= 0`` is False) and both would poison cached comparisons.
+    """
     raw = params.get(name)
     if raw is None:
         return default
-    try:
-        return float(raw)
-    except ValueError:
+    if not _FLOAT_RE.match(raw):
         raise _BadRequest(f"parameter {name!r} must be a number: {raw!r}")
+    value = float(raw)
+    if not math.isfinite(value):  # e.g. the overflow spelling "1e999"
+        raise _BadRequest(f"parameter {name!r} must be finite: {raw!r}")
+    return value
 
 
-def _kind_param(params: Dict[str, str]) -> str:
-    kind = params.get("kind", "delay")
+def _kind_value(name: str, kind: str) -> str:
     if kind not in ("delay", "forwarding"):
         raise _BadRequest(
-            f"parameter 'kind' must be 'delay' or 'forwarding': {kind!r}"
+            f"parameter {name!r} must be 'delay' or 'forwarding': {kind!r}"
         )
     return kind
 
 
+def _kind_param(params: Dict[str, str]) -> str:
+    return _kind_value("kind", params.get("kind", "delay"))
+
+
+def _kinds_param(params: Dict[str, str]) -> List[str]:
+    """The batch ``kinds=delay,forwarding`` list (strict, non-empty)."""
+    raw = params.get("kinds", "")
+    kinds = [_kind_value("kinds", item) for item in raw.split(",")]
+    return kinds
+
+
+def _asn_of(raw: str) -> int:
+    """Parse an ASN component (accepts a leading ``AS``, nothing else).
+
+    Strictly ASCII digits after the optional prefix: ``int()`` alone
+    would also take ``+5``, ``" 5"``, ``5_0`` and non-ASCII digits —
+    all aliases of the same AS under different cache keys.
+    """
+    text = raw[2:] if raw[:2].upper() == "AS" else raw
+    if not _ASN_RE.match(text):
+        raise _BadRequest(f"bad ASN: {raw!r}")
+    return int(text)
+
+
+def _asn_list_param(params: Dict[str, str]) -> List[int]:
+    """The batch ``asns=1,2,3`` list (strict, non-empty, bounded)."""
+    raw = params.get("asns")
+    if raw is None:
+        raise _BadRequest(
+            "parameter 'asns' is required (e.g. /health?asns=1,2,3)"
+        )
+    items = raw.split(",")
+    if len(items) > MAX_BATCH_ITEMS:
+        raise _BadRequest(
+            f"parameter 'asns' lists {len(items)} ASNs "
+            f"(limit {MAX_BATCH_ITEMS})"
+        )
+    return [_asn_of(item) for item in items]
+
+
+def if_none_match_matches(header: Optional[str], etag: str) -> bool:
+    """Does an ``If-None-Match`` header revalidate *etag* (RFC 9110)?
+
+    The header is a comma-separated list of entity tags, or ``*``
+    (matches any current representation).  Comparison is *weak*: a
+    ``W/`` prefix on a listed tag is ignored, as §13.1.2 requires for
+    ``If-None-Match``.  Exact string equality — the previous behaviour
+    — silently failed clients that cached several variants and sent
+    them all, costing them every 304.  Our ETags never contain commas
+    or embedded quotes, so splitting on commas is exact.
+    """
+    if header is None:
+        return False
+    if header.strip() == "*":
+        return True
+    for candidate in header.split(","):
+        candidate = candidate.strip()
+        if candidate[:2] == "W/":
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+def _health_payload(engine: StoreQuery, asn: int) -> Dict[str, object]:
+    condition = engine.as_condition(asn)
+    return {**asdict(condition), "healthy": condition.healthy}
+
+
+def _links_payload(engine: StoreQuery, asn: int) -> List[Dict[str, object]]:
+    return [
+        {
+            "link": list(summary.link),
+            "alarm_count": summary.alarm_count,
+            "peak_deviation": summary.peak_deviation,
+            "total_deviation": summary.total_deviation,
+            "last_timestamp": summary.last_timestamp,
+        }
+        for summary in engine.links_of(asn)
+    ]
+
+
+def _top_payload(engine: StoreQuery, kind: str, k: int):
+    return [
+        {"asn": asn, "magnitude": magnitude}
+        for asn, magnitude in engine.top_asns(kind, k)
+    ]
+
+
+def _events_payload(engine: StoreQuery, params: Dict[str, str]):
+    kind = _kind_param(params)
+    threshold = _float_param(params, "threshold", 5.0)
+    limit = _int_param(params, "limit", 10)
+    if threshold <= 0:
+        raise _BadRequest(
+            f"parameter 'threshold' must be positive: {threshold}"
+        )
+    if limit < 0:
+        raise _BadRequest(f"parameter 'limit' must be >= 0: {limit}")
+    if "start" in params or "end" in params:
+        start = _int_param(params, "start", 0)
+        end = _int_param(params, "end", 2**62)
+        if end < start:
+            raise _BadRequest(
+                f"parameter 'end' precedes 'start': {end} < {start}"
+            )
+        events = engine.events_in(start, end, kind, threshold)[:limit]
+    else:
+        events = engine.top_events(kind, threshold, limit)
+    return [asdict(event) for event in events]
+
+
+def answer_route(
+    engine: StoreQuery,
+    cache: ResponseCache,
+    route: str,
+    params: Dict[str, str],
+):
+    """Compute the JSON payload for *route*; ``None`` for unknown routes.
+
+    This is the single route table both HTTP tiers share — identical
+    payloads (and therefore identical bodies and ETags) by
+    construction.  Raises :class:`_BadRequest` for invalid parameters
+    and lets :class:`StoreError` propagate for the caller's 503.
+    """
+    if route == "/":
+        return {
+            "store": engine.meta(),
+            "cache": cache.stats(),
+            "routes": [
+                "/health/{asn}", "/health?asns=...", "/links/{asn}",
+                "/events", "/top",
+            ],
+        }
+    parts = route.strip("/").split("/")
+    if route == "/health":
+        return [_health_payload(engine, asn) for asn in _asn_list_param(params)]
+    if parts[0] == "health" and len(parts) == 2:
+        return _health_payload(engine, _asn_of(parts[1]))
+    if parts[0] == "links" and len(parts) == 2:
+        return _links_payload(engine, _asn_of(parts[1]))
+    if route == "/events":
+        return _events_payload(engine, params)
+    if route == "/top":
+        k = _int_param(params, "k", 10)
+        if k < 0:
+            raise _BadRequest(f"parameter 'k' must be >= 0: {k}")
+        if "kinds" in params:
+            return {
+                kind: _top_payload(engine, kind, k)
+                for kind in _kinds_param(params)
+            }
+        return _top_payload(engine, _kind_param(params), k)
+    return None
+
+
+def error_response(
+    status: int,
+    message: str,
+    generation,
+    retry_after: Optional[int] = None,
+) -> CachedResponse:
+    """Render one JSON error body as a :class:`CachedResponse`."""
+    payload: Dict[str, object] = {"error": message}
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
+    body = _json_body(payload)
+    return CachedResponse(
+        status, body, make_etag(body, generation), retry_after=retry_after
+    )
+
+
+def _params_key(params: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted(params.items()))
+
+
+class ServiceState:
+    """Engine + cache + the locking/coherence discipline of one tier.
+
+    Both HTTP fronts (the threading server below, the asyncio tier in
+    :mod:`repro.service.aio`) answer every request through one of
+    these, so the caching rules and the ISSUE 9 coherence fix exist in
+    exactly one place:
+
+    * :meth:`respond` — fast path: one lock acquisition to refresh and
+      read the generation token, then a lock-free cache probe;
+    * :meth:`compute` — miss path: **token and payload under a single
+      lock acquisition**, with the engine pinned so intra-request
+      refreshes cannot observe a concurrent writer's new generation.
+      The entry is cached under the token its body was computed at.
+    """
+
+    def __init__(self, engine: StoreQuery, cache: ResponseCache) -> None:
+        self.engine = engine
+        self.cache = cache
+        self.engine_lock = threading.Lock()
+
+    def token(self) -> str:
+        """The current epoch-qualified generation token (refreshed)."""
+        with self.engine_lock:
+            self.engine.refresh()
+            return self.engine.cache_token
+
+    def cache_key(
+        self, route: str, params: Dict[str, str], token: str
+    ) -> CacheKey:
+        """The response-cache key for one request at one generation."""
+        return (route, _params_key(params), token)
+
+    def compute(self, route: str, params: Dict[str, str]) -> CachedResponse:
+        """Compute, cache and return the response for a cache miss."""
+        with self.engine_lock:
+            try:
+                self.engine.refresh()
+                token = self.engine.cache_token
+            except StoreError as exc:
+                return error_response(
+                    503, f"store unavailable: {exc}", "-",
+                    retry_after=RETRY_AFTER_S,
+                )
+            try:
+                # Pinned: the payload is computed entirely at `token`'s
+                # generation even if a writer publishes a new one
+                # mid-request (each public query method would otherwise
+                # refresh and mix generations into one response).
+                with self.engine.pinned():
+                    payload = answer_route(
+                        self.engine, self.cache, route, params
+                    )
+            except _BadRequest as exc:
+                return error_response(400, str(exc), token)
+            except StoreError as exc:
+                return error_response(
+                    503, f"store unavailable: {exc}", token,
+                    retry_after=RETRY_AFTER_S,
+                )
+            if payload is None:
+                return error_response(404, f"no such route: {route}", token)
+            body = _json_body(payload)
+            entry = CachedResponse(200, body, make_etag(body, token))
+            if route != "/":
+                self.cache.put(self.cache_key(route, params, token), entry)
+        return entry
+
+    def respond(self, route: str, params: Dict[str, str]) -> CachedResponse:
+        """Answer one request: cache first, :meth:`compute` on a miss."""
+        try:
+            token = self.token()
+        except StoreError as exc:
+            return error_response(
+                503, f"store unavailable: {exc}", "-",
+                retry_after=RETRY_AFTER_S,
+            )
+        if route != "/":  # the index route reports live cache stats
+            entry = self.cache.get(self.cache_key(route, params, token))
+            if entry is not None:
+                return entry
+        return self.compute(route, params)
+
+
 class AlarmServiceHandler(BaseHTTPRequestHandler):
-    """Routes GET requests to the store query engine (see module docs)."""
+    """Routes GET requests to the shared :class:`ServiceState`."""
 
     server_version = "repro-ihr/1.0"
-
-    # -- plumbing ------------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Silence per-request stderr logging (tests and benchmarks)."""
 
     def _send(self, response: CachedResponse) -> None:
-        if (
-            response.status == 200
-            and self.headers.get("If-None-Match") == response.etag
+        if response.status == 200 and if_none_match_matches(
+            self.headers.get("If-None-Match"), response.etag
         ):
             self.send_response(304)
             self.send_header("ETag", response.etag)
@@ -138,149 +433,13 @@ class AlarmServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(response.body)
 
-    def _error(
-        self,
-        status: int,
-        message: str,
-        generation,
-        retry_after: Optional[int] = None,
-    ) -> CachedResponse:
-        payload: Dict[str, object] = {"error": message}
-        if retry_after is not None:
-            payload["retry_after"] = retry_after
-        body = _json_body(payload)
-        return CachedResponse(
-            status, body, make_etag(body, generation), retry_after=retry_after
-        )
-
-    # -- request handling ----------------------------------------------------
-
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         """Answer one GET request (cache first, engine on miss)."""
         server: AlarmServiceServer = self.server  # type: ignore[assignment]
         parsed = urlsplit(self.path)
         route = parsed.path.rstrip("/") or "/"
         params = dict(parse_qsl(parsed.query))
-        try:
-            with server.engine_lock:
-                server.engine.refresh()
-                # Epoch-qualified: a recreated store restarts its
-                # generation counter but changes this token, so stale
-                # cache entries and ETags can never match it.
-                generation = server.engine.cache_token
-        except StoreError as exc:
-            self._send(
-                self._error(
-                    503,
-                    f"store unavailable: {exc}",
-                    "-",
-                    retry_after=RETRY_AFTER_S,
-                )
-            )
-            return
-        key = (route, tuple(sorted(params.items())), generation)
-        cacheable = route != "/"
-        if cacheable:
-            entry = server.cache.get(key)
-            if entry is not None:
-                self._send(entry)
-                return
-        try:
-            with server.engine_lock:
-                payload = self._answer(server, route, params)
-        except _BadRequest as exc:
-            self._send(self._error(400, str(exc), generation))
-            return
-        except StoreError as exc:
-            self._send(
-                self._error(
-                    503,
-                    f"store unavailable: {exc}",
-                    generation,
-                    retry_after=RETRY_AFTER_S,
-                )
-            )
-            return
-        if payload is None:
-            self._send(self._error(404, f"no such route: {route}", generation))
-            return
-        body = _json_body(payload)
-        entry = CachedResponse(200, body, make_etag(body, generation))
-        if cacheable:
-            server.cache.put(key, entry)
-        self._send(entry)
-
-    def _answer(
-        self, server: "AlarmServiceServer", route: str, params: Dict[str, str]
-    ):
-        """Compute the JSON payload for *route*; None for unknown routes."""
-        engine = server.engine
-        if route == "/":
-            return {
-                "store": engine.meta(),
-                "cache": server.cache.stats(),
-                "routes": ["/health/{asn}", "/links/{asn}", "/events", "/top"],
-            }
-        parts = route.strip("/").split("/")
-        if parts[0] == "health" and len(parts) == 2:
-            asn = self._asn_of(parts[1])
-            condition = engine.as_condition(asn)
-            return {**asdict(condition), "healthy": condition.healthy}
-        if parts[0] == "links" and len(parts) == 2:
-            asn = self._asn_of(parts[1])
-            return [
-                {
-                    "link": list(summary.link),
-                    "alarm_count": summary.alarm_count,
-                    "peak_deviation": summary.peak_deviation,
-                    "total_deviation": summary.total_deviation,
-                    "last_timestamp": summary.last_timestamp,
-                }
-                for summary in engine.links_of(asn)
-            ]
-        if route == "/events":
-            kind = _kind_param(params)
-            threshold = _float_param(params, "threshold", 5.0)
-            limit = _int_param(params, "limit", 10)
-            if threshold <= 0:
-                raise _BadRequest(
-                    f"parameter 'threshold' must be positive: {threshold}"
-                )
-            if limit < 0:
-                raise _BadRequest(f"parameter 'limit' must be >= 0: {limit}")
-            if "start" in params or "end" in params:
-                start = _int_param(params, "start", 0)
-                end = _int_param(params, "end", 2**62)
-                if end < start:
-                    raise _BadRequest(
-                        f"parameter 'end' precedes 'start': {end} < {start}"
-                    )
-                events = engine.events_in(start, end, kind, threshold)[:limit]
-            else:
-                events = engine.top_events(kind, threshold, limit)
-            return [asdict(event) for event in events]
-        if route == "/top":
-            kind = _kind_param(params)
-            k = _int_param(params, "k", 10)
-            if k < 0:
-                raise _BadRequest(f"parameter 'k' must be >= 0: {k}")
-            return [
-                {"asn": asn, "magnitude": magnitude}
-                for asn, magnitude in engine.top_asns(kind, k)
-            ]
-        return None
-
-    @staticmethod
-    def _asn_of(raw: str) -> int:
-        """Parse an ASN path component (accepts a leading ``AS``)."""
-        text = raw[2:] if raw.upper().startswith("AS") else raw
-        try:
-            asn = int(text)
-        except ValueError:
-            raise _BadRequest(f"bad ASN: {raw!r}")
-        if asn < 0:
-            raise _BadRequest(f"bad ASN: {raw!r}")
-        return asn
+        self._send(server.state.respond(route, params))
 
 
 class AlarmServiceServer(ThreadingHTTPServer):
@@ -295,9 +454,22 @@ class AlarmServiceServer(ThreadingHTTPServer):
         cache: ResponseCache,
     ) -> None:
         super().__init__(address, AlarmServiceHandler)
-        self.engine = engine
-        self.cache = cache
-        self.engine_lock = threading.Lock()
+        self.state = ServiceState(engine, cache)
+
+    @property
+    def engine(self) -> StoreQuery:
+        """The query engine (via the shared :class:`ServiceState`)."""
+        return self.state.engine
+
+    @property
+    def cache(self) -> ResponseCache:
+        """The response cache (via the shared :class:`ServiceState`)."""
+        return self.state.cache
+
+    @property
+    def engine_lock(self) -> threading.Lock:
+        """The engine lock (via the shared :class:`ServiceState`)."""
+        return self.state.engine_lock
 
 
 def make_server(

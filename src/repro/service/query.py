@@ -28,7 +28,8 @@ current generation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -68,6 +69,7 @@ class StoreQuery:
         )
         self.window_bins = window_bins
         self._cached_token: Optional[str] = None
+        self._pin_depth = 0
         self._asn_sets: Dict[str, frozenset] = {}
         self._series: Dict[Tuple[str, int], Optional[np.ndarray]] = {}
         self._magnitudes: Dict[Tuple[str, int], Optional[np.ndarray]] = {}
@@ -90,7 +92,14 @@ class StoreQuery:
         return self.store.manifest.token
 
     def refresh(self) -> bool:
-        """Pick up a newer store state; True when caches were dropped."""
+        """Pick up a newer store state; True when caches were dropped.
+
+        Inside a :meth:`pinned` block this is a no-op: the engine keeps
+        answering at the pinned generation even if a writer publishes a
+        newer one mid-computation.
+        """
+        if self._pin_depth:
+            return False
         changed = self.store.refresh()
         if changed or self._cached_token != self.cache_token:
             self._asn_sets = {}
@@ -99,6 +108,22 @@ class StoreQuery:
             self._cached_token = self.cache_token
             return True
         return False
+
+    @contextmanager
+    def pinned(self) -> Iterator["StoreQuery"]:
+        """Suppress :meth:`refresh` so answers stay on one generation.
+
+        The HTTP tiers compute each response under this pin: every
+        public query method refreshes first, so without it a writer
+        appending mid-request would let one response mix generations —
+        or worse, cache a generation-N+1 body under a generation-N key
+        and ETag (the coherence race fixed in ISSUE 9).  Re-entrant.
+        """
+        self._pin_depth += 1
+        try:
+            yield self
+        finally:
+            self._pin_depth -= 1
 
     # -- derived state (cached per generation) -------------------------------
 

@@ -46,13 +46,19 @@ re-interns the strings into segment-local ids.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import mmap
 import os
 import struct
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+try:  # POSIX only; the lock degrades to a no-op elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -229,6 +235,40 @@ def _atomic_write(path: Path, blob: bytes) -> None:
             temp.unlink()
 
 
+#: Sidecar file taken (``flock``) by every store *publisher*.
+LOCK_NAME = ".publish.lock"
+
+
+@contextlib.contextmanager
+def publish_lock(directory: Path) -> Iterator[None]:
+    """Advisory exclusive lock serialising store publishers.
+
+    The manifest swap itself is atomic, but a *publish* is
+    check-then-write: the writer verifies its cached manifest still
+    matches the disk before writing ``generation + 1``, and the
+    compactor plans a whole pass from one manifest read.  Two
+    publishers interleaving those steps lose one of the updates — a
+    writer could even republish segments a concurrent compaction pass
+    had just merged and unlinked, leaving the manifest pointing at
+    missing files.  An ``flock`` on a sidecar file closes that window
+    for the publish duration.  Readers never take it: the generation
+    cutover already gives them a consistent view.  Without ``fcntl``
+    (non-POSIX) the lock is a no-op and single-publisher discipline is
+    the caller's responsibility.
+    """
+    if fcntl is None or not directory.is_dir():
+        # Non-POSIX, or the store does not exist yet: nothing to
+        # serialise — the caller's manifest read raises the real error.
+        yield
+        return
+    with open(directory / LOCK_NAME, "a+b") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
 def _framed(magic: bytes, payload: bytes) -> bytes:
     """Magic + header + payload, digest-protected."""
     return magic + _HEADER.pack(
@@ -314,9 +354,15 @@ def read_manifest(path: PathLike) -> Manifest:
 
 
 class _SegmentBuilder:
-    """Accumulates alarm/event rows, then serialises one segment."""
+    """Accumulates alarm/event rows, then serialises one segment.
 
-    def __init__(self, mapper: AsMapper) -> None:
+    Rows arrive either from live bins (:meth:`add_bin`, needs *mapper*
+    to attribute alarms to ASes) or verbatim from existing segments
+    (:meth:`add_segment`, the compactor's path — *mapper* may be
+    ``None`` because nothing is re-derived).
+    """
+
+    def __init__(self, mapper: Optional[AsMapper]) -> None:
         self.mapper = mapper
         self.interner = IPInterner()
         self.columns: Dict[str, list] = {
@@ -427,6 +473,78 @@ class _SegmentBuilder:
                 KIND_FORWARDING, alarm.timestamp, asn, value,
                 router, self.interner.intern(hop),
             )
+
+    def add_segment(
+        self, segment: "AlarmSegment", events_only: bool = False
+    ) -> None:
+        """Append an existing segment's rows verbatim (compaction path).
+
+        Nothing is re-derived: every column value is copied with only
+        the segment-local interner ids remapped into this builder's
+        interner and the CSR hop-pool offsets re-based.  Appending
+        segments in manifest order therefore yields a merged segment
+        whose concatenated columns are exactly the source segments'
+        columns in order — every :class:`StoreQuery` answer (including
+        the float accumulation order of the severity journal) stays
+        bit-identical.
+
+        With *events_only* the alarm rows (and their hop pools) are
+        left behind and only the ``e_*`` severity-journal rows are
+        kept — the retention tier's "coarsen" operation: series,
+        events, rankings and link drill-downs survive unchanged while
+        raw alarm retrieval over the coarsened range is given up.
+        """
+        remap = [self.interner.intern(value) for value in segment.strings]
+        columns = self.columns
+        if not events_only:
+            for name, _ in _DELAY_COLUMNS:
+                source = getattr(segment, name)
+                if name in ("d_near", "d_far"):
+                    columns[name].extend(remap[i] for i in source.tolist())
+                else:
+                    columns[name].extend(source.tolist())
+            for name, _ in _FWD_COLUMNS:
+                source = getattr(segment, name)
+                if name in ("f_router", "f_dest"):
+                    columns[name].extend(remap[i] for i in source.tolist())
+                else:
+                    columns[name].extend(source.tolist())
+            for pool, offsets, hops, values, ends in (
+                (
+                    self.resp, self.resp_offsets,
+                    segment.f_resp_hop, segment.f_resp_value,
+                    segment.f_resp_offsets,
+                ),
+                (
+                    self.pat, self.pat_offsets,
+                    segment.f_pat_hop, segment.f_pat_value,
+                    segment.f_pat_offsets,
+                ),
+                (
+                    self.ref, self.ref_offsets,
+                    segment.f_ref_hop, segment.f_ref_value,
+                    segment.f_ref_offsets,
+                ),
+            ):
+                base = len(pool)
+                pool.extend(
+                    (remap[hop], value)
+                    for hop, value in zip(hops.tolist(), values.tolist())
+                )
+                offsets.extend(base + end for end in ends.tolist()[1:])
+            self.timestamps.extend(segment.d_ts.tolist())
+            self.timestamps.extend(segment.f_ts.tolist())
+            self.asns.extend(
+                asn for asn in segment.f_router_asn.tolist() if asn != NO_ASN
+            )
+        for name, _ in _EVENT_COLUMNS:
+            source = getattr(segment, name)
+            if name in ("e_near", "e_far"):
+                columns[name].extend(remap[i] for i in source.tolist())
+            else:
+                columns[name].extend(source.tolist())
+        self.asns.extend(segment.e_asn.tolist())
+        self.timestamps.extend(segment.e_ts.tolist())
 
     def serialise(self, name: str) -> Tuple[bytes, SegmentMeta]:
         """Return the framed segment bytes and its manifest entry."""
@@ -748,6 +866,19 @@ class AlarmStoreWriter:
         """The generation this writer last published."""
         return self.manifest.generation
 
+    def reload(self) -> bool:
+        """Re-read the manifest; True when another process advanced it.
+
+        A maintenance job (the compactor) may republish the store
+        between appends; the writer must adopt that state or its next
+        append would resurrect replaced segments.  Call this after any
+        out-of-band store mutation (``monitor --compact-every`` does).
+        """
+        manifest = read_manifest(self.path)
+        changed = manifest.token != self.manifest.token
+        self.manifest = manifest
+        return changed
+
     @property
     def total_alarms(self) -> int:
         """Alarm rows (both kinds) across every published segment."""
@@ -773,7 +904,28 @@ class AlarmStoreWriter:
         The store's clock advances over every *new* bin — quiet bins
         extend the zero-padding horizon of all severity series, exactly
         like :meth:`AlarmAggregator.close`.
+
+        Refuses (``StoreError``) if the on-disk manifest no longer
+        matches this writer's cached state — publishing from a stale
+        base would silently discard whatever advanced the store (a
+        compactor's merge, another writer's segment).  Call
+        :meth:`reload` to adopt the new state first.  The whole
+        check-and-publish runs under the store's :func:`publish_lock`,
+        so a compaction pass can never slip between the staleness check
+        and the manifest swap.
         """
+        with publish_lock(self.path):
+            return self._append_bins_locked(results)
+
+    def _append_bins_locked(self, results: Sequence[BinResult]) -> int:
+        """The body of :meth:`append_bins` (publish lock already held)."""
+        on_disk = read_manifest(self.path)
+        if on_disk.token != self.manifest.token:
+            raise StoreError(
+                f"store advanced underneath this writer "
+                f"(disk {on_disk.token} != writer {self.manifest.token}); "
+                f"call reload() before appending: {self.path}"
+            )
         manifest = self.manifest
         fresh = [
             result

@@ -1,0 +1,424 @@
+"""Async HTTP tier tests: byte-identity with the sync tier, at scale.
+
+The asyncio front end's contract is *byte identity*: for any request,
+the status, body and ETag must equal the threading server's — both
+answer through one :class:`~repro.service.http.ServiceState`.  These
+tests drive that matrix (success, batch, 400/404 and 304 paths), the
+tier's own machinery (keep-alive framing, single-flight coalescing,
+``SO_REUSEPORT`` worker pools), and the hard case: both tiers serving
+identical answers while a writer appends and the compactor rewrites
+the store underneath them.
+"""
+
+import json
+import random
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    AlarmStoreWriter,
+    CompactionPolicy,
+    StoreError,
+    compact_store,
+    make_server,
+)
+from repro.service.aio import AsyncServerThread, start_worker_pool
+
+from tests.test_service_store import (
+    BIN_S,
+    build_store,
+    make_mapper,
+    synthetic_bins,
+)
+
+#: The request matrix both tiers must answer identically: every route,
+#: the batch forms, and each validation-bugfix rejection (ISSUE 9).
+MATRIX = [
+    "/health/65001",
+    "/health/AS65002",
+    "/health/99999",
+    "/health?asns=65001,65002,65010",
+    "/links/65001",
+    "/links/65002",
+    "/events?kind=delay&threshold=0.5&limit=5",
+    "/events?kind=forwarding&threshold=0.5&limit=5&start=0&end=99999999",
+    "/top?kind=delay&k=3",
+    "/top?kinds=delay,forwarding&k=2",
+    "/nonsense",
+    "/events?threshold=nan",
+    "/events?threshold=inf",
+    "/events?threshold=1e999",
+    "/events?limit=1_0",
+    "/top?k=%2B2",
+    "/health/%2B5",
+]
+
+
+def sync_get(base: str, target: str, headers=None):
+    """GET via urllib against the sync tier; errors return their body."""
+    request = urllib.request.Request(base + target, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+class KeepAliveClient:
+    """A raw HTTP/1.1 keep-alive client for the asyncio tier.
+
+    ``urllib`` opens one connection per request; this client exercises
+    the persistent-connection framing the async tier is built around —
+    and can split :meth:`send` from :meth:`read_response` so tests can
+    put many requests in flight concurrently.
+    """
+
+    def __init__(self, port: int, host: str = "127.0.0.1") -> None:
+        self.sock = socket.create_connection((host, port), timeout=30)
+        self.file = self.sock.makefile("rb")
+
+    def send(self, target: str, headers=None) -> None:
+        lines = [f"GET {target} HTTP/1.1", "Host: test"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        self.sock.sendall(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+
+    def read_response(self):
+        status_line = self.file.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        headers = {}
+        while True:
+            line = self.file.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        body = self.file.read(length) if length else b""
+        return status, headers, body
+
+    def get(self, target: str, headers=None):
+        self.send(target, headers)
+        return self.read_response()
+
+    def close(self) -> None:
+        self.file.close()
+        self.sock.close()
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    """One store served by both tiers (async with exact freshness)."""
+    directory = tmp_path_factory.mktemp("aio") / "store"
+    mapper = make_mapper()
+    bins = synthetic_bins(6, seed=29)
+    build_store(directory, bins, mapper, chunk=2)
+    sync_server = make_server(directory, port=0, window_bins=4)
+    sync_thread = threading.Thread(
+        target=sync_server.serve_forever, daemon=True
+    )
+    sync_thread.start()
+    host, port = sync_server.server_address[:2]
+    with AsyncServerThread(
+        directory, window_bins=4, token_ttl=0.0
+    ) as async_server:
+        yield {
+            "directory": directory,
+            "mapper": mapper,
+            "bins": bins,
+            "sync_base": f"http://{host}:{port}",
+            "async_port": async_server.port,
+            "async_server": async_server,
+        }
+    sync_server.shutdown()
+    sync_server.server_close()
+
+
+class TestByteIdentity:
+    def test_matrix_matches_sync_tier_exactly(self, stack):
+        """Same status, same bytes, same ETag for every matrix request."""
+        client = KeepAliveClient(stack["async_port"])
+        try:
+            for target in MATRIX:
+                s_status, s_headers, s_body = sync_get(
+                    stack["sync_base"], target
+                )
+                a_status, a_headers, a_body = client.get(target)
+                assert a_status == s_status, target
+                assert a_body == s_body, target
+                assert a_headers.get("etag") == s_headers.get("ETag"), target
+                assert a_headers.get("retry-after") == s_headers.get(
+                    "Retry-After"
+                ), target
+        finally:
+            client.close()
+
+    def test_index_reports_same_store(self, stack):
+        """``/`` embeds per-tier cache stats; the store half must agree."""
+        _, _, s_body = sync_get(stack["sync_base"], "/")
+        client = KeepAliveClient(stack["async_port"])
+        try:
+            _, _, a_body = client.get("/")
+        finally:
+            client.close()
+        assert json.loads(a_body)["store"] == json.loads(s_body)["store"]
+
+    def test_if_none_match_rfc_forms(self, stack):
+        """List, ``*`` and ``W/`` forms all revalidate to 304 (RFC 9110)."""
+        target = "/top?kind=delay&k=3"
+        client = KeepAliveClient(stack["async_port"])
+        try:
+            _, headers, _ = client.get(target)
+            etag = headers["etag"]
+            for header in (
+                etag,
+                f'"zzz", {etag}',
+                "*",
+                f"W/{etag}",
+            ):
+                status, h304, body = client.get(
+                    target, {"If-None-Match": header}
+                )
+                assert status == 304, header
+                assert body == b""
+                assert h304["etag"] == etag
+            status, _, _ = client.get(target, {"If-None-Match": '"zzz"'})
+            assert status == 200
+        finally:
+            client.close()
+
+
+class TestConnectionHandling:
+    def test_keep_alive_serves_many_requests(self, stack):
+        client = KeepAliveClient(stack["async_port"])
+        try:
+            first = client.get("/health/65001")
+            for _ in range(3):
+                assert client.get("/health/65001") == first
+        finally:
+            client.close()
+
+    def test_connection_close_is_honoured(self, stack):
+        client = KeepAliveClient(stack["async_port"])
+        try:
+            status, headers, _ = client.get(
+                "/health/65001", {"Connection": "close"}
+            )
+            assert status == 200
+            assert headers.get("connection") == "close"
+            assert client.file.read() == b""  # server closed after reply
+        finally:
+            client.close()
+
+    def test_malformed_request_line_is_rejected(self, stack):
+        sock = socket.create_connection(
+            ("127.0.0.1", stack["async_port"]), timeout=30
+        )
+        try:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            reply = sock.makefile("rb").readline()
+            assert b"400" in reply
+        finally:
+            sock.close()
+
+    def test_non_get_method_gets_501(self, stack):
+        client = KeepAliveClient(stack["async_port"])
+        try:
+            client.sock.sendall(
+                b"POST /health/65001 HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            status, _, body = client.read_response()
+            assert status == 501
+            assert b"unsupported method" in body
+        finally:
+            client.close()
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_compute_once(self, tmp_path):
+        """N simultaneous misses on one key → one engine computation."""
+        directory = tmp_path / "store"
+        build_store(directory, synthetic_bins(6, seed=37), make_mapper())
+        with AsyncServerThread(
+            directory, window_bins=4, token_ttl=60.0
+        ) as server:
+            warm = KeepAliveClient(server.port)
+            warm.get("/health/65001")  # prime the token probe
+            warm.close()
+            state = server.service.state
+            original = state.compute
+            calls = []
+
+            def slow_compute(route, params):
+                calls.append(route)
+                time.sleep(0.3)
+                return original(route, params)
+
+            state.compute = slow_compute
+            clients = [KeepAliveClient(server.port) for _ in range(6)]
+            try:
+                target = "/top?kind=forwarding&k=4"
+                for client in clients:
+                    client.send(target)
+                replies = [client.read_response() for client in clients]
+            finally:
+                for client in clients:
+                    client.close()
+            assert len(calls) == 1  # coalesced: one compute for six waiters
+            assert len({body for _, _, body in replies}) == 1
+            assert len({h["etag"] for _, h, _ in replies}) == 1
+            assert server.service.misses >= 6
+            # The computed entry is cached: the next request is a pure hit.
+            hits_before = server.service.hits
+            follow_up = KeepAliveClient(server.port)
+            try:
+                follow_up.get(target)
+            finally:
+                follow_up.close()
+            assert len(calls) == 1
+            assert server.service.hits == hits_before + 1
+
+
+class TestWorkerPool:
+    def test_pool_serves_identically_then_stops(self, tmp_path):
+        directory = tmp_path / "store"
+        build_store(directory, synthetic_bins(6, seed=41), make_mapper())
+        sync_server = make_server(directory, port=0, window_bins=4)
+        thread = threading.Thread(
+            target=sync_server.serve_forever, daemon=True
+        )
+        thread.start()
+        host, port = sync_server.server_address[:2]
+        base = f"http://{host}:{port}"
+        pool = start_worker_pool(
+            directory, workers=2, window_bins=4, token_ttl=0.0
+        )
+        try:
+            assert pool.alive() == 2
+            # Several connections so the kernel spreads the accepts.
+            for _ in range(3):
+                client = KeepAliveClient(pool.port)
+                try:
+                    for target in MATRIX[:6]:
+                        s_status, s_headers, s_body = sync_get(base, target)
+                        a_status, a_headers, a_body = client.get(target)
+                        assert (a_status, a_body) == (s_status, s_body)
+                        assert a_headers.get("etag") == s_headers.get("ETag")
+                finally:
+                    client.close()
+        finally:
+            pool.stop()
+            sync_server.shutdown()
+            sync_server.server_close()
+        assert pool.alive() == 0
+
+
+class TestLiveStoreEquivalence:
+    """Both tiers, one store, a live writer and a running compactor."""
+
+    def test_tiers_agree_while_store_churns(self, tmp_path):
+        mapper = make_mapper()
+        bins = synthetic_bins(16, seed=43)
+        directory = tmp_path / "store"
+        build_store(directory, bins[:6], mapper, chunk=2)
+        sync_server = make_server(directory, port=0, window_bins=4)
+        sync_thread = threading.Thread(
+            target=sync_server.serve_forever, daemon=True
+        )
+        sync_thread.start()
+        host, port = sync_server.server_address[:2]
+        base = f"http://{host}:{port}"
+        stop_compactor = threading.Event()
+        failures = []
+
+        def writer_loop():
+            writer = AlarmStoreWriter.open_or_create(
+                directory, mapper, bin_s=BIN_S
+            )
+            for result in bins[6:]:
+                for _ in range(10):
+                    try:
+                        writer.append_bins([result])
+                        break
+                    except StoreError:
+                        writer.reload()  # the compactor got there first
+                else:  # pragma: no cover - would mean a livelock
+                    failures.append("writer starved by compactor")
+                    return
+                time.sleep(0.01)
+
+        def compactor_loop():
+            while not stop_compactor.is_set():
+                try:
+                    compact_store(
+                        directory, CompactionPolicy(max_segments=3)
+                    )
+                except StoreError as exc:  # pragma: no cover - unexpected
+                    failures.append(f"compactor failed: {exc}")
+                    return
+                time.sleep(0.03)
+
+        with AsyncServerThread(
+            directory, window_bins=4, token_ttl=0.0
+        ) as async_server:
+            client = KeepAliveClient(async_server.port)
+            writer_thread = threading.Thread(target=writer_loop)
+            compactor_thread = threading.Thread(target=compactor_loop)
+            writer_thread.start()
+            compactor_thread.start()
+            rng = random.Random(7)
+            targets = [t for t in MATRIX if "nonsense" not in t]
+            body_by_etag = {}
+            iterations = 0
+            try:
+                while writer_thread.is_alive() or iterations < 60:
+                    iterations += 1
+                    target = rng.choice(targets)
+                    for status, headers, body in (
+                        sync_get(base, target),
+                        client.get(target),
+                    ):
+                        if status == 503:
+                            continue  # transient: manifest mid-swap
+                        if status == 200:
+                            # One token, one answer: any ETag seen from
+                            # either tier must always name the same bytes.
+                            etag = headers.get("etag", headers.get("ETag"))
+                            assert etag is not None, (target, status)
+                            key = etag
+                        else:
+                            # 400s carry no ETag; their bodies depend
+                            # only on the offending parameter.
+                            key = (target, status)
+                        assert body_by_etag.setdefault(key, body) == body
+            finally:
+                writer_thread.join(timeout=60)
+                stop_compactor.set()
+                compactor_thread.join(timeout=60)
+            assert not failures, failures
+            # The churn was real: answers from more than one generation
+            # token were observed (ETags are "g{token}-{digest}").
+            tokens = {
+                key.split("-", 1)[0]
+                for key in body_by_etag
+                if isinstance(key, str)
+            }
+            assert len(tokens) > 1
+            # Quiesced: the strict matrix must now agree byte for byte.
+            for target in MATRIX:
+                s_status, s_headers, s_body = sync_get(base, target)
+                a_status, a_headers, a_body = client.get(target)
+                assert (a_status, a_body) == (s_status, s_body), target
+                assert a_headers.get("etag") == s_headers.get(
+                    "ETag"
+                ), target
+            client.close()
+        sync_server.shutdown()
+        sync_server.server_close()

@@ -1,0 +1,293 @@
+"""Compaction and retention tests: bit-identical answers across rewrites.
+
+The compactor's contract is exact: merging segments (in any schedule)
+must leave every :class:`StoreQuery` answer bit-identical to the
+uncompacted store, coarsening must preserve everything the severity
+journal feeds, and the generation-token cutover must keep live
+readers, writers and response caches coherent.  A hypothesis property
+drives random campaigns × random segment chunkings × random compaction
+schedules through the full equivalence check.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reporting.ihr import InternetHealthReport
+from repro.service.compact import (
+    CompactionPolicy,
+    CompactionReport,
+    compact_store,
+)
+from repro.service.query import StoreQuery
+from repro.service.store import (
+    AlarmStoreWriter,
+    StoreError,
+    read_manifest,
+)
+from tests.test_service_store import (
+    BIN_S,
+    IPS,
+    analysis_of,
+    assert_equivalent,
+    build_store,
+    make_mapper,
+    synthetic_bins,
+)
+
+
+def assert_same_answers(left: StoreQuery, right: StoreQuery, bins) -> None:
+    """Every query answer of *left* must equal *right*'s, bit for bit."""
+    assert left.monitored_asns() == right.monitored_asns()
+    for asn in left.monitored_asns() + [99999]:
+        assert left.as_condition(asn) == right.as_condition(asn)
+        assert left.links_of(asn) == right.links_of(asn)
+        for kind in ("delay", "forwarding"):
+            left_ts, left_vals = left.magnitude_series(asn, kind)
+            right_ts, right_vals = right.magnitude_series(asn, kind)
+            assert left_ts == right_ts
+            assert np.array_equal(left_vals, right_vals)
+    for kind in ("delay", "forwarding"):
+        assert left.top_asns(kind, 10) == right.top_asns(kind, 10)
+        assert left.top_events(kind, 0.5, 50) == right.top_events(
+            kind, 0.5, 50
+        )
+    for result in bins:
+        assert left.alarms_at(result.timestamp) == right.alarms_at(
+            result.timestamp
+        )
+    for ip in IPS[:3]:
+        assert left.alarms_involving(ip) == right.alarms_involving(ip)
+
+
+class TestMergeEquivalence:
+    def test_merge_matches_ihr_bit_for_bit(self, tmp_path):
+        mapper = make_mapper()
+        bins = synthetic_bins(12, seed=21)
+        build_store(tmp_path / "store", bins, mapper, chunk=1)
+        before = read_manifest(tmp_path / "store")
+        report = InternetHealthReport(analysis_of(bins, mapper))
+        live = StoreQuery(tmp_path / "store")
+        assert_equivalent(report, live, bins)
+
+        result = compact_store(
+            tmp_path / "store", CompactionPolicy(max_segments=3)
+        )
+        assert isinstance(result, CompactionReport)
+        assert result.changed and result.merged == 10
+        after = read_manifest(tmp_path / "store")
+        assert len(after.segments) == 3
+        assert after.generation == before.generation + 1
+        assert after.store_id == before.store_id
+        assert (after.start, after.end, after.bin_s) == (
+            before.start, before.end, before.bin_s
+        )
+        # A fresh engine and the live engine (post-refresh cutover)
+        # both still answer bit-identically to the in-memory IHR.
+        assert_equivalent(report, StoreQuery(tmp_path / "store"), bins)
+        assert live.refresh()
+        assert_equivalent(report, live, bins)
+
+    def test_replaced_segment_files_are_removed(self, tmp_path):
+        bins = synthetic_bins(10, seed=3)
+        build_store(tmp_path / "store", bins, make_mapper(), chunk=1)
+        names_before = {
+            p.name for p in (tmp_path / "store").glob("seg-*.seg")
+        }
+        compact_store(tmp_path / "store", CompactionPolicy(max_segments=2))
+        names_after = {
+            p.name for p in (tmp_path / "store").glob("seg-*.seg")
+        }
+        manifest = read_manifest(tmp_path / "store")
+        assert names_after == {m.name for m in manifest.segments}
+        assert len(names_after & names_before) <= 1  # only the newest kept
+
+    def test_noop_pass_publishes_nothing(self, tmp_path):
+        bins = synthetic_bins(6, seed=5)
+        build_store(tmp_path / "store", bins, make_mapper(), chunk=3)
+        before = read_manifest(tmp_path / "store")
+        result = compact_store(
+            tmp_path / "store", CompactionPolicy(max_segments=8)
+        )
+        assert not result.changed
+        assert result.bytes_after == result.bytes_before
+        after = read_manifest(tmp_path / "store")
+        assert after.token == before.token
+
+    def test_dry_run_writes_nothing(self, tmp_path):
+        bins = synthetic_bins(10, seed=9)
+        build_store(tmp_path / "store", bins, make_mapper(), chunk=1)
+        before = read_manifest(tmp_path / "store")
+        result = compact_store(
+            tmp_path / "store",
+            CompactionPolicy(max_segments=2),
+            dry_run=True,
+        )
+        assert result.changed and result.dry_run
+        assert result.bytes_after is None
+        assert result.segments_after < result.segments_before
+        assert read_manifest(tmp_path / "store").token == before.token
+
+    @given(
+        seed=st.integers(0, 2**16),
+        n_bins=st.integers(4, 10),
+        chunk=st.integers(1, 4),
+        schedule=st.lists(st.integers(1, 6), min_size=1, max_size=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_schedule_is_bit_identical(
+        self, seed, n_bins, chunk, schedule
+    ):
+        """Random campaign × chunking × compaction schedule ≡ untouched.
+
+        The reference store is never compacted; the subject store runs
+        an arbitrary sequence of merge passes.  Every query answer must
+        stay bit-identical throughout.
+        """
+        mapper = make_mapper()
+        bins = synthetic_bins(n_bins, seed)
+        with tempfile.TemporaryDirectory() as tmp:
+            build_store(Path(tmp) / "ref", bins, mapper, chunk)
+            build_store(Path(tmp) / "sub", bins, mapper, chunk)
+            reference = StoreQuery(Path(tmp) / "ref", window_bins=4)
+            subject = StoreQuery(Path(tmp) / "sub", window_bins=4)
+            for max_segments in schedule:
+                compact_store(
+                    Path(tmp) / "sub",
+                    CompactionPolicy(max_segments=max_segments),
+                )
+                assert_same_answers(subject, reference, bins)
+
+
+class TestRetentionTiers:
+    def test_coarsen_preserves_journal_answers(self, tmp_path):
+        mapper = make_mapper()
+        bins = synthetic_bins(12, seed=11)
+        build_store(tmp_path / "ref", bins, mapper, chunk=2)
+        build_store(tmp_path / "sub", bins, mapper, chunk=2)
+        result = compact_store(
+            tmp_path / "sub",
+            CompactionPolicy(max_segments=None, coarsen_after_bins=6),
+        )
+        assert result.changed and result.coarsened > 0
+        reference = StoreQuery(tmp_path / "ref", window_bins=4)
+        subject = StoreQuery(tmp_path / "sub", window_bins=4)
+        # Everything the severity journal feeds is untouched.
+        assert subject.monitored_asns() == reference.monitored_asns()
+        for asn in reference.monitored_asns():
+            assert subject.links_of(asn) == reference.links_of(asn)
+            for kind in ("delay", "forwarding"):
+                _, left = subject.magnitude_series(asn, kind)
+                _, right = reference.magnitude_series(asn, kind)
+                assert np.array_equal(left, right)
+        for kind in ("delay", "forwarding"):
+            assert subject.top_asns(kind, 10) == reference.top_asns(kind, 10)
+            assert subject.top_events(kind, 0.5, 50) == (
+                reference.top_events(kind, 0.5, 50)
+            )
+        # The explicit trade: raw alarms in the coarsened range are gone.
+        old_ts = bins[0].timestamp
+        ref_delay, ref_fwd = reference.alarms_at(old_ts)
+        if ref_delay or ref_fwd:
+            sub_delay, sub_fwd = subject.alarms_at(old_ts)
+            assert len(sub_delay) + len(sub_fwd) < (
+                len(ref_delay) + len(ref_fwd)
+            )
+
+    def test_coarsened_segments_shrink(self, tmp_path):
+        bins = synthetic_bins(12, seed=11)
+        build_store(tmp_path / "store", bins, make_mapper(), chunk=2)
+        result = compact_store(
+            tmp_path / "store",
+            CompactionPolicy(max_segments=None, coarsen_after_bins=4),
+        )
+        assert result.changed
+        assert result.bytes_after < result.bytes_before
+
+    def test_drop_removes_old_history_but_keeps_the_clock(self, tmp_path):
+        mapper = make_mapper()
+        bins = synthetic_bins(12, seed=13)
+        build_store(tmp_path / "store", bins, mapper, chunk=2)
+        before = read_manifest(tmp_path / "store")
+        result = compact_store(
+            tmp_path / "store",
+            CompactionPolicy(max_segments=None, drop_after_bins=4),
+        )
+        assert result.changed and result.dropped > 0
+        after = read_manifest(tmp_path / "store")
+        assert (after.start, after.end, after.bin_s) == (
+            before.start, before.end, before.bin_s
+        )
+        assert after.n_bins == before.n_bins
+        query = StoreQuery(tmp_path / "store", window_bins=4)
+        # Dropped history reads as zeros; recent bins keep their rows.
+        horizon = before.end - 3 * BIN_S
+        for segment in query.store.segments():
+            if segment.e_ts.size:
+                assert int(segment.e_ts.max()) >= horizon
+
+    def test_second_coarsen_pass_is_a_noop(self, tmp_path):
+        bins = synthetic_bins(12, seed=17)
+        build_store(tmp_path / "store", bins, make_mapper(), chunk=2)
+        policy = CompactionPolicy(max_segments=None, coarsen_after_bins=4)
+        first = compact_store(tmp_path / "store", policy)
+        assert first.changed
+        second = compact_store(tmp_path / "store", policy)
+        assert not second.changed  # already-coarse segments stay put
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            CompactionPolicy(max_segments=0)
+        with pytest.raises(ValueError):
+            CompactionPolicy(coarsen_after_bins=0)
+        with pytest.raises(ValueError):
+            CompactionPolicy(drop_after_bins=-1)
+
+
+class TestWriterCoexistence:
+    def test_stale_writer_is_refused_then_reloads(self, tmp_path):
+        mapper = make_mapper()
+        bins = synthetic_bins(10, seed=19)
+        writer = build_store(tmp_path / "store", bins[:8], mapper, chunk=1)
+        result = compact_store(
+            tmp_path / "store", CompactionPolicy(max_segments=2)
+        )
+        assert result.changed
+        # The writer's cached manifest predates the compaction: an
+        # append from it would resurrect the replaced segments.
+        with pytest.raises(StoreError, match="advanced underneath"):
+            writer.append_bins(bins[8:])
+        assert writer.reload()
+        writer.append_bins(bins[8:])
+        report = InternetHealthReport(analysis_of(bins, mapper))
+        assert_equivalent(report, StoreQuery(tmp_path / "store"), bins)
+
+    def test_reload_without_change_reports_false(self, tmp_path):
+        writer = AlarmStoreWriter.create(tmp_path / "store", make_mapper())
+        assert not writer.reload()
+
+    def test_cli_compact_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bins = synthetic_bins(10, seed=23)
+        build_store(tmp_path / "store", bins, make_mapper(), chunk=1)
+        assert main(
+            ["compact", str(tmp_path / "store"), "--max-segments", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "-> 2 segments" in out
+        assert len(read_manifest(tmp_path / "store").segments) == 2
+        assert main(
+            ["compact", str(tmp_path / "store"), "--max-segments", "2"]
+        ) == 0
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_cli_compact_missing_store(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["compact", str(tmp_path / "nope")]) == 1
+        assert "error" in capsys.readouterr().err

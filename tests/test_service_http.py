@@ -11,10 +11,19 @@ from repro.service import (
     AlarmStoreWriter,
     CachedResponse,
     ResponseCache,
+    ServiceState,
     StoreQuery,
+    if_none_match_matches,
     make_server,
+    read_manifest,
 )
 from repro.service.cache import make_etag
+from repro.service.http import (
+    _asn_of,
+    _BadRequest,
+    _float_param,
+    _int_param,
+)
 
 from tests.test_service_store import (
     analysis_of,
@@ -255,6 +264,208 @@ class TestCachingBehaviour:
             f"{json.loads(after)['store']['generation']}."
         )
         assert f"g{token}-" in headers["ETag"]
+
+
+class TestStrictValidation:
+    """The ISSUE 9 validation bugfix: ``int()``/``float()`` leniency.
+
+    Bare ``float()`` accepts ``nan``/``inf`` (NaN even passes a
+    ``<= 0`` positivity check) and bare ``int()`` accepts ``1_0``,
+    whitespace and ``+`` signs — aliasing equal queries to distinct
+    cache keys.  Every spelling below must be rejected with the exact
+    message clients will see.
+    """
+
+    def test_float_rejections_exact(self):
+        for raw in ("nan", "inf", "-inf", "Infinity", "1_0.5", " 1.5",
+                    "+1.5", "0x5", "1e", ""):
+            with pytest.raises(_BadRequest) as excinfo:
+                _float_param({"threshold": raw}, "threshold", 5.0)
+            assert str(excinfo.value) == (
+                f"parameter 'threshold' must be a number: {raw!r}"
+            ), raw
+
+    def test_float_overflow_spelling_rejected_as_non_finite(self):
+        # "1e999" passes the grammar but overflows float() to inf.
+        with pytest.raises(_BadRequest) as excinfo:
+            _float_param({"threshold": "1e999"}, "threshold", 5.0)
+        assert str(excinfo.value) == (
+            "parameter 'threshold' must be finite: '1e999'"
+        )
+
+    def test_float_accepts_plain_spellings(self):
+        for raw, value in (("0.5", 0.5), ("-2", -2.0), ("1e3", 1000.0),
+                           (".5", 0.5), ("5.", 5.0), ("1.5E-2", 0.015)):
+            assert _float_param({"x": raw}, "x", 0.0) == value
+
+    def test_int_rejections_exact(self):
+        for raw in ("1_0", " 10", "10 ", "+5", "0x5", "nope", "1.0", ""):
+            with pytest.raises(_BadRequest) as excinfo:
+                _int_param({"limit": raw}, "limit", 10)
+            assert str(excinfo.value) == (
+                f"parameter 'limit' must be an integer: {raw!r}"
+            ), raw
+
+    def test_int_accepts_plain_spellings(self):
+        for raw, value in (("10", 10), ("-3", -3), ("0", 0)):
+            assert _int_param({"x": raw}, "x", 99) == value
+
+    def test_asn_rejections_exact(self):
+        for raw in ("+5", " 5", "5 ", "5_0", "-1", "AS+5", "4.2", "AS", ""):
+            with pytest.raises(_BadRequest) as excinfo:
+                _asn_of(raw)
+            assert str(excinfo.value) == f"bad ASN: {raw!r}", raw
+
+    def test_asn_accepts_any_prefix_case(self):
+        assert _asn_of("65001") == 65001
+        assert _asn_of("AS65001") == 65001
+        assert _asn_of("as65001") == 65001
+
+    def test_http_400_bodies_are_exact(self, served_store):
+        expectations = {
+            "/events?threshold=nan":
+                "parameter 'threshold' must be a number: 'nan'",
+            "/events?threshold=inf":
+                "parameter 'threshold' must be a number: 'inf'",
+            "/events?threshold=1e999":
+                "parameter 'threshold' must be finite: '1e999'",
+            "/events?limit=1_0":
+                "parameter 'limit' must be an integer: '1_0'",
+            "/events?limit=%201":
+                "parameter 'limit' must be an integer: ' 1'",
+            "/top?k=%2B2":
+                "parameter 'k' must be an integer: '+2'",
+            "/health/%2B5": "bad ASN: '%2B5'",
+            "/health?asns=65001,,65002": "bad ASN: ''",
+            "/health": (
+                "parameter 'asns' is required (e.g. /health?asns=1,2,3)"
+            ),
+            "/top?kinds=delay,bogus": (
+                "parameter 'kinds' must be 'delay' or 'forwarding': 'bogus'"
+            ),
+        }
+        for url, message in expectations.items():
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(served_store["base"] + url)
+            assert excinfo.value.code == 400, url
+            assert json.loads(excinfo.value.read())["error"] == message, url
+
+    def test_batch_size_limit(self, served_store):
+        url = "/health?asns=" + ",".join(["65001"] * 101)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(served_store["base"] + url)
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"] == (
+            "parameter 'asns' lists 101 ASNs (limit 100)"
+        )
+
+
+class TestIfNoneMatchRfc:
+    """RFC 9110 §13.1.2: lists, ``*`` and weak tags all revalidate."""
+
+    def test_header_parsing_unit(self):
+        etag = '"g3.abc-def"'
+        assert not if_none_match_matches(None, etag)
+        assert if_none_match_matches(etag, etag)
+        assert if_none_match_matches(f'"other", {etag}', etag)
+        assert if_none_match_matches(f'"other" , {etag} ', etag)
+        assert if_none_match_matches("*", etag)
+        assert if_none_match_matches(" * ", etag)
+        assert if_none_match_matches(f"W/{etag}", etag)
+        assert if_none_match_matches(f'"a", W/{etag}, "b"', etag)
+        assert not if_none_match_matches('"other"', etag)
+        assert not if_none_match_matches('"a", "b"', etag)
+
+    def _expect_304(self, url, header):
+        request = urllib.request.Request(
+            url, headers={"If-None-Match": header}
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 304, header
+
+    def test_list_star_and_weak_forms_over_http(self, served_store):
+        url = f"{served_store['base']}/top?kind=delay&k=2"
+        _, headers, _ = _get(url)
+        etag = headers["ETag"]
+        self._expect_304(url, etag)
+        self._expect_304(url, f'"stale", {etag}')
+        self._expect_304(url, "*")
+        self._expect_304(url, f"W/{etag}")
+        status, _, _ = _get(url, headers={"If-None-Match": '"stale"'})
+        assert status == 200
+
+
+class _AmbushCache(ResponseCache):
+    """A cache whose probe triggers a store append (race injection).
+
+    ``ServiceState.respond`` reads the generation token, probes the
+    cache, and computes on a miss.  Arming this cache makes a writer
+    publish a new generation *between* the token read and the compute —
+    exactly the window of the ISSUE 9 coherence race.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self.ambush = None
+
+    def get(self, key):
+        entry = super().get(key)
+        if self.ambush is not None:
+            ambush, self.ambush = self.ambush, None
+            ambush()
+        return entry
+
+
+class TestCoherenceRace:
+    """Regression: token and payload under one lock acquisition."""
+
+    def test_append_between_token_and_compute_stays_coherent(self, tmp_path):
+        directory = tmp_path / "store"
+        mapper = make_mapper()
+        bins = synthetic_bins(8, seed=47)
+        writer = build_store(directory, bins[:6], mapper, chunk=2)
+        cache = _AmbushCache(8)
+        state = ServiceState(StoreQuery(directory, window_bins=4), cache)
+        token_before = state.token()
+        cache.ambush = lambda: writer.append_bins(bins[6:])
+        route, params = "/health/65001", {}
+        entry = state.respond(route, params)
+        token_after = read_manifest(directory).token
+        assert token_after != token_before
+        # The body was computed at the post-append generation, so its
+        # ETag and cache key must both carry the *new* token: a stale
+        # ETag over a fresh body (the old bug) would let clients
+        # revalidate into never seeing the new generation.
+        assert f"g{token_after}-" in entry.etag
+        assert cache.get(state.cache_key(route, params, token_before)) is None
+        cached = cache.get(state.cache_key(route, params, token_after))
+        assert cached is not None and cached.etag == entry.etag
+        # And the bytes really are the new generation's answer.
+        fresh = ServiceState(
+            StoreQuery(directory, window_bins=4), ResponseCache(4)
+        )
+        fresh_entry = fresh.compute(route, params)
+        assert entry.body == fresh_entry.body
+        assert entry.etag == fresh_entry.etag
+
+    def test_pinned_engine_never_mixes_generations(self, tmp_path):
+        directory = tmp_path / "store"
+        mapper = make_mapper()
+        bins = synthetic_bins(8, seed=53)
+        writer = build_store(directory, bins[:6], mapper, chunk=2)
+        engine = StoreQuery(directory, window_bins=4)
+        engine.refresh()
+        token_before = engine.cache_token
+        before = engine.top_asns("delay", 5)
+        with engine.pinned():
+            writer.append_bins(bins[6:])
+            # Mid-request queries stay at the pinned generation even
+            # though each public method normally refreshes first.
+            assert engine.cache_token == token_before
+            assert engine.top_asns("delay", 5) == before
+        engine.refresh()
+        assert engine.cache_token != token_before
 
 
 class TestUnavailableStore:
