@@ -5,7 +5,7 @@ PYTHON      ?= python
 PYTHONPATH  := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: help test bench bench-engine bench-ingest bench-detect bench-stream bench-serve bench-quality bench-fetch bench-e2e benchstat fetch-smoke compact-smoke docs doclint
+.PHONY: help test bench bench-engine bench-ingest bench-detect bench-stream bench-serve bench-quality bench-fetch bench-e2e bench-obs benchstat fetch-smoke compact-smoke obs-smoke docs doclint
 
 help:
 	@echo "targets:"
@@ -19,9 +19,11 @@ help:
 	@echo "  bench-quality detection-quality regression bench (BENCH_quality.json)"
 	@echo "  bench-fetch  connector-layer fetch benchmark (BENCH_fetch.json)"
 	@echo "  bench-e2e    fused end-to-end throughput benchmark (BENCH_e2e.json)"
+	@echo "  bench-obs    observability overhead benchmark (BENCH_obs.json)"
 	@echo "  benchstat    diff BENCH_*.json against benchmarks/baselines/"
 	@echo "  fetch-smoke  offline connector smoke: fixture fetch under faults"
 	@echo "  compact-smoke store compaction smoke: CLI round trip + equivalence tests"
+	@echo "  obs-smoke    boot both HTTP tiers, scrape /metrics + /statusz, validate"
 	@echo "  docs         docstring lint + pointers to docs/"
 	@echo "  doclint      docstring lint only"
 
@@ -57,6 +59,9 @@ bench-fetch:
 bench-e2e:
 	$(PYTHON) -m pytest -q benchmarks/bench_e2e.py -s
 
+bench-obs:
+	$(PYTHON) -m pytest -q benchmarks/bench_obs.py -s
+
 # Regression gate: compares the BENCH_*.json files at the repo root
 # against the blessed copies in benchmarks/baselines/ (20 % threshold).
 benchstat:
@@ -80,6 +85,13 @@ compact-smoke:
 	$(PYTHON) -m repro monitor /tmp/compact_feed.jsonl --seed 3 --probes 24 --store /tmp/compact.store
 	$(PYTHON) -m repro compact /tmp/compact.store --max-segments 1
 	$(PYTHON) -m pytest -q tests/test_service_compact.py
+
+# Observability smoke with zero network access: build a store via the
+# CLI, boot the threading tier and the asyncio tier as subprocesses,
+# scrape /metrics + /statusz on each through the strict exposition
+# parser, and assert both tiers expose one coherent metric namespace.
+obs-smoke:
+	$(PYTHON) tools/obs_smoke.py
 
 doclint:
 	$(PYTHON) tools/doclint.py

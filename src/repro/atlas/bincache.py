@@ -47,6 +47,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.atlas.columnar import IPInterner, TracerouteBatch, decode_traceroutes
+from repro.obs.metrics import default_registry
 from repro.atlas.io import PathLike
 
 #: File identification: magic bytes plus an explicit format version.
@@ -361,11 +362,19 @@ def load_or_build(
     source = Path(source_path)
     cache = Path(cache_path) if cache_path is not None else default_cache_path(source)
     current = fingerprint_of(source)
+    loads = default_registry().counter(
+        "repro_bincache_loads_total",
+        "Bin-cache loads by outcome (hit = served from cache).",
+        ("result",),
+    )
     if cache.exists():
         try:
-            return read_bincache(cache, fingerprint=current, mapped=mapped), True
+            batch = read_bincache(cache, fingerprint=current, mapped=mapped)
+            loads.labels("hit").inc()
+            return batch, True
         except BinCacheError:
             pass  # stale or corrupt: fall through and rebuild
     batch = decode_traceroutes(source, strict=strict)
     write_bincache(cache, batch, fingerprint=current)
+    loads.labels("rebuilt").inc()
     return batch, False

@@ -50,6 +50,8 @@ except ImportError:  # pragma: no cover - depends on the environment
     _orjson = None
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.metrics import default_registry
+
 from repro.atlas.io import (
     PathLike,
     TracerouteDecodeError,
@@ -600,4 +602,14 @@ def decode_traceroutes(
                     skipped += 1
     if skipped:
         _warn_skipped("decode_traceroutes", source, skipped)
+    registry = default_registry()
+    registry.counter(
+        "repro_ingest_traceroutes_total",
+        "Traceroute lines decoded into columnar batches.",
+    ).inc(len(batch))
+    if skipped:
+        registry.counter(
+            "repro_ingest_decode_warnings_total",
+            "Undecodable lines skipped in non-strict decoding.",
+        ).inc(skipped)
     return batch

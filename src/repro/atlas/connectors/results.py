@@ -42,6 +42,8 @@ from repro.atlas.connectors.cursors import (
 from repro.atlas.connectors.transport import FaultTolerantClient
 from repro.atlas.io import PathLike
 from repro.atlas.model import Traceroute
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.status import default_board
 
 #: Root of the RIPE Atlas REST API.
 DEFAULT_BASE_URL = "https://atlas.ripe.net/api/v2"
@@ -110,6 +112,26 @@ def _normalize_page(items, handle, strict: bool) -> tuple:
     return written, skipped
 
 
+class _FetchMetrics:
+    """Fetch-side metric families (shared across calls via the registry)."""
+
+    __slots__ = ("pages", "records", "restarts")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.pages = registry.counter(
+            "repro_connector_pages_total",
+            "Result pages fetched and committed.",
+        )
+        self.records = registry.counter(
+            "repro_connector_records_total",
+            "Traceroute records normalized into output files.",
+        )
+        self.restarts = registry.counter(
+            "repro_connector_cursor_restarts_total",
+            "Pagination windows restarted after an unusable cursor.",
+        )
+
+
 def fetch_results(
     client: FaultTolerantClient,
     msm_id: int,
@@ -141,6 +163,8 @@ def fetch_results(
         page_size=page_size,
     )
     report = FetchReport(msm_id=msm_id, out_path=str(out_path))
+    metrics = _FetchMetrics(default_registry())
+    board = default_board()
     cursor = FetchCursor(key=key, next_url=first_url)
     if cursor_path is not None and Path(cursor_path).exists():
         try:
@@ -151,6 +175,7 @@ def fetch_results(
             # Restarting refetches pages (time), it never skips data.
             cursor = FetchCursor(key=key, next_url=first_url)
             report.restarted = True
+            metrics.restarts.inc()
     if cursor.completed:
         report.pages = cursor.pages_fetched
         report.records = cursor.records_written
@@ -193,5 +218,20 @@ def fetch_results(
             cursor.completed = not cursor.next_url
             if cursor_path is not None:
                 save_cursor(cursor_path, cursor)
+            metrics.pages.inc()
+            metrics.records.inc(written)
+            breaker = client.breaker
+            board.update(
+                "fetch",
+                msm_id=msm_id,
+                pages_fetched=cursor.pages_fetched,
+                records_written=cursor.records_written,
+                output_bytes=cursor.output_bytes,
+                restarted=report.restarted,
+                completed=cursor.completed,
+                breaker_state=(
+                    "absent" if breaker is None else breaker.state
+                ),
+            )
     report.completed = cursor.completed
     return report

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import random
 import socket
@@ -50,6 +51,15 @@ import urllib.request
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+#: Structured connector events go here (``fetch -v`` wires a handler).
+#: Every record's message is one compact JSON object — machine-readable
+#: retry/breaker telemetry.  No code path ever logs headers, so the API
+#: key cannot leak through this logger (tested by
+#: ``tests/test_connector_logging.py``).
+logger = logging.getLogger("repro.atlas.connectors")
 
 #: Default per-request socket timeout (seconds).
 DEFAULT_TIMEOUT_S = 30.0
@@ -400,6 +410,72 @@ class CircuitBreaker:
             self.times_opened += 1
 
 
+def _log_event(level: int, event: str, **fields: object) -> None:
+    """Emit one machine-readable connector event as a JSON log line.
+
+    Only explicit scalar fields are serialized — never headers, never
+    exception reprs — so secrets cannot ride along.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    fields["event"] = event
+    logger.log(level, "%s", json.dumps(fields, sort_keys=True, separators=(",", ":")))
+
+
+def error_class(exc: RetryableError) -> str:
+    """Classify a retryable failure for metrics/logs.
+
+    ``http_429`` (rate limited), ``http_5xx`` (server side),
+    ``malformed`` (body never parsed), ``network`` (no HTTP status:
+    timeouts, resets, DNS).
+    """
+    if isinstance(exc, MalformedResponseError):
+        return "malformed"
+    if exc.status == 429:
+        return "http_429"
+    if exc.status is not None and exc.status >= 500:
+        return "http_5xx"
+    return "network"
+
+
+class _ConnectorMetrics:
+    """Connector metric families bound to one registry (shared, idempotent)."""
+
+    __slots__ = (
+        "requests", "attempts", "retries", "sleeps",
+        "breaker_transitions", "breaker_open",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.requests = registry.counter(
+            "repro_connector_requests_total",
+            "Logical GET requests issued by fault-tolerant clients.",
+        )
+        self.attempts = registry.counter(
+            "repro_connector_attempts_total",
+            "HTTP attempts, including retries.",
+        )
+        self.retries = registry.counter(
+            "repro_connector_retries_total",
+            "Retries by failure class.",
+            ("reason",),
+        )
+        self.sleeps = registry.counter(
+            "repro_connector_sleep_seconds_total",
+            "Seconds slept (or that would be slept), by cause.",
+            ("cause",),
+        )
+        self.breaker_transitions = registry.counter(
+            "repro_connector_breaker_transitions_total",
+            "Circuit-breaker state transitions, by new state.",
+            ("to",),
+        )
+        self.breaker_open = registry.gauge(
+            "repro_connector_breaker_open",
+            "1 while the circuit breaker is open, else 0.",
+        )
+
+
 @dataclass
 class ClientStats:
     """Counters a :class:`FaultTolerantClient` accumulates."""
@@ -461,6 +537,7 @@ class FaultTolerantClient:
         self.breaker = breaker
         self.stats = ClientStats()
         self._sleep = sleep
+        self._metrics = _ConnectorMetrics(default_registry())
         self._headers: Dict[str, str] = {"User-Agent": USER_AGENT}
         if api_key:
             self._headers["Authorization"] = f"Key {api_key}"
@@ -481,7 +558,50 @@ class FaultTolerantClient:
         if wait > 0.0:
             self.stats.rate_limit_waits += 1
             self.stats.slept_s += wait
+            self._metrics.sleeps.labels("rate_limit").inc(wait)
+            _log_event(
+                logging.DEBUG, "rate_limit_wait", wait_s=round(wait, 6)
+            )
             self._sleep(wait)
+
+    def _breaker_event(self, before: str) -> None:
+        """Record a breaker state change (metrics + structured log)."""
+        breaker = self.breaker
+        if breaker is None:
+            return
+        after = breaker.state
+        if after == before:
+            return
+        self._metrics.breaker_transitions.labels(after).inc()
+        self._metrics.breaker_open.set(1.0 if after == "open" else 0.0)
+        _log_event(
+            logging.WARNING if after == "open" else logging.INFO,
+            "breaker",
+            state=after,
+            previous=before,
+            times_opened=breaker.times_opened,
+        )
+
+    def _record_retry(
+        self, url: str, attempt: int, delay: float, reason: str,
+        status: Optional[int], retry_after: Optional[float],
+    ) -> None:
+        """Count and log one scheduled retry (before the sleep)."""
+        self.stats.retries += 1
+        self.stats.slept_s += delay
+        self._metrics.retries.labels(reason).inc()
+        self._metrics.sleeps.labels(
+            "retry_after" if retry_after is not None else "backoff"
+        ).inc(delay)
+        _log_event(
+            logging.INFO,
+            "retry",
+            url=url,
+            attempt=attempt,
+            delay_s=round(delay, 6),
+            reason=reason,
+            status=status,
+        )
 
     def get(self, url: str) -> HttpResponse:
         """GET *url* with retries/backoff; raise the taxonomy on failure.
@@ -493,43 +613,67 @@ class FaultTolerantClient:
         """
         request_index = self.stats.requests
         self.stats.requests += 1
+        self._metrics.requests.inc()
         slept = 0.0
         last: Optional[RetryableError] = None
         for attempt in range(1, self.policy.max_attempts + 1):
             if self.breaker is not None:
                 try:
                     self.breaker.check()
-                except CircuitOpenError:
+                except CircuitOpenError as exc:
                     self.stats.circuit_rejections += 1
+                    _log_event(
+                        logging.WARNING,
+                        "circuit_rejected",
+                        url=url,
+                        retry_in_s=round(exc.retry_in_s, 3),
+                    )
                     raise
             self._pace()
             self.stats.attempts += 1
+            self._metrics.attempts.inc()
             try:
                 response = self.transport.request(url, headers=self._headers)
             except RetryableError as exc:
                 last = exc
+                reason = error_class(exc)
                 if self.breaker is not None:
+                    before = self.breaker.state
                     self.breaker.on_failure()
+                    self._breaker_event(before)
                 if attempt >= self.policy.max_attempts:
                     break
                 delay = self.policy.delay_for(
                     request_index, attempt, retry_after=exc.retry_after
                 )
                 if slept + delay > self.policy.budget_s:
+                    _log_event(
+                        logging.WARNING, "give_up", url=url,
+                        attempts=attempt, slept_s=round(slept, 6),
+                        reason="budget",
+                    )
                     raise RetryBudgetExceeded(
                         f"retry budget exhausted for {url} after "
                         f"{attempt} attempts ({slept:.1f}s slept)",
                         attempts=attempt,
                         slept_s=slept,
                     ) from exc
-                self.stats.retries += 1
-                self.stats.slept_s += delay
+                self._record_retry(
+                    url, attempt, delay, reason, exc.status, exc.retry_after
+                )
                 slept += delay
                 self._sleep(delay)
                 continue
             if self.breaker is not None:
+                before = self.breaker.state
                 self.breaker.on_success()
+                self._breaker_event(before)
             return response
+        _log_event(
+            logging.WARNING, "give_up", url=url,
+            attempts=self.policy.max_attempts, slept_s=round(slept, 6),
+            reason="attempts",
+        )
         raise RetryBudgetExceeded(
             f"all {self.policy.max_attempts} attempts failed for {url}",
             attempts=self.policy.max_attempts,
@@ -552,7 +696,9 @@ class FaultTolerantClient:
                 return json.loads(response.body.decode("utf-8"))
             except (UnicodeDecodeError, ValueError) as exc:
                 if self.breaker is not None:
+                    before = self.breaker.state
                     self.breaker.on_failure()
+                    self._breaker_event(before)
                 if attempt >= self.policy.max_attempts:
                     raise RetryBudgetExceeded(
                         f"body of {url} never decoded as JSON after "
@@ -567,8 +713,9 @@ class FaultTolerantClient:
                         attempts=attempt,
                         slept_s=slept,
                     ) from exc
-                self.stats.retries += 1
-                self.stats.slept_s += delay
+                self._record_retry(
+                    url, attempt, delay, "malformed", None, None
+                )
                 slept += delay
                 self._sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover

@@ -254,6 +254,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timings", action="store_true",
         help="report per-stage wall-clock totals "
              "(decode/bin/extract/detect/store) after the summary")
+    analyze.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON file of the analysis "
+             "(campaign/bin/shard/stage spans; open in Perfetto or "
+             "chrome://tracing)")
     _add_engine_flags(analyze)
 
     monitor = sub.add_parser(
@@ -362,6 +367,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=_positive_int, default=1, metavar="N",
         help="pre-fork N async worker processes sharing the port via "
              "SO_REUSEPORT (requires --async; default 1)")
+    serve.add_argument(
+        "--access-log", metavar="PATH", default=None,
+        help="append one canonical-JSON line per answered request "
+             "(route, status, latency µs, cache outcome); identical "
+             "field order on both tiers")
 
     compact = sub.add_parser(
         "compact",
@@ -433,6 +443,11 @@ def _checkpoint_every(args) -> int:
 def _add_connector_flags(parser: argparse.ArgumentParser) -> None:
     """Offline-transport knobs shared by ``fetch`` and ``monitor --atlas``."""
     parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="emit the connector layer's structured JSON log (retries, "
+             "breaker transitions, rate-limit waits) to stderr; the API "
+             "key never appears in it")
+    parser.add_argument(
         "--fixture", metavar="PATH", default=None,
         help="serve recorded fixture pages instead of the network "
              "(fully offline)")
@@ -444,6 +459,26 @@ def _add_connector_flags(parser: argparse.ArgumentParser) -> None:
         "--fault-rate", type=float, default=0.0, metavar="R",
         help="injected fault probability per request with --fixture "
              "(default 0.0 = no faults)")
+
+
+def _enable_connector_logging() -> None:
+    """Wire the connector layer's structured log to stderr (``-v``).
+
+    One handler per process: re-running the command function inside a
+    single interpreter (tests) must not stack duplicate handlers.
+    """
+    import logging
+
+    logger = logging.getLogger("repro.atlas.connectors")
+    if not any(
+        isinstance(h, logging.StreamHandler) for h in logger.handlers
+    ):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG)
 
 
 def _make_client(
@@ -623,6 +658,8 @@ def _cmd_fetch(args) -> int:
         prefix_entries,
     )
 
+    if args.verbose:
+        _enable_connector_logging()
     client = _make_client(
         args.fixture, args.fault_seed, args.fault_rate, args.secrets
     )
@@ -761,10 +798,13 @@ def _print_timings(timer: StageTimer) -> None:
 
 
 def _cmd_analyze(args) -> int:
+    from repro.obs import Tracer
+
     topology = _topology(args.seed, args.probes)
     platform = AtlasPlatform(topology, seed=args.seed)
     config = _engine_config(args, alpha=args.alpha)
     timer = StageTimer(enabled=args.timings)
+    tracer = Tracer(enabled=args.trace is not None)
     if args.bin_cache is not None:
         with timer.stage("decode"):
             source, hit = load_or_build(
@@ -786,7 +826,13 @@ def _cmd_analyze(args) -> int:
         checkpoint_every=_checkpoint_every(args),
         checkpoint_source=args.path if args.checkpoint else None,
         profiler=timer if timer.enabled else None,
+        tracer=tracer if tracer.enabled else None,
     )
+    if args.trace is not None:
+        tracer.write(args.trace)
+        if not args.json:
+            print(f"trace written: {args.trace} "
+                  f"({len(tracer.events())} spans)")
     report = InternetHealthReport(analysis)
     if args.store:
         from repro.service import append_analysis
@@ -888,6 +934,8 @@ def _monitor_prefetch(args) -> int:
     if args.atlas_msm is None:
         print("repro: error: --atlas requires --atlas-msm", file=sys.stderr)
         raise SystemExit(2)
+    if args.verbose:
+        _enable_connector_logging()
     client = _make_client(
         args.fixture, args.fault_seed, args.fault_rate, args.secrets
     )
@@ -911,6 +959,9 @@ def _monitor_prefetch(args) -> int:
 
 def _cmd_monitor(args) -> int:
     """Body of the ``monitor`` subcommand (live path + checkpointing)."""
+    from repro.obs import default_board
+
+    board = default_board()
     every = _checkpoint_every(args)
     if args.atlas:
         _monitor_prefetch(args)
@@ -989,6 +1040,7 @@ def _cmd_monitor(args) -> int:
     skipped_lines = 0
     store_buffer: List = []
     bins_since_compact = 0
+    newest_ts = 0  # newest traceroute timestamp seen (data time)
 
     def checkpoint() -> None:
         """Write a state-only snapshot bound to this feed."""
@@ -1004,6 +1056,8 @@ def _cmd_monitor(args) -> int:
                 store_writer.append_bins(store_buffer)
             bins_since_compact += len(store_buffer)
             store_buffer.clear()
+        if store_writer is not None:
+            board.update("monitor", store_generation=store_writer.generation)
         if (
             store_writer is not None
             and args.compact_every is not None
@@ -1046,6 +1100,16 @@ def _cmd_monitor(args) -> int:
             if args.checkpoint and pending >= every:
                 checkpoint()
                 pending = 0
+            # Progress for /statusz, in *data time* only (newest result
+            # timestamp vs. the closed bin's end) — deterministic for a
+            # given feed, and nothing here feeds back into detection.
+            board.update(
+                "monitor",
+                bins_closed=closed_bins,
+                last_bin_timestamp=start,
+                feed_lag_s=max(0, newest_ts - (start + config.bin_s)),
+                checkpoint_pending_bins=pending,
+            )
             if args.max_bins is not None and closed_bins >= args.max_bins:
                 return True
         return False
@@ -1068,6 +1132,8 @@ def _cmd_monitor(args) -> int:
             except (ValueError, KeyError, TypeError):
                 skipped_lines += 1  # a live feed's bad line is not fatal
                 continue
+            if traceroute.timestamp > newest_ts:
+                newest_ts = traceroute.timestamp
             if handle(stream.push(traceroute)):
                 stopped = True
                 break
@@ -1135,6 +1201,7 @@ def _cmd_serve_async(args) -> int:
             workers=args.workers,
             cache_size=args.cache_size,
             window_bins=args.window_bins,
+            access_log=args.access_log,
         )
         # SIGTERM must unwind through the ``finally`` below, or the
         # pre-forked workers outlive the parent and hold the port.
@@ -1159,6 +1226,7 @@ def _cmd_serve_async(args) -> int:
             args.port,
             cache_size=args.cache_size,
             window_bins=args.window_bins,
+            access_log=args.access_log,
         )
         host, port = server.sockets[0].getsockname()[:2]
         print(
@@ -1194,6 +1262,7 @@ def _cmd_serve(args) -> int:
             port=args.port,
             cache_size=args.cache_size,
             window_bins=args.window_bins,
+            access_log=args.access_log,
         )
     except StoreError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)

@@ -41,6 +41,7 @@ import os
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -83,6 +84,8 @@ from repro.core.pipeline import (
     TrackedLinkPoint,
 )
 from repro.core.profiling import NULL_TIMER
+from repro.obs.metrics import MetricsRegistry, default_registry, exponential_buckets
+from repro.obs.tracing import NULL_TRACER
 from repro.core.sharding import (
     partition_observations,
     partition_patterns,
@@ -539,12 +542,19 @@ def _extract_bin_columnar(
 
 @dataclass
 class _ShardBinOutput:
-    """What one shard contributes to one bin's merged result."""
+    """What one shard contributes to one bin's merged result.
+
+    ``elapsed_s`` is the shard's own wall time for the partition —
+    measured inside the worker (serial, thread or process) so the
+    parent can lay deterministic per-shard spans onto the trace; it is
+    telemetry only and never feeds back into detection.
+    """
 
     shard_id: int
     delay_alarms: List[DelayAlarm]
     forwarding_alarms: List[ForwardingAlarm]
     n_links_analyzed: int
+    elapsed_s: float = 0.0
 
 
 @dataclass
@@ -564,6 +574,7 @@ class _FusedShardOutput:
     delay_links: List[Link]
     forwarding_alarms: List[ForwardingAlarm]
     n_links_analyzed: int
+    elapsed_s: float = 0.0
 
 
 class _FusedLinkObs:
@@ -755,6 +766,7 @@ class _ShardCore:
         patterns: Dict[ModelKey, Pattern],
     ) -> _ShardBinOutput:
         """Analyse this shard's slice of one time bin."""
+        shard_start = perf_counter()
         if not observations and not patterns and not self.tracked:
             return _ShardBinOutput(self.shard_id, [], [], 0)
 
@@ -851,6 +863,7 @@ class _ShardCore:
             delay_alarms=delay_alarms,
             forwarding_alarms=forwarding_alarms,
             n_links_analyzed=analyzed,
+            elapsed_s=perf_counter() - shard_start,
         )
 
     def process_partition_fused(
@@ -870,6 +883,7 @@ class _ShardCore:
         the dict path — the hypothesis property in
         ``tests/test_fused_spine.py`` holds both to the serial oracle.
         """
+        shard_start = perf_counter()
         strings = self._strings
         if strings is None:
             raise RuntimeError("set_strings must precede fused bins")
@@ -1016,6 +1030,7 @@ class _ShardCore:
             delay_links=delay_links,
             forwarding_alarms=forwarding_alarms,
             n_links_analyzed=analyzed,
+            elapsed_s=perf_counter() - shard_start,
         )
 
     def _record_tracked(
@@ -1422,6 +1437,62 @@ class _ProcessBackend:
 # -- the engine itself -------------------------------------------------------
 
 
+#: Stage-latency bounds: 100 microseconds up to ~1.6 seconds per bin.
+_STAGE_BUCKETS = exponential_buckets(0.0001, 4.0, 8)
+
+
+class _EngineMetrics:
+    """The engine's metric families, with hot children pre-interned.
+
+    Families register against the given registry (idempotently, so
+    several engines share them); on a disabled registry every handle is
+    a shared no-op.  Nothing here is read back by the engine —
+    instrumentation cannot change detection output.
+    """
+
+    __slots__ = (
+        "bins_fused", "bins_object", "traceroutes", "links_analyzed",
+        "alarms_delay", "alarms_forwarding", "stage", "imbalance",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        bins = registry.counter(
+            "repro_engine_bins_total",
+            "Time bins processed, by extraction path.",
+            ("path",),
+        )
+        self.bins_fused = bins.labels("fused")
+        self.bins_object = bins.labels("object")
+        self.traceroutes = registry.counter(
+            "repro_engine_traceroutes_total",
+            "Traceroutes folded into processed bins.",
+        )
+        self.links_analyzed = registry.counter(
+            "repro_engine_links_analyzed_total",
+            "Links that passed the diversity filter and were analysed.",
+        )
+        alarms = registry.counter(
+            "repro_engine_alarms_total",
+            "Alarms emitted by the detection arenas.",
+            ("kind",),
+        )
+        self.alarms_delay = alarms.labels("delay")
+        self.alarms_forwarding = alarms.labels("forwarding")
+        stage = registry.histogram(
+            "repro_engine_stage_seconds",
+            "Per-bin wall time by pipeline stage.",
+            ("stage",),
+            buckets=_STAGE_BUCKETS,
+        )
+        self.stage = {
+            name: stage.labels(name) for name in ("extract", "bin", "detect")
+        }
+        self.imbalance = registry.gauge(
+            "repro_engine_shard_imbalance_ratio",
+            "Largest shard load over the mean shard load, last bin.",
+        )
+
+
 class ShardedPipeline:
     """Sharded, vectorized drop-in for :class:`Pipeline`.
 
@@ -1472,6 +1543,13 @@ class ShardedPipeline:
         #: Stage profiler hook (``extract`` / ``bin`` / ``detect``);
         #: swap in an enabled StageTimer to collect per-bin timings.
         self.profiler = NULL_TIMER
+        #: Span tracer hook (``bin`` -> stage -> shard spans); swap in
+        #: an enabled :class:`repro.obs.Tracer` to record a timeline.
+        self.tracer = NULL_TRACER
+        #: Metric families, bound to the process default registry at
+        #: construction (swap the default before building the engine to
+        #: inject, e.g. a disabled registry for overhead benchmarks).
+        self.metrics = _EngineMetrics(default_registry())
 
     @staticmethod
     def _resolve_executor(config: PipelineConfig) -> str:
@@ -1518,6 +1596,70 @@ class ShardedPipeline:
         except Exception:
             pass
 
+    # -- observability (telemetry only; never read back) -------------------
+
+    def _charge(self, stage: str, start: float) -> float:
+        """Charge ``start``..now to a stage on every telemetry surface.
+
+        Feeds the attached profiler (``--timings``), the stage-latency
+        histogram and the span tracer; returns the measured end time so
+        consecutive stages share one clock read.
+        """
+        now = perf_counter()
+        elapsed = now - start
+        self.profiler.add(stage, elapsed)
+        self.metrics.stage[stage].observe(elapsed)
+        self.tracer.add_span(stage, start, elapsed)
+        return now
+
+    def _finish_bin(
+        self,
+        path: str,
+        timestamp: int,
+        bin_start: float,
+        detect_start: float,
+        outputs: Sequence,
+        loads: Sequence[int],
+        n_traceroutes: int,
+        delay_alarms: Sequence,
+        forwarding_alarms: Sequence,
+    ) -> None:
+        """Record one merged bin's telemetry: counters, spans, imbalance.
+
+        Shard spans are merged deterministically: each shard measured
+        its own ``elapsed_s`` inside the worker, and the parent lays
+        them onto the detect stage's timeline in shard-id order (the
+        outputs arrive pre-sorted), one trace track per shard.
+        """
+        metrics = self.metrics
+        (metrics.bins_fused if path == "fused" else metrics.bins_object).inc()
+        metrics.traceroutes.inc(n_traceroutes)
+        metrics.links_analyzed.inc(
+            sum(output.n_links_analyzed for output in outputs)
+        )
+        if delay_alarms:
+            metrics.alarms_delay.inc(len(delay_alarms))
+        if forwarding_alarms:
+            metrics.alarms_forwarding.inc(len(forwarding_alarms))
+        total = sum(loads)
+        if total and loads:
+            metrics.imbalance.set(max(loads) * len(loads) / total)
+        tracer = self.tracer
+        if tracer.enabled:
+            for output in outputs:
+                tracer.add_span(
+                    f"shard-{output.shard_id}",
+                    detect_start,
+                    output.elapsed_s,
+                    tid=output.shard_id + 1,
+                )
+            tracer.add_span(
+                "bin",
+                bin_start,
+                perf_counter() - bin_start,
+                args={"timestamp": timestamp, "path": path},
+            )
+
     # -- per-bin processing ------------------------------------------------
 
     def process_bin(
@@ -1538,20 +1680,20 @@ class ShardedPipeline:
             traceroutes, (TracerouteBatch, BatchView)
         ):
             return self._process_bin_fused(timestamp, traceroutes)
-        profiler = self.profiler
-        with profiler.stage("extract"):
-            observations, patterns = extract_bin(traceroutes)
-        with profiler.stage("bin"):
-            self._links_seen.update(observations)
-            observation_parts = partition_observations(
-                observations, self.n_shards, cache=self._link_shard
-            )
-            pattern_parts = partition_patterns(
-                patterns, self.n_shards, cache=self._router_shard
-            )
-            parts = list(zip(observation_parts, pattern_parts))
-        with profiler.stage("detect"):
-            outputs = self._backend.run_bin(timestamp, parts)
+        bin_start = perf_counter()
+        observations, patterns = extract_bin(traceroutes)
+        stage_start = self._charge("extract", bin_start)
+        self._links_seen.update(observations)
+        observation_parts = partition_observations(
+            observations, self.n_shards, cache=self._link_shard
+        )
+        pattern_parts = partition_patterns(
+            patterns, self.n_shards, cache=self._router_shard
+        )
+        parts = list(zip(observation_parts, pattern_parts))
+        detect_start = self._charge("bin", stage_start)
+        outputs = self._backend.run_bin(timestamp, parts)
+        self._charge("detect", detect_start)
 
         delay_alarms = sorted(
             (alarm for output in outputs for alarm in output.delay_alarms),
@@ -1569,6 +1711,17 @@ class ShardedPipeline:
         self._traceroutes += len(traceroutes)
         self._last_timestamp = timestamp
         self._snapshot_cache = None
+        self._finish_bin(
+            "object",
+            timestamp,
+            bin_start,
+            detect_start,
+            outputs,
+            [len(obs) + len(pat) for obs, pat in parts],
+            len(traceroutes),
+            delay_alarms,
+            forwarding_alarms,
+        )
         return BinResult(
             timestamp=timestamp,
             n_traceroutes=len(traceroutes),
@@ -1615,20 +1768,20 @@ class ShardedPipeline:
             self._fused_link_shard = {}
             self._fused_router_shard = {}
             self._backend.set_strings(strings)
-        profiler = self.profiler
-        with profiler.stage("extract"):
-            fused = extract_bin_fused(traceroutes, self._fused_ranks)
-        with profiler.stage("bin"):
-            parts = partition_fused(
-                fused,
-                self.n_shards,
-                strings,
-                self._fused_link_shard,
-                self._fused_router_shard,
-                links_seen=self._links_seen,
-            )
-        with profiler.stage("detect"):
-            outputs = self._backend.run_fused_bin(timestamp, parts)
+        bin_start = perf_counter()
+        fused = extract_bin_fused(traceroutes, self._fused_ranks)
+        stage_start = self._charge("extract", bin_start)
+        parts = partition_fused(
+            fused,
+            self.n_shards,
+            strings,
+            self._fused_link_shard,
+            self._fused_router_shard,
+            links_seen=self._links_seen,
+        )
+        detect_start = self._charge("bin", stage_start)
+        outputs = self._backend.run_fused_bin(timestamp, parts)
+        self._charge("detect", detect_start)
 
         delay_alarms: List[DelayAlarm] = []
         for output in outputs:
@@ -1648,6 +1801,17 @@ class ShardedPipeline:
         self._traceroutes += len(traceroutes)
         self._last_timestamp = timestamp
         self._snapshot_cache = None
+        self._finish_bin(
+            "fused",
+            timestamp,
+            bin_start,
+            detect_start,
+            outputs,
+            [part.n_links + part.n_models for part in parts],
+            len(traceroutes),
+            delay_alarms,
+            forwarding_alarms,
+        )
         return BinResult(
             timestamp=timestamp,
             n_traceroutes=len(traceroutes),

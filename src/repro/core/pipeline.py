@@ -21,6 +21,7 @@ chosen links — the material of Figures 2, 7 and 11.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -43,6 +44,7 @@ from repro.core.forwarding import (
     forwarding_patterns,
 )
 from repro.net.asmap import AsMapper
+from repro.obs.tracing import NULL_TIMER
 from repro.stats.smoothing import DEFAULT_ALPHA
 from repro.stats.wilson import (
     DEFAULT_Z,
@@ -197,6 +199,10 @@ class Pipeline:
         self._bins = 0
         self._traceroutes = 0
         self._last_timestamp: Optional[int] = None
+        #: Stage profiler hook; the whole serial bin is one "detect"
+        #: stage (matching what ``monitor`` charges on this engine).
+        #: Write-only telemetry — it can never change analysis output.
+        self.profiler = NULL_TIMER
 
     # -- per-bin processing ------------------------------------------------
 
@@ -210,6 +216,7 @@ class Pipeline:
         pipeline deliberately stays on the paper-shaped object path;
         the sharded engine is the one that consumes columns natively.
         """
+        detect_start = perf_counter()
         if isinstance(traceroutes, (TracerouteBatch, BatchView)):
             traceroutes = traceroutes.to_traceroutes()
         observations = differential_rtts(traceroutes)
@@ -269,6 +276,7 @@ class Pipeline:
         self._bins += 1
         self._traceroutes += len(traceroutes)
         self._last_timestamp = timestamp
+        self.profiler.add("detect", perf_counter() - detect_start)
         return BinResult(
             timestamp=timestamp,
             n_traceroutes=len(traceroutes),
@@ -578,6 +586,7 @@ def analyze_campaign(
     checkpoint_every: int = 1,
     checkpoint_source: Optional[object] = None,
     profiler: Optional[object] = None,
+    tracer: Optional[object] = None,
 ) -> CampaignAnalysis:
     """Convenience driver: pipeline + AS aggregation in one call.
 
@@ -603,14 +612,25 @@ def analyze_campaign(
     ``profiler`` (a :class:`~repro.core.profiling.StageTimer`) attaches
     per-stage wall-clock instrumentation to the sharded engine; the
     caller reads the accumulated timings back off the timer afterwards.
+    ``tracer`` (a :class:`~repro.obs.Tracer`) likewise attaches span
+    tracing: the whole campaign runs inside a ``campaign`` span with
+    per-bin / per-stage / per-shard spans nested under it, ready for
+    Chrome trace-event export (``analyze --trace``).  Both are
+    write-only telemetry and cannot change analysis output.
     """
     # Imported here, not at module level: the engine imports this module
     # for the result types, so a top-level import would be circular.
     from repro.core.engine import ShardedPipeline, create_pipeline
+    from repro.obs.tracing import NULL_TRACER
 
     pipeline = create_pipeline(config)
-    if profiler is not None and isinstance(pipeline, ShardedPipeline):
+    if profiler is not None:
         pipeline.profiler = profiler
+    if tracer is None:
+        tracer = NULL_TRACER
+    elif isinstance(pipeline, ShardedPipeline):
+        pipeline.tracer = tracer
+    campaign_start = tracer.now()
     if checkpoint_path is not None:
         from repro.core.checkpoint import run_checkpointed
 
@@ -621,6 +641,12 @@ def analyze_campaign(
         )
     else:
         bin_results = pipeline.run(traceroutes)
+    tracer.add_span(
+        "campaign",
+        campaign_start,
+        tracer.now() - campaign_start,
+        args={"bins": len(bin_results)},
+    )
     if isinstance(pipeline, ShardedPipeline):
         pipeline.close()  # caches final stats/tracked, frees any workers
     anchor = start

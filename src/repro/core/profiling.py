@@ -1,16 +1,14 @@
-"""Per-stage wall-clock instrumentation for the analysis pipeline.
+"""Compatibility shim over :mod:`repro.obs.tracing` stage accounting.
 
-Perf work on the fused spine needs to know *where* a regression lives:
-decoding JSONL, binning, columnar extraction, detection kernels, or the
-store/reporting boundary.  :class:`StageTimer` is a tiny
-context-manager-based accumulator for exactly those counters — the CLI
-surfaces it via ``analyze --timings`` and in ``monitor --json`` output,
-and :class:`~repro.core.engine.ShardedPipeline` feeds it per-bin when
-one is attached.
-
-Disabled timers cost one attribute load and a no-op ``with`` per stage
-(a shared null span; no ``perf_counter`` call, no dict access), so the
-engine leaves the hooks in place unconditionally.
+PR 10 moved the per-stage timer into the observability package so the
+``timings/v1`` record, the ``--timings`` table, the engine's stage
+histograms and the trace spans all key off one canonical stage list
+(:data:`repro.obs.tracing.STAGE_NAMES`).  This module keeps the PR 8
+import surface alive: :class:`StageTimer` is the same class as
+:class:`repro.obs.tracing.StageAccumulator`, :data:`STAGES` aliases
+the canonical tuple, and :data:`NULL_TIMER` is the shared disabled
+instance — existing callers (``analyze --timings``, ``monitor
+--json``, the engine's per-bin hooks) keep working unchanged.
 
 >>> timer = StageTimer(enabled=True)
 >>> with timer.stage("extract"):
@@ -21,110 +19,13 @@ True
 
 from __future__ import annotations
 
-from time import perf_counter
-from typing import Dict, Mapping
+from ..obs.tracing import NULL_TIMER, STAGE_NAMES, StageAccumulator
 
-#: The canonical stage names, in pipeline order.  Timers accept any
-#: name, but these are what the engine and CLI report.
-STAGES = ("decode", "bin", "extract", "detect", "store")
+#: The canonical stage names, in pipeline order (single-sourced from
+#: :mod:`repro.obs.tracing` since PR 10; includes ``compact``).
+STAGES = STAGE_NAMES
 
+#: Backwards-compatible name: the stage timer now lives in ``repro.obs``.
+StageTimer = StageAccumulator
 
-class _NullSpan:
-    """Shared no-op span handed out by disabled timers."""
-
-    __slots__ = ()
-
-    def __enter__(self) -> "_NullSpan":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        return None
-
-
-_NULL_SPAN = _NullSpan()
-
-
-class _Span:
-    """One timed ``with`` block; accumulates into its timer on exit."""
-
-    __slots__ = ("_timer", "_name", "_start")
-
-    def __init__(self, timer: "StageTimer", name: str) -> None:
-        self._timer = timer
-        self._name = name
-
-    def __enter__(self) -> "_Span":
-        self._start = perf_counter()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self._timer.add(self._name, perf_counter() - self._start)
-        return None
-
-
-class StageTimer:
-    """Accumulate (calls, seconds) per named pipeline stage.
-
-    ``stage(name)`` returns a context manager; nesting different stages
-    is fine (each accumulates its own wall time), re-entering the same
-    stage concurrently is not meaningful.  All methods are cheap enough
-    for per-bin use; none are thread-safe — attach one timer per
-    driving thread (the engine's per-bin loop is single-threaded even
-    when shard workers are not).
-    """
-
-    __slots__ = ("enabled", "_calls", "_seconds")
-
-    def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
-        self._calls: Dict[str, int] = {}
-        self._seconds: Dict[str, float] = {}
-
-    def stage(self, name: str):
-        """A context manager timing one *name* block (no-op if disabled)."""
-        if not self.enabled:
-            return _NULL_SPAN
-        return _Span(self, name)
-
-    def add(self, name: str, seconds: float, calls: int = 1) -> None:
-        """Fold *seconds* (and *calls*) into stage *name* directly."""
-        if not self.enabled:
-            return
-        self._calls[name] = self._calls.get(name, 0) + calls
-        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
-
-    def merge(self, timings: Mapping[str, Mapping[str, float]]) -> None:
-        """Fold another timer's :meth:`timings` output into this one."""
-        for name, entry in timings.items():
-            self.add(
-                name,
-                float(entry["seconds"]),
-                calls=int(entry["calls"]),
-            )
-
-    def timings(self) -> Dict[str, Dict[str, float]]:
-        """Canonical report: sorted ``{stage: {calls, seconds}}``.
-
-        Known pipeline stages (:data:`STAGES`) come first in pipeline
-        order, any extra names follow sorted — stable output for JSON
-        emission and tests.
-        """
-        names = [name for name in STAGES if name in self._calls]
-        names += sorted(set(self._calls) - set(STAGES))
-        return {
-            name: {
-                "calls": self._calls[name],
-                "seconds": self._seconds[name],
-            }
-            for name in names
-        }
-
-    def reset(self) -> None:
-        """Drop all accumulated counters (keep enablement)."""
-        self._calls.clear()
-        self._seconds.clear()
-
-
-#: Shared disabled timer: the default hook target when no profiling is
-#: requested, so call sites never need a None check.
-NULL_TIMER = StageTimer(enabled=False)
+__all__ = ["NULL_TIMER", "STAGES", "StageTimer"]

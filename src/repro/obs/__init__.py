@@ -1,0 +1,80 @@
+"""Zero-dependency observability: metrics, tracing, exposition, status.
+
+The package threads through every layer of the reproduction without
+ever influencing it:
+
+* :mod:`repro.obs.metrics` — counters, gauges, exponential-bucket
+  histograms in a thread-safe :class:`MetricsRegistry`; labeled
+  children intern to flat slots so hot-path increments are one write.
+* :mod:`repro.obs.tracing` — the canonical :data:`STAGE_NAMES` list,
+  the :class:`StageAccumulator` behind ``--timings``/``timings/v1``,
+  and the Chrome-trace :class:`Tracer` behind ``analyze --trace``.
+* :mod:`repro.obs.expo` — Prometheus text-format v0.0.4 rendering and
+  the conformance parser; served as ``/metrics`` by both HTTP tiers.
+* :mod:`repro.obs.status` — the progress board behind ``/statusz``.
+
+The invariant the whole package is built around: **observability never
+changes detection output**.  No recorded clock value flows back into
+computation; ``bench_obs.py`` asserts bit-identical engine results
+with instrumentation enabled vs. disabled.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    ChildSnapshot,
+    Counter,
+    FamilySnapshot,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+    exponential_buckets,
+    set_default_registry,
+)
+from .tracing import (
+    NULL_TIMER,
+    NULL_TRACER,
+    STAGE_NAMES,
+    StageAccumulator,
+    Tracer,
+    stage_order,
+)
+from .expo import (
+    CONTENT_TYPE,
+    ExpositionError,
+    format_value,
+    parse_text,
+    render_text,
+    validate,
+)
+from .status import StatusBoard, default_board, set_default_board
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_LATENCY_BUCKETS",
+    "ChildSnapshot",
+    "Counter",
+    "ExpositionError",
+    "FamilySnapshot",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_TIMER",
+    "NULL_TRACER",
+    "STAGE_NAMES",
+    "StageAccumulator",
+    "StatusBoard",
+    "Tracer",
+    "default_board",
+    "default_registry",
+    "exponential_buckets",
+    "format_value",
+    "parse_text",
+    "render_text",
+    "set_default_board",
+    "set_default_registry",
+    "stage_order",
+    "validate",
+]

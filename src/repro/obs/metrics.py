@@ -1,0 +1,434 @@
+"""Thread-safe, dependency-free metrics primitives.
+
+This module is the value store of the observability layer: counters,
+gauges and fixed-exponential-bucket histograms collected into a
+:class:`MetricsRegistry`.  Design constraints, in priority order:
+
+1. **Never influence detection.**  Metrics are write-only from the
+   pipeline's point of view: no wall-clock value recorded here ever
+   flows back into computation, so enabling or disabling observability
+   cannot change a single output bit (``bench_obs.py`` asserts this).
+2. **Cheap hot path.**  ``labels()`` interns a label-value tuple to a
+   child object exactly once; after that every increment is a single
+   slot write guarded by one short lock acquisition.  Call ``labels()``
+   outside loops and hold on to the child.
+3. **Near-zero overhead when disabled.**  A registry constructed with
+   ``enabled=False`` hands out shared no-op singletons whose methods
+   are empty one-liners; instrumented code needs no ``if`` guards.
+4. **Deterministic exposition.**  ``collect()`` orders families by
+   metric name and children by label values, so rendering a fixed
+   registry state is byte-stable (property-tested in
+   ``tests/test_obs_expo.py``).
+
+There are no dependencies beyond the standard library and no
+background threads; scraping is pull-only via :mod:`repro.obs.expo`.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "ChildSnapshot",
+    "Counter",
+    "FamilySnapshot",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "default_registry",
+    "exponential_buckets",
+    "set_default_registry",
+]
+
+
+class MetricError(ValueError):
+    """Raised on invalid metric names, labels, or conflicting re-registration."""
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """Return ``count`` histogram bounds: ``start * factor**i``.
+
+    The implicit ``+Inf`` bucket is appended by the histogram itself and
+    must not be included here.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise MetricError("exponential_buckets needs start>0, factor>1, count>=1")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default latency bounds: 100 microseconds up to ~26 seconds (x4 steps).
+#: Wide enough for both a cache-hit HTTP response and a full-bin detect.
+DEFAULT_LATENCY_BUCKETS = exponential_buckets(0.0001, 4.0, 10)
+
+
+def _check_name(name: str) -> None:
+    """Validate a Prometheus metric or label name."""
+    if not name or not (name[0].isalpha() or name[0] == "_"):
+        raise MetricError(f"invalid metric/label name: {name!r}")
+    for ch in name:
+        if not (ch.isalnum() or ch in "_:"):
+            raise MetricError(f"invalid metric/label name: {name!r}")
+
+
+@dataclass(frozen=True)
+class ChildSnapshot:
+    """Immutable point-in-time state of one labeled child.
+
+    ``value`` is set for counters/gauges; histograms carry cumulative
+    ``buckets`` (``(upper_bound, cumulative_count)`` pairs ending with
+    ``+Inf``) plus ``sum`` and ``count``.
+    """
+
+    labelvalues: Tuple[str, ...]
+    value: Optional[float] = None
+    buckets: Optional[Tuple[Tuple[float, int], ...]] = None
+    sum: Optional[float] = None
+    count: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FamilySnapshot:
+    """Immutable point-in-time state of one metric family."""
+
+    name: str
+    help: str
+    type: str
+    labelnames: Tuple[str, ...]
+    children: Tuple[ChildSnapshot, ...]
+
+
+class _NullChild:
+    """Shared no-op child handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard the increment."""
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Discard the decrement."""
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+
+_NULL_CHILD = _NullChild()
+
+
+class _CounterChild:
+    """A single labeled counter slot (monotonically non-decreasing)."""
+
+    __slots__ = ("_lock", "_slot", "_values")
+
+    def __init__(self, lock: threading.Lock, values: List[float], slot: int):
+        self._lock = lock
+        self._values = values
+        self._slot = slot
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise MetricError("counters can only increase")
+        with self._lock:
+            self._values[self._slot] += amount
+
+
+class _GaugeChild:
+    """A single labeled gauge slot (free to go up and down)."""
+
+    __slots__ = ("_lock", "_slot", "_values")
+
+    def __init__(self, lock: threading.Lock, values: List[float], slot: int):
+        self._lock = lock
+        self._values = values
+        self._slot = slot
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
+        with self._lock:
+            self._values[self._slot] += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        with self._lock:
+            self._values[self._slot] -= amount
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        with self._lock:
+            self._values[self._slot] = float(value)
+
+
+class _HistogramChild:
+    """A single labeled histogram: per-bucket counts plus sum/count."""
+
+    __slots__ = ("_bounds", "_counts", "_lock", "_stats")
+
+    def __init__(self, lock: threading.Lock, bounds: Sequence[float]):
+        self._lock = lock
+        self._bounds = bounds
+        # One raw (non-cumulative) slot per finite bound, plus +Inf.
+        self._counts = [0] * (len(bounds) + 1)
+        self._stats = [0.0, 0]  # [sum, count]
+
+    def observe(self, value: float) -> None:
+        """Record one observation (``le`` buckets are upper-inclusive)."""
+        idx = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._stats[0] += value
+            self._stats[1] += 1
+
+
+class _Family:
+    """Common machinery: label interning and deterministic snapshots."""
+
+    kind = ""
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str,
+                 labelnames: Tuple[str, ...]):
+        _check_name(name)
+        for label in labelnames:
+            _check_name(label)
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._lock = registry._lock
+        self._children: Dict[Tuple[str, ...], object] = {}
+        if not labelnames and registry.enabled:
+            # Label-less families get their sole child eagerly so the
+            # family itself can be used as the handle.
+            self._default = self._intern(())
+        else:
+            self._default = _NULL_CHILD
+
+    def _new_child(self, key: Tuple[str, ...]):
+        raise NotImplementedError
+
+    def _intern(self, key: Tuple[str, ...]):
+        """Return the child for ``key``, creating it under the lock."""
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._new_child(key)
+                self._children[key] = child
+            return child
+
+    def labels(self, *labelvalues: str):
+        """Return the child for these label values (interned once)."""
+        if not self._registry.enabled:
+            return _NULL_CHILD
+        if len(labelvalues) != len(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected {len(self.labelnames)} label values, "
+                f"got {len(labelvalues)}"
+            )
+        key = tuple(str(v) for v in labelvalues)
+        child = self._children.get(key)
+        if child is not None:
+            return child
+        return self._intern(key)
+
+    def _require_default(self):
+        if self.labelnames:
+            raise MetricError(f"{self.name}: labeled family used without labels()")
+        return self._default
+
+    def snapshot(self) -> FamilySnapshot:
+        """Deterministic snapshot: children sorted by label values."""
+        with self._lock:
+            keys = sorted(self._children)
+            children = tuple(self._child_snapshot(k) for k in keys)
+        return FamilySnapshot(
+            name=self.name, help=self.help, type=self.kind,
+            labelnames=self.labelnames, children=children,
+        )
+
+    def _child_snapshot(self, key: Tuple[str, ...]) -> ChildSnapshot:
+        raise NotImplementedError
+
+
+class Counter(_Family):
+    """A monotonically increasing counter family."""
+
+    kind = "counter"
+
+    def __init__(self, registry, name, help, labelnames=()):
+        self._values: List[float] = []
+        super().__init__(registry, name, help, labelnames)
+
+    def _new_child(self, key):
+        self._values.append(0.0)
+        return _CounterChild(self._lock, self._values, len(self._values) - 1)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less counter."""
+        if self._registry.enabled:
+            self._require_default().inc(amount)
+
+    def _child_snapshot(self, key):
+        child = self._children[key]
+        return ChildSnapshot(labelvalues=key, value=self._values[child._slot])
+
+
+class Gauge(_Family):
+    """A gauge family: a value that can go up, down, or be set."""
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, help, labelnames=()):
+        self._values: List[float] = []
+        super().__init__(registry, name, help, labelnames)
+
+    def _new_child(self, key):
+        self._values.append(0.0)
+        return _GaugeChild(self._lock, self._values, len(self._values) - 1)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less gauge."""
+        if self._registry.enabled:
+            self._require_default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement the label-less gauge."""
+        if self._registry.enabled:
+            self._require_default().dec(amount)
+
+    def set(self, value: float) -> None:
+        """Set the label-less gauge."""
+        if self._registry.enabled:
+            self._require_default().set(value)
+
+    def _child_snapshot(self, key):
+        child = self._children[key]
+        return ChildSnapshot(labelvalues=key, value=self._values[child._slot])
+
+
+class Histogram(_Family):
+    """A fixed-bucket histogram family (exponential bounds by default)."""
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, labelnames=(), buckets=None):
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if list(bounds) != sorted(set(bounds)):
+            raise MetricError(f"{name}: histogram bounds must strictly increase")
+        if bounds and bounds[-1] == float("inf"):
+            bounds = bounds[:-1]
+        self.buckets = bounds
+        super().__init__(registry, name, help, labelnames)
+
+    def _new_child(self, key):
+        return _HistogramChild(self._lock, self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Observe into the label-less histogram."""
+        if self._registry.enabled:
+            self._require_default().observe(value)
+
+    def _child_snapshot(self, key):
+        child = self._children[key]
+        cumulative = []
+        running = 0
+        for bound, raw in zip(child._bounds, child._counts):
+            running += raw
+            cumulative.append((float(bound), running))
+        running += child._counts[-1]
+        cumulative.append((float("inf"), running))
+        return ChildSnapshot(
+            labelvalues=key,
+            buckets=tuple(cumulative),
+            sum=child._stats[0],
+            count=child._stats[1],
+        )
+
+
+class MetricsRegistry:
+    """Owner of metric families; the unit of injection and collection.
+
+    A registry is either enabled for its whole lifetime or a permanent
+    no-op (``enabled=False``): flipping at runtime is deliberately not
+    supported so instrumented components can cache child handles.
+    Re-registering an existing name returns the existing family when
+    the type/labels/buckets match and raises :class:`MetricError`
+    otherwise, which lets independent components share families.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _register(self, cls, name, help, labelnames, **kwargs):
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._families.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != labelnames:
+                raise MetricError(f"conflicting re-registration of {name!r}")
+            if cls is Histogram and kwargs.get("buckets") is not None and tuple(
+                kwargs["buckets"]
+            ) != existing.buckets:
+                raise MetricError(f"conflicting buckets for {name!r}")
+            return existing
+        family = cls(self, name, help, labelnames, **kwargs)
+        with self._lock:
+            return self._families.setdefault(name, family)
+
+    def counter(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Counter:
+        """Get or create a counter family."""
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Gauge:
+        """Get or create a gauge family."""
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str, labelnames: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get or create a histogram family."""
+        return self._register(Histogram, name, help, labelnames, buckets=buckets)
+
+    def collect(self) -> List[FamilySnapshot]:
+        """Snapshot every family, sorted by metric name (deterministic).
+
+        A disabled registry collects nothing: its families never intern
+        children, so there is no state worth rendering.
+        """
+        if not self.enabled:
+            return []
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        return [family.snapshot() for family in families]
+
+
+#: The process-global registry used when no registry is injected.
+_DEFAULT = MetricsRegistry()
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """Return the process-global default registry."""
+    return _DEFAULT
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one.
+
+    Intended for tests and benchmarks that need a clean or disabled
+    default (e.g. ``bench_obs.py`` comparing instrumented vs. no-op
+    runs); production code should inject registries instead.
+    """
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        previous = _DEFAULT
+        _DEFAULT = registry
+        return previous

@@ -1,0 +1,64 @@
+"""In-process progress board backing the ``/statusz`` route.
+
+Long-running commands (``monitor``, ``fetch``) publish coarse progress
+here — bins closed, feed lag, checkpoint age, cursor page/offset,
+breaker state — and the serving tier renders the board as JSON at
+``/statusz``.  The board is process-local by design: when ``serve``
+runs in the same process as a monitor loop (or in tests), the route
+shows live progress; a standalone ``serve`` simply reports its own
+store/cache state with an empty components map.
+
+Values stored here are operator telemetry only; nothing reads them
+back into the pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["StatusBoard", "default_board", "set_default_board"]
+
+
+class StatusBoard:
+    """Thread-safe map of component name -> latest progress fields."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._components: Dict[str, Dict[str, object]] = {}
+
+    def update(self, component: str, **fields: object) -> None:
+        """Merge ``fields`` into the component's progress record."""
+        with self._lock:
+            self._components.setdefault(component, {}).update(fields)
+
+    def clear(self, component: Optional[str] = None) -> None:
+        """Forget one component's record, or every record."""
+        with self._lock:
+            if component is None:
+                self._components.clear()
+            else:
+                self._components.pop(component, None)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A deep-enough copy of the board, safe to serialize."""
+        with self._lock:
+            return {name: dict(fields) for name, fields in self._components.items()}
+
+
+_DEFAULT = StatusBoard()
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_board() -> StatusBoard:
+    """Return the process-global status board."""
+    return _DEFAULT
+
+
+def set_default_board(board: StatusBoard) -> StatusBoard:
+    """Swap the process-global board; returns the previous one (tests)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        previous = _DEFAULT
+        _DEFAULT = board
+        return previous

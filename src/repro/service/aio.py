@@ -54,10 +54,12 @@ import socket
 import threading
 from functools import lru_cache
 from http.client import responses as _REASONS
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.atlas.io import PathLike
+from repro.obs.metrics import default_registry
 from repro.service.cache import (
     DEFAULT_CACHE_SIZE,
     CachedResponse,
@@ -67,9 +69,11 @@ from repro.service.cache import (
 from repro.service.http import (
     DEFAULT_HOST,
     RETRY_AFTER_S,
+    AccessLog,
     ServiceState,
     error_response,
     if_none_match_matches,
+    route_family,
 )
 from repro.service.query import StoreQuery
 
@@ -166,25 +170,49 @@ class AsyncAlarmService:
         self, route: str, params: Dict[str, str]
     ) -> CachedResponse:
         """Answer one request (cache hit, coalesced miss, or error)."""
+        entry, _outcome = await self.answer(route, params)
+        return entry
+
+    async def answer(
+        self, route: str, params: Dict[str, str]
+    ) -> Tuple[CachedResponse, str]:
+        """:meth:`respond` plus the cache outcome, for telemetry.
+
+        Outcomes mirror :meth:`ServiceState.answer` — ``"hit"``,
+        ``"miss"``, ``"none"`` — plus the async-only ``"coalesced"``
+        (this request awaited another request's in-flight computation;
+        counted as a miss in the ``hits``/``misses`` totals, since the
+        response cache did not hold the answer).
+        """
         state = self.state
+        loop = asyncio.get_running_loop()
+        if route in ("/metrics", "/statusz"):
+            # Off the loop: /statusz stats the manifest for its token.
+            entry = await loop.run_in_executor(
+                None, state.observability, route
+            )
+            return entry, "none"
         try:
             token = await self._current_token()
         except Exception as exc:  # StoreError: manifest unreadable
-            return error_response(
-                503, f"store unavailable: {exc}", "-",
-                retry_after=RETRY_AFTER_S,
+            return (
+                error_response(
+                    503, f"store unavailable: {exc}", "-",
+                    retry_after=RETRY_AFTER_S,
+                ),
+                "none",
             )
         key = state.cache_key(route, params, token)
         if route != "/":
             entry = state.cache.get(key)
             if entry is not None:
                 self.hits += 1
-                return entry
+                return entry, "hit"
         self.misses += 1
+        outcome = "miss" if route != "/" else "none"
         pending = self._inflight.get(key)
         if pending is not None:
-            return await asyncio.shield(pending)
-        loop = asyncio.get_running_loop()
+            return await asyncio.shield(pending), "coalesced"
         future: "asyncio.Future[CachedResponse]" = loop.create_future()
         self._inflight[key] = future
         try:
@@ -202,7 +230,7 @@ class AsyncAlarmService:
         else:
             if not future.cancelled():
                 future.set_result(entry)
-            return entry
+            return entry, outcome
         finally:
             self._inflight.pop(key, None)
 
@@ -270,13 +298,21 @@ class AsyncAlarmService:
         parsed = urlsplit(target)
         route = parsed.path.rstrip("/") or "/"
         params = dict(parse_qsl(parsed.query))
-        response = await self.respond(route, params)
+        start = perf_counter()
+        response, outcome = await self.answer(route, params)
         if response.status == 200 and if_none_match_matches(
             headers.get("if-none-match"), response.etag
         ):
+            status = 304
             writer.write(_render_304(response.etag, close))
         else:
+            status = response.status
             writer.write(_render(response, close))
+        state = self.state
+        elapsed = perf_counter() - start
+        state.metrics.observe(route_family(route), status, elapsed, outcome)
+        if state.access_log is not None:
+            state.access_log.write(route, status, int(elapsed * 1e6), outcome)
         return close
 
 
@@ -288,6 +324,7 @@ async def start_async_server(
     window_bins: Optional[int] = None,
     token_ttl: float = DEFAULT_TOKEN_TTL_S,
     reuse_port: bool = False,
+    access_log: Optional[PathLike] = None,
 ) -> Tuple[asyncio.AbstractServer, AsyncAlarmService]:
     """Open the store and start serving it on the running event loop.
 
@@ -295,10 +332,19 @@ async def start_async_server(
     :class:`AsyncAlarmService` answering its requests.  With
     ``reuse_port`` the listening socket sets ``SO_REUSEPORT`` so
     several processes can share the port (see :class:`WorkerPool`).
+    ``access_log`` appends one canonical-JSON line per answered
+    request — the same format (and field order) as the sync tier.
     """
     engine = StoreQuery(store_path, window_bins=window_bins)
     service = AsyncAlarmService(
-        ServiceState(engine, ResponseCache(cache_size)), token_ttl=token_ttl
+        ServiceState(
+            engine,
+            ResponseCache(cache_size),
+            access_log=(
+                AccessLog(access_log) if access_log is not None else None
+            ),
+        ),
+        token_ttl=token_ttl,
     )
     server = await asyncio.start_server(
         service.handle_connection,
@@ -319,6 +365,7 @@ def run_async_server(
     token_ttl: float = DEFAULT_TOKEN_TTL_S,
     reuse_port: bool = False,
     ready: Optional["multiprocessing.queues.Queue"] = None,
+    access_log: Optional[PathLike] = None,
 ) -> None:
     """Run the asyncio tier in the foreground until interrupted.
 
@@ -336,6 +383,7 @@ def run_async_server(
             window_bins=window_bins,
             token_ttl=token_ttl,
             reuse_port=reuse_port,
+            access_log=access_log,
         )
         if ready is not None:
             ready.put(server.sockets[0].getsockname()[1])
@@ -456,6 +504,13 @@ class WorkerPool:
         self.port = port
         self._reservation = reservation
         self.workers = workers
+        #: Pool liveness, exported from the *parent* process registry —
+        #: the single process that can observe every worker's state.
+        self._alive_gauge = default_registry().gauge(
+            "repro_serve_workers_alive",
+            "Worker processes currently running in the pre-fork pool.",
+        )
+        self._alive_gauge.set(float(self.alive()))
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -465,7 +520,11 @@ class WorkerPool:
 
     def alive(self) -> int:
         """How many worker processes are currently running."""
-        return sum(1 for proc in self.workers if proc.is_alive())
+        count = sum(1 for proc in self.workers if proc.is_alive())
+        gauge = getattr(self, "_alive_gauge", None)
+        if gauge is not None:
+            gauge.set(float(count))
+        return count
 
     def join(self) -> None:  # pragma: no cover - interactive serving
         """Block until every worker exits (Ctrl-C stops the pool)."""
@@ -483,6 +542,7 @@ class WorkerPool:
         for proc in self.workers:
             proc.join(timeout=10)
         self._reservation.close()
+        self.alive()  # refresh the liveness gauge to (normally) zero
 
 
 def start_worker_pool(
@@ -493,12 +553,15 @@ def start_worker_pool(
     cache_size: int = DEFAULT_CACHE_SIZE,
     window_bins: Optional[int] = None,
     token_ttl: float = DEFAULT_TOKEN_TTL_S,
+    access_log: Optional[PathLike] = None,
 ) -> WorkerPool:
     """Start *workers* pre-forked async servers on one shared port.
 
     Requires ``SO_REUSEPORT`` (Linux, modern BSDs).  Blocks until every
     worker has bound its socket and is accepting connections, so the
-    returned pool's ``.port`` is immediately usable.
+    returned pool's ``.port`` is immediately usable.  With
+    ``access_log`` every worker appends to the same path (``O_APPEND``
+    keeps whole lines intact across processes).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
@@ -519,6 +582,7 @@ def start_worker_pool(
                     "token_ttl": token_ttl,
                     "reuse_port": True,
                     "ready": ready,
+                    "access_log": access_log,
                 },
                 daemon=True,
             )

@@ -41,9 +41,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import List, Optional, Set
 
 from repro.atlas.io import PathLike
+from repro.obs.metrics import default_registry
 from repro.service.store import (
     MANIFEST_MAGIC,
     MANIFEST_NAME,
@@ -57,6 +59,7 @@ from repro.service.store import (
     _SegmentBuilder,
     publish_lock,
     read_manifest,
+    store_metrics,
 )
 
 
@@ -161,6 +164,7 @@ def _compact_locked(
     directory: Path, policy: CompactionPolicy, dry_run: bool
 ) -> CompactionReport:
     """One compaction pass (the store's publish lock already held)."""
+    pass_start = perf_counter()
     manifest = read_manifest(directory)
     drop: Set[str] = set()
     coarsen: Set[str] = set()
@@ -285,6 +289,26 @@ def _compact_locked(
     for meta in manifest.segments:
         if meta.name not in kept:
             (directory / meta.name).unlink(missing_ok=True)
+    metrics = store_metrics(default_registry())
+    metrics["compactions"].inc()
+    metrics["compaction_seconds"].observe(perf_counter() - pass_start)
+    metrics["segments"].set(len(new_segments))
+    metrics["generation"].set(new_manifest.generation)
+    by_name = {meta.name: meta for meta in manifest.segments}
+    metrics["rows_dropped"].inc(
+        sum(
+            by_name[name].n_delay
+            + by_name[name].n_forwarding
+            + by_name[name].n_events
+            for name in drop
+        )
+    )
+    metrics["rows_coarsened"].inc(
+        sum(
+            by_name[name].n_delay + by_name[name].n_forwarding
+            for name in coarsen
+        )
+    )
     return CompactionReport(
         changed=True,
         dry_run=False,

@@ -15,6 +15,10 @@ route                     answer
                           ``limit``, optional ``start``/``end`` range)
 ``/top``                  top-K anomalous ASes (``kind``, ``k``)
 ``/top?kinds=a,b``        batch: ``{kind: ranking}`` for several kinds
+``/metrics``              Prometheus text-format v0.0.4 scrape of the
+                          process default :class:`~repro.obs.MetricsRegistry`
+``/statusz``              JSON progress board (``monitor``/``fetch``
+                          components, store generation, cache stats)
 ========================  ====================================================
 
 Every answer is produced by :class:`~repro.service.query.StoreQuery`
@@ -52,10 +56,19 @@ import re
 import threading
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.atlas.io import PathLike
+from repro.obs.expo import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from repro.obs.expo import render_text
+from repro.obs.metrics import (
+    MetricsRegistry,
+    default_registry,
+    exponential_buckets,
+)
+from repro.obs.status import default_board
 from repro.reporting.jsonio import dumps_canonical
 from repro.service.cache import (
     DEFAULT_CACHE_SIZE,
@@ -322,6 +335,113 @@ def _params_key(params: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
     return tuple(sorted(params.items()))
 
 
+def route_family(route: str) -> str:
+    """Collapse a request path to one of a fixed set of label values.
+
+    Metric labels must stay bounded: a label per concrete ASN would
+    grow one child per distinct query, so ``/health/65001`` and
+    ``/health/65002`` both report as ``/health/{asn}``.  Anything the
+    route table does not know is ``other`` (it will 404 anyway).
+    """
+    if route in ("/", "/health", "/events", "/top", "/metrics", "/statusz"):
+        return route
+    parts = route.strip("/").split("/")
+    if len(parts) == 2 and parts[0] in ("health", "links"):
+        return f"/{parts[0]}/{{asn}}"
+    return "other"
+
+
+#: Request-latency bounds: 10 microseconds (a rendered cache hit) up to
+#: ~2.6 seconds (a cold store scan), factor-4 steps.
+_REQUEST_BUCKETS = exponential_buckets(0.00001, 4.0, 9)
+
+
+class ServiceMetrics:
+    """Serving-tier metric families, shared by the sync and async fronts.
+
+    Registered idempotently against the process default registry (or an
+    injected one), so both tiers in one process — and every test server
+    — bind the same families and ``/metrics`` exposes one coherent view.
+    Telemetry only: nothing here is read back by the request path.
+    """
+
+    __slots__ = ("requests", "latency", "cache", "coalesced")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry if registry is not None else default_registry()
+        self.requests = registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests answered, by route family and response status.",
+            ("route", "status"),
+        )
+        self.latency = registry.histogram(
+            "repro_http_request_seconds",
+            "Request wall time from parse to fully written response.",
+            ("route",),
+            buckets=_REQUEST_BUCKETS,
+        )
+        self.cache = registry.counter(
+            "repro_http_cache_total",
+            "Response-cache probes by result (hit = served as cached).",
+            ("result",),
+        )
+        self.coalesced = registry.counter(
+            "repro_http_coalesced_total",
+            "Requests that awaited another request's in-flight "
+            "computation (async single-flight).",
+        )
+
+    def observe(
+        self, family: str, status: int, seconds: float, outcome: str
+    ) -> None:
+        """Record one answered request (count, latency, cache outcome)."""
+        self.requests.labels(family, str(status)).inc()
+        self.latency.labels(family).observe(seconds)
+        if outcome == "coalesced":
+            self.coalesced.inc()
+            self.cache.labels("miss").inc()
+        elif outcome in ("hit", "miss"):
+            self.cache.labels(outcome).inc()
+
+
+class AccessLog:
+    """One canonical-JSON line per answered request (``--access-log``).
+
+    Both tiers write the same four fields — ``cache`` (``hit`` /
+    ``miss`` / ``coalesced`` / ``none``), ``latency_us``, ``route``
+    (the raw path), ``status`` — rendered by
+    :func:`repro.reporting.jsonio.dumps_canonical`, whose sorted-key
+    output makes the field order byte-identical across sync and async.
+    Writes are line-buffered under a lock; with pre-forked workers each
+    process appends whole lines (``O_APPEND``), so lines never split.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self._lock = threading.Lock()
+        self._handle = open(path, "ab")
+
+    def write(
+        self, route: str, status: int, latency_us: int, cache: str
+    ) -> None:
+        """Append one request record as a single canonical-JSON line."""
+        blob = dumps_canonical(
+            {
+                "cache": cache,
+                "latency_us": latency_us,
+                "route": route,
+                "status": status,
+            }
+        ) + b"\n"
+        with self._lock:
+            self._handle.write(blob)
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        with self._lock:
+            self._handle.close()
+
+
 class ServiceState:
     """Engine + cache + the locking/coherence discipline of one tier.
 
@@ -338,10 +458,17 @@ class ServiceState:
       The entry is cached under the token its body was computed at.
     """
 
-    def __init__(self, engine: StoreQuery, cache: ResponseCache) -> None:
+    def __init__(
+        self,
+        engine: StoreQuery,
+        cache: ResponseCache,
+        access_log: Optional[AccessLog] = None,
+    ) -> None:
         self.engine = engine
         self.cache = cache
         self.engine_lock = threading.Lock()
+        self.metrics = ServiceMetrics()
+        self.access_log = access_log
 
     def token(self) -> str:
         """The current epoch-qualified generation token (refreshed)."""
@@ -390,20 +517,72 @@ class ServiceState:
                 self.cache.put(self.cache_key(route, params, token), entry)
         return entry
 
-    def respond(self, route: str, params: Dict[str, str]) -> CachedResponse:
-        """Answer one request: cache first, :meth:`compute` on a miss."""
+    def observability(self, route: str) -> Optional[CachedResponse]:
+        """Answer the scrape routes, or ``None`` for a query route.
+
+        ``/metrics`` renders the process default registry as Prometheus
+        text and ``/statusz`` the progress board as JSON.  Neither is
+        memoised in the response cache (their values move independently
+        of the store generation) and ``/metrics`` never touches the
+        store at all, so a wedged manifest cannot take the scrape down.
+        """
+        if route == "/metrics":
+            body = render_text(default_registry())
+            return CachedResponse(
+                200,
+                body,
+                make_etag(body, "live"),
+                content_type=METRICS_CONTENT_TYPE,
+            )
+        if route != "/statusz":
+            return None
+        store: Dict[str, object] = {}
+        try:
+            store["token"] = self.token()
+            store["generation"] = self.engine.generation
+        except StoreError as exc:
+            store["error"] = str(exc)
+        body = _json_body(
+            {
+                "components": default_board().snapshot(),
+                "store": store,
+                "cache": self.cache.stats(),
+            }
+        )
+        return CachedResponse(200, body, make_etag(body, "live"))
+
+    def answer(
+        self, route: str, params: Dict[str, str]
+    ) -> Tuple[CachedResponse, str]:
+        """:meth:`respond` plus the cache outcome, for telemetry.
+
+        The outcome is ``"hit"`` (served straight from the response
+        cache), ``"miss"`` (computed — possibly an error response), or
+        ``"none"`` (a route the cache never holds: the index,
+        ``/metrics``, ``/statusz``, or a store-unavailable 503).
+        """
+        entry = self.observability(route)
+        if entry is not None:
+            return entry, "none"
         try:
             token = self.token()
         except StoreError as exc:
-            return error_response(
-                503, f"store unavailable: {exc}", "-",
-                retry_after=RETRY_AFTER_S,
+            return (
+                error_response(
+                    503, f"store unavailable: {exc}", "-",
+                    retry_after=RETRY_AFTER_S,
+                ),
+                "none",
             )
         if route != "/":  # the index route reports live cache stats
             entry = self.cache.get(self.cache_key(route, params, token))
             if entry is not None:
-                return entry
-        return self.compute(route, params)
+                return entry, "hit"
+        return self.compute(route, params), "miss" if route != "/" else "none"
+
+    def respond(self, route: str, params: Dict[str, str]) -> CachedResponse:
+        """Answer one request: cache first, :meth:`compute` on a miss."""
+        return self.answer(route, params)[0]
 
 
 class AlarmServiceHandler(BaseHTTPRequestHandler):
@@ -414,14 +593,15 @@ class AlarmServiceHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Silence per-request stderr logging (tests and benchmarks)."""
 
-    def _send(self, response: CachedResponse) -> None:
+    def _send(self, response: CachedResponse) -> int:
+        """Write *response* (or its 304 form); returns the sent status."""
         if response.status == 200 and if_none_match_matches(
             self.headers.get("If-None-Match"), response.etag
         ):
             self.send_response(304)
             self.send_header("ETag", response.etag)
             self.end_headers()
-            return
+            return 304
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(response.body)))
@@ -432,14 +612,24 @@ class AlarmServiceHandler(BaseHTTPRequestHandler):
             self.send_header("Cache-Control", "no-cache")
         self.end_headers()
         self.wfile.write(response.body)
+        return response.status
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         """Answer one GET request (cache first, engine on miss)."""
         server: AlarmServiceServer = self.server  # type: ignore[assignment]
+        start = perf_counter()
         parsed = urlsplit(self.path)
         route = parsed.path.rstrip("/") or "/"
         params = dict(parse_qsl(parsed.query))
-        self._send(server.state.respond(route, params))
+        state = server.state
+        entry, outcome = state.answer(route, params)
+        status = self._send(entry)
+        elapsed = perf_counter() - start
+        state.metrics.observe(route_family(route), status, elapsed, outcome)
+        if state.access_log is not None:
+            state.access_log.write(
+                route, status, int(elapsed * 1e6), outcome
+            )
 
 
 class AlarmServiceServer(ThreadingHTTPServer):
@@ -452,9 +642,10 @@ class AlarmServiceServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         engine: StoreQuery,
         cache: ResponseCache,
+        access_log: Optional[AccessLog] = None,
     ) -> None:
         super().__init__(address, AlarmServiceHandler)
-        self.state = ServiceState(engine, cache)
+        self.state = ServiceState(engine, cache, access_log=access_log)
 
     @property
     def engine(self) -> StoreQuery:
@@ -478,17 +669,22 @@ def make_server(
     port: int = 0,
     cache_size: int = DEFAULT_CACHE_SIZE,
     window_bins: Optional[int] = None,
+    access_log: Optional[PathLike] = None,
 ) -> AlarmServiceServer:
     """Build a ready-to-run server for the store at *store_path*.
 
     ``port=0`` binds an ephemeral port (see ``server.server_address``).
     The store must exist; a missing or corrupt manifest raises
     :class:`~repro.service.store.StoreError` here rather than on the
-    first request.
+    first request.  ``access_log`` appends one canonical-JSON line per
+    answered request to the given path.
     """
     engine = StoreQuery(store_path, window_bins=window_bins)
     return AlarmServiceServer(
-        (host, port), engine, ResponseCache(cache_size)
+        (host, port),
+        engine,
+        ResponseCache(cache_size),
+        access_log=AccessLog(access_log) if access_log is not None else None,
     )
 
 

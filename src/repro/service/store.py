@@ -51,6 +51,7 @@ import hashlib
 import mmap
 import os
 import struct
+from time import perf_counter
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -67,6 +68,58 @@ from repro.atlas.io import PathLike
 from repro.core.alarms import UNRESPONSIVE
 from repro.core.pipeline import BinResult
 from repro.net.asmap import AsMapper
+from repro.obs.metrics import MetricsRegistry, default_registry, exponential_buckets
+
+
+def store_metrics(registry: MetricsRegistry) -> dict:
+    """The store-layer metric families (idempotent per registry).
+
+    Shared by the writer (appends, generation, segments, row counts)
+    and the compactor (pass latency, rows coarsened/dropped); returned
+    as a name-keyed dict so both modules bind the same families.
+    """
+    buckets = exponential_buckets(0.001, 4.0, 8)  # 1 ms .. ~16 s
+    return {
+        "appends": registry.counter(
+            "repro_store_appends_total",
+            "append_bins calls that published a new generation.",
+        ),
+        "append_seconds": registry.histogram(
+            "repro_store_append_seconds",
+            "Wall time of one locked append (build + publish).",
+            buckets=buckets,
+        ),
+        "segments": registry.gauge(
+            "repro_store_segments",
+            "Segments in the last manifest this process published.",
+        ),
+        "generation": registry.gauge(
+            "repro_store_generation",
+            "Generation of the last manifest this process published.",
+        ),
+        "rows": registry.counter(
+            "repro_store_rows_total",
+            "Rows published into segments, by kind.",
+            ("kind",),
+        ),
+        "compactions": registry.counter(
+            "repro_store_compactions_total",
+            "Compaction passes that changed the store.",
+        ),
+        "compaction_seconds": registry.histogram(
+            "repro_store_compaction_seconds",
+            "Wall time of one locked compaction pass.",
+            buckets=buckets,
+        ),
+        "rows_coarsened": registry.counter(
+            "repro_store_rows_coarsened_total",
+            "Alarm rows removed by tier-1 coarsening (events kept).",
+        ),
+        "rows_dropped": registry.counter(
+            "repro_store_rows_dropped_total",
+            "Rows removed by tier-2 retention drops.",
+        ),
+    }
 
 #: File identification: magic bytes plus an explicit format version.
 MANIFEST_MAGIC = b"RPROALMS"
@@ -919,6 +972,7 @@ class AlarmStoreWriter:
 
     def _append_bins_locked(self, results: Sequence[BinResult]) -> int:
         """The body of :meth:`append_bins` (publish lock already held)."""
+        append_start = perf_counter()
         on_disk = read_manifest(self.path)
         if on_disk.token != self.manifest.token:
             raise StoreError(
@@ -967,12 +1021,16 @@ class AlarmStoreWriter:
             )
         segments = list(manifest.segments)
         next_index = manifest.next_index
+        metrics = store_metrics(default_registry())
         if builder.n_rows:
             name = f"seg-{next_index:08d}.seg"
             blob, meta = builder.serialise(name)
             _atomic_write(self.path / name, blob)
             segments.append(meta)
             next_index += 1
+            metrics["rows"].labels("delay").inc(meta.n_delay)
+            metrics["rows"].labels("forwarding").inc(meta.n_forwarding)
+            metrics["rows"].labels("event").inc(meta.n_events)
         self.manifest = Manifest(
             store_id=manifest.store_id,
             generation=manifest.generation + 1,
@@ -986,6 +1044,10 @@ class AlarmStoreWriter:
             self.path / MANIFEST_NAME,
             _framed(MANIFEST_MAGIC, _pack_manifest(self.manifest)),
         )
+        metrics["appends"].inc()
+        metrics["append_seconds"].observe(perf_counter() - append_start)
+        metrics["segments"].set(len(self.manifest.segments))
+        metrics["generation"].set(self.manifest.generation)
         return len(fresh)
 
 

@@ -1,0 +1,160 @@
+"""Structured-logging tests for the connector layer.
+
+The load-bearing property: the Atlas API key travels only in the
+``Authorization`` header and NEVER appears in any log record, however
+noisy the transport gets.  Every emitted record is one compact JSON
+object, so operators can grep and parse the stream mechanically.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.atlas.connectors import (
+    Fault,
+    FaultSchedule,
+    FaultTolerantClient,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    ScriptedTransport,
+)
+
+URL = "https://atlas.example/api/v2/measurements/1/results/?format=json"
+PAGES = {URL: b'{"results": [], "next": null}'}
+SECRET = "hunter2-atlas-key"
+
+LOGGER_NAME = "repro.atlas.connectors"
+
+
+def noisy_client(faults=None, max_attempts=4):
+    """A key-carrying client over a scripted transport (no real sleeps)."""
+    return FaultTolerantClient(
+        transport=ScriptedTransport(PAGES, faults=faults),
+        policy=RetryPolicy(max_attempts=max_attempts, seed=1),
+        api_key=SECRET,
+        sleep=lambda _s: None,
+    )
+
+
+class TestSecretHygiene:
+    def test_api_key_never_appears_in_any_log_output(self, caplog):
+        """Grep every record produced by a retry/give-up storm for the key."""
+        with caplog.at_level(logging.DEBUG, logger=LOGGER_NAME):
+            client = noisy_client(
+                faults=FaultSchedule(
+                    {i: Fault(kind="drop") for i in range(10)}
+                ),
+                max_attempts=3,
+            )
+            with pytest.raises(RetryBudgetExceeded):
+                client.get(URL)
+        assert caplog.records  # the storm did log something
+        for record in caplog.records:
+            assert SECRET not in record.getMessage()
+            assert SECRET not in repr(record.__dict__)
+
+    def test_clean_request_with_key_logs_nothing_sensitive(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger=LOGGER_NAME):
+            assert noisy_client().get(URL).status == 200
+        for record in caplog.records:
+            assert SECRET not in record.getMessage()
+
+
+class TestStructuredEvents:
+    def test_every_record_is_one_json_object_with_an_event(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger=LOGGER_NAME):
+            client = noisy_client(
+                faults=FaultSchedule({0: Fault(kind="drop")})
+            )
+            assert client.get(URL).status == 200
+        events = []
+        for record in caplog.records:
+            payload = json.loads(record.getMessage())
+            assert isinstance(payload, dict)
+            assert "event" in payload
+            events.append(payload["event"])
+        assert "retry" in events
+
+    def test_give_up_event_reports_reason(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger=LOGGER_NAME):
+            client = noisy_client(
+                faults=FaultSchedule(
+                    {i: Fault(kind="drop") for i in range(10)}
+                ),
+                max_attempts=2,
+            )
+            with pytest.raises(RetryBudgetExceeded):
+                client.get(URL)
+        payloads = [json.loads(r.getMessage()) for r in caplog.records]
+        give_ups = [p for p in payloads if p["event"] == "give_up"]
+        assert give_ups and give_ups[-1]["reason"] in ("attempts", "budget")
+
+    def test_nothing_emitted_below_enabled_level(self, caplog):
+        """The logger guard keeps the disabled path allocation-free-ish."""
+        with caplog.at_level(logging.ERROR, logger=LOGGER_NAME):
+            client = noisy_client(
+                faults=FaultSchedule({0: Fault(kind="drop")})
+            )
+            assert client.get(URL).status == 200
+        assert caplog.records == []
+
+
+class TestCliWiring:
+    def test_verbose_handler_is_idempotent(self):
+        from repro.cli import _enable_connector_logging
+
+        logger = logging.getLogger(LOGGER_NAME)
+        before = list(logger.handlers)
+        try:
+            _enable_connector_logging()
+            _enable_connector_logging()
+            added = [h for h in logger.handlers if h not in before]
+            assert len(added) == 1
+            assert logger.level == logging.DEBUG
+        finally:
+            for handler in list(logger.handlers):
+                if handler not in before:
+                    logger.removeHandler(handler)
+            logger.setLevel(logging.NOTSET)
+
+    def test_fetch_verbose_streams_json_events(self, tmp_path, capsys):
+        """``fetch -v`` over a faulty fixture prints JSON events, no key."""
+        from repro.atlas.connectors import paged_results_fixture, write_fixture
+        from repro.cli import main
+        from tests.test_connector_fetch import BASE_URL, MSM, campaign
+
+        fixture = tmp_path / "fixture.json"
+        write_fixture(
+            fixture,
+            paged_results_fixture(
+                campaign(), MSM, page_size=25, base_url=BASE_URL
+            ),
+        )
+        out = tmp_path / "feed.jsonl"
+        logger = logging.getLogger(LOGGER_NAME)
+        before = list(logger.handlers)
+        try:
+            code = main(
+                ["fetch", "results", "--msm", str(MSM),
+                 "--out", str(out), "-v",
+                 "--base-url", BASE_URL, "--page-size", "25",
+                 "--fixture", str(fixture),
+                 "--fault-seed", "7", "--fault-rate", "0.4"]
+            )
+        finally:
+            for handler in list(logger.handlers):
+                if handler not in before:
+                    logger.removeHandler(handler)
+            logger.setLevel(logging.NOTSET)
+        captured = capsys.readouterr()
+        assert code == 0
+        assert SECRET not in captured.err and SECRET not in captured.out
+        json_lines = [
+            line for line in captured.err.splitlines()
+            if line.startswith(LOGGER_NAME)
+        ]
+        assert json_lines  # the fault schedule produced retries
+        for line in json_lines:
+            blob = line.split(" ", 2)[2]
+            assert "event" in json.loads(blob)

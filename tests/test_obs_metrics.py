@@ -1,0 +1,197 @@
+"""Tests for the metrics primitives (repro.obs.metrics)."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+    exponential_buckets,
+    set_default_registry,
+)
+
+
+class TestExponentialBuckets:
+    def test_bounds_multiply(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_rejects_degenerate_parameters(self):
+        for start, factor, count in [(0, 2, 3), (-1, 2, 3), (1, 1, 3), (1, 2, 0)]:
+            with pytest.raises(MetricError):
+                exponential_buckets(start, factor, count)
+
+    def test_default_latency_buckets_cover_service_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-4)
+        assert DEFAULT_LATENCY_BUCKETS[-1] > 20.0
+
+
+class TestCounter:
+    def test_increments_and_snapshots(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        [family] = registry.collect()
+        [child] = family.children
+        assert child.value == 3.5
+        assert family.type == "counter"
+
+    def test_labeled_children_are_interned(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help", ("kind",))
+        assert counter.labels("a") is counter.labels("a")
+        counter.labels("a").inc()
+        counter.labels("b").inc(4)
+        [family] = registry.collect()
+        values = {c.labelvalues: c.value for c in family.children}
+        assert values == {("a",): 1.0, ("b",): 4.0}
+
+    def test_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_labeled_family_rejects_bare_use(self):
+        counter = MetricsRegistry().counter("c_total", "help", ("kind",))
+        with pytest.raises(MetricError):
+            counter.inc()
+
+    def test_wrong_label_count_rejected(self):
+        counter = MetricsRegistry().counter("c_total", "help", ("a", "b"))
+        with pytest.raises(MetricError):
+            counter.labels("only-one")
+
+
+class TestGauge:
+    def test_up_down_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "help")
+        gauge.inc(3)
+        gauge.dec()
+        gauge.set(10.5)
+        [family] = registry.collect()
+        assert family.children[0].value == 10.5
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_sum(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "help", buckets=(1.0, 10.0))
+        for value in (0.5, 0.9, 5.0, 100.0):
+            hist.observe(value)
+        [family] = registry.collect()
+        [child] = family.children
+        assert child.buckets == ((1.0, 2), (10.0, 3), (float("inf"), 4))
+        assert child.count == 4
+        assert child.sum == pytest.approx(106.4)
+
+    def test_le_is_upper_inclusive(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "help", buckets=(1.0,))
+        hist.observe(1.0)
+        [family] = registry.collect()
+        assert family.children[0].buckets[0] == (1.0, 1)
+
+    def test_explicit_inf_bound_is_dropped(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "help", buckets=(1.0, float("inf")))
+        assert hist.buckets == (1.0,)
+
+    def test_non_increasing_bounds_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.histogram("h", "help", buckets=(2.0, 1.0))
+        with pytest.raises(MetricError):
+            registry.histogram("h2", "help", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_reregistration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help", ("kind",))
+        second = registry.counter("c_total", "other help", ("kind",))
+        assert first is second
+
+    def test_conflicting_reregistration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "help")
+        with pytest.raises(MetricError):
+            registry.gauge("m", "help")
+        registry.counter("labeled", "help", ("a",))
+        with pytest.raises(MetricError):
+            registry.counter("labeled", "help", ("b",))
+        registry.histogram("h", "help", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError):
+            registry.histogram("h", "help", buckets=(1.0, 3.0))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", "9leading", "has space", "dash-ed"):
+            with pytest.raises(MetricError):
+                registry.counter(bad, "help")
+        with pytest.raises(MetricError):
+            registry.counter("ok", "help", ("bad-label",))
+
+    def test_collect_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zzz", "help")
+        registry.gauge("aaa", "help")
+        assert [f.name for f in registry.collect()] == ["aaa", "zzz"]
+
+    def test_children_sorted_by_label_values(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", "help", ("kind",))
+        for kind in ("z", "a", "m"):
+            counter.labels(kind).inc()
+        [family] = registry.collect()
+        assert [c.labelvalues for c in family.children] == [("a",), ("m",), ("z",)]
+
+    def test_concurrent_increments_do_not_lose_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help", ("t",))
+        child = counter.labels("x")
+
+        def work():
+            for _ in range(1000):
+                child.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        [family] = registry.collect()
+        assert family.children[0].value == 8000.0
+
+
+class TestDisabledRegistry:
+    def test_all_primitives_are_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c_total", "help", ("kind",))
+        counter.labels("a").inc()
+        gauge = registry.gauge("g", "help")
+        gauge.inc()
+        gauge.set(5)
+        hist = registry.histogram("h", "help")
+        hist.observe(1.0)
+        assert registry.collect() == []
+
+    def test_disabled_children_are_shared(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c_total", "help", ("kind",))
+        assert counter.labels("a") is counter.labels("b")
+
+
+class TestDefaultRegistry:
+    def test_swap_returns_previous(self):
+        original = default_registry()
+        replacement = MetricsRegistry()
+        try:
+            assert set_default_registry(replacement) is original
+            assert default_registry() is replacement
+        finally:
+            set_default_registry(original)
+        assert default_registry() is original

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Observability smoke test: boot both HTTP tiers and scrape them.
+
+CI's end-to-end check for the :mod:`repro.obs` surface.  It builds a
+tiny campaign with the CLI, publishes an alarm store, then for **both**
+serving tiers (the threading tier and ``--async``):
+
+1. boots the server as a real ``python -m repro serve`` subprocess;
+2. scrapes ``/metrics`` and checks the Content-Type, parses the body
+   with the strict parser (:func:`repro.obs.expo.parse_text`) and
+   re-checks every scrape invariant (:func:`~repro.obs.expo.validate`);
+3. fetches ``/statusz`` and checks the progress document shape;
+4. issues one real query (``/top?kind=delay``) and confirms a second
+   scrape shows the request counter moved.
+
+Finally it asserts the two tiers exposed the same metric family names
+— one coherent namespace, whichever tier an operator points Prometheus
+at.  Exit code 0 on success, 1 with a diagnostic on any failure.
+
+Usage::
+
+    python tools/obs_smoke.py [--keep DIR]
+
+Run via ``make obs-smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.expo import parse_text, validate  # noqa: E402
+
+#: Seconds to wait for a freshly booted tier to answer.
+BOOT_TIMEOUT_S = 20.0
+
+PORTS = {"sync": 8181, "async": 8182}
+
+
+_ENV = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+
+
+def _run_cli(args, **kwargs):
+    """Run ``python -m repro <args>`` with src/ on the path."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=REPO_ROOT, check=True, env=_ENV, **kwargs,
+    )
+
+
+def _get(port, route):
+    """GET localhost:*port**route*; returns (status, content_type, body)."""
+    request = urllib.request.Request(f"http://127.0.0.1:{port}{route}")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read(),
+        )
+
+
+def _wait_for_boot(port):
+    """Poll the tier until it answers (or the boot window closes)."""
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    while True:
+        try:
+            _get(port, "/statusz")
+            return
+        except (urllib.error.URLError, ConnectionError, OSError):
+            if time.monotonic() >= deadline:
+                raise SystemExit(
+                    f"obs-smoke: tier on port {port} never came up"
+                )
+            time.sleep(0.1)
+
+
+def _counter_total(families, name):
+    """Sum every plain sample of counter family *name* (0 if absent)."""
+    entry = families.get(name)
+    if entry is None:
+        return 0.0
+    return sum(
+        value for sample_name, _, value in entry["samples"]
+        if sample_name == name
+    )
+
+
+def _scrape_tier(tier, port):
+    """Boot-independent scrape checks for one tier; returns family names."""
+    status, content_type, body = _get(port, "/metrics")
+    assert status == 200, f"{tier}: /metrics returned {status}"
+    assert content_type.startswith("text/plain; version=0.0.4"), (
+        f"{tier}: wrong scrape Content-Type {content_type!r}"
+    )
+    families = parse_text(body)
+    validate(families)
+
+    status, content_type, body = _get(port, "/statusz")
+    assert status == 200, f"{tier}: /statusz returned {status}"
+    assert content_type.startswith("application/json")
+    progress = json.loads(body)
+    assert set(progress) == {"cache", "components", "store"}, (
+        f"{tier}: unexpected /statusz shape {sorted(progress)}"
+    )
+    assert "generation" in progress["store"]
+
+    status, _, _ = _get(port, "/top?kind=delay&k=3")
+    assert status == 200, f"{tier}: query route returned {status}"
+    _, _, body = _get(port, "/metrics")
+    after = parse_text(body)
+    validate(after)
+    moved = (
+        _counter_total(after, "repro_http_requests_total")
+        - _counter_total(families, "repro_http_requests_total")
+    )
+    assert moved >= 1, f"{tier}: request counter did not move ({moved})"
+    print(f"obs-smoke: {tier} tier OK "
+          f"({len(after)} metric families, counters moving)")
+    return set(after)
+
+
+def main(argv):
+    """Build a store, boot both tiers, scrape, cross-check; return 0/1."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--keep", type=Path, default=None,
+        help="build the campaign/store here and keep it (default: tmpdir)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-") as tmp:
+        workdir = args.keep or Path(tmp)
+        workdir.mkdir(parents=True, exist_ok=True)
+        campaign = workdir / "campaign.jsonl"
+        store = workdir / "alarms.store"
+        _run_cli(["generate", "--hours", "3", "--seed", "3",
+                  "--probes", "12", "--no-anchoring",
+                  "--out", str(campaign)], stdout=subprocess.DEVNULL)
+        _run_cli(["analyze", str(campaign), "--seed", "3", "--probes", "12",
+                  "--store", str(store)], stdout=subprocess.DEVNULL)
+
+        servers = []
+        names = {}
+        try:
+            for tier, extra in (("sync", []), ("async", ["--async"])):
+                port = PORTS[tier]
+                servers.append(subprocess.Popen(
+                    [sys.executable, "-m", "repro", "serve", str(store),
+                     "--port", str(port), *extra],
+                    cwd=REPO_ROOT, env=_ENV, stdout=subprocess.DEVNULL,
+                ))
+                _wait_for_boot(port)
+                names[tier] = _scrape_tier(tier, port)
+        finally:
+            for server in servers:
+                server.terminate()
+            for server in servers:
+                try:
+                    server.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    server.kill()
+
+        if names["sync"] != names["async"]:
+            only = names["sync"] ^ names["async"]
+            print(f"obs-smoke: FAIL — tiers disagree on families: {only}",
+                  file=sys.stderr)
+            return 1
+    print("obs-smoke: OK (both tiers scraped, one metric namespace)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
